@@ -1,0 +1,29 @@
+"""Section V-C: correlation-prefetching ablation (PageSeer-NoCorr).
+
+Shape checks (paper): PageSeer and PageSeer-NoCorr deliver similar average
+performance — the MMU signal alone announces most future page accesses —
+with per-workload variation in both directions.
+"""
+
+from repro.experiments import ablation_nocorr
+
+from benchmarks.conftest import record_figure
+
+
+def test_ablation_nocorr(runner, benchmark):
+    result = benchmark.pedantic(
+        ablation_nocorr.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    geomean = result.row_map()["GEOMEAN"][3]
+    # Similar performance on average (paper finds near-parity).
+    assert 0.75 < geomean < 1.35
+
+    ratios = [
+        row[3] for name, row in result.row_map().items()
+        if name != "GEOMEAN" and row[3] > 0
+    ]
+    # Correlation must not be catastrophic anywhere.
+    assert min(ratios) > 0.5
+    assert max(ratios) < 2.0

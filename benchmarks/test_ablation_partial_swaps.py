@@ -1,0 +1,22 @@
+"""Ablation: SILC-FM-style partial swaps (the Section VI extension).
+
+Shape checks: the extension must be roughly performance-neutral or better
+on the sparse/dense representative set — it saves swap bandwidth on
+sparse pages at the cost of lazy residue migrations.
+"""
+
+from repro.experiments import ablation_partial
+
+from benchmarks.conftest import record_figure
+
+
+def test_ablation_partial_swaps(runner, benchmark):
+    result = benchmark.pedantic(
+        ablation_partial.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    geomean = result.row_map()["GEOMEAN"][3]
+    # Near-neutral on average: the extension trades bandwidth for lazy
+    # migrations; neither direction should be dramatic.
+    assert 0.8 < geomean < 1.3

@@ -1,0 +1,27 @@
+"""Crossover bench: PageSeer's benefit versus DRAM capacity.
+
+Shape checks: the speedup over the no-swap reference is largest under the
+Table I capacity pressure and trends toward parity as DRAM grows —
+the capacity crossover that motivates hybrid-memory management.
+"""
+
+from repro.experiments import dram_capacity
+
+from benchmarks.conftest import record_figure
+
+
+def test_crossover_dram_capacity(runner, benchmark):
+    result = benchmark.pedantic(
+        dram_capacity.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    speedups = dram_capacity.speedups(result)
+    # Under Table I pressure, swapping clearly pays.
+    assert speedups[0] > 1.05
+    # With abundant DRAM the benefit has largely evaporated.
+    assert speedups[-1] < speedups[0]
+    assert speedups[-1] < 1.35
+    # The no-swap reference itself improves as more pages get DRAM homes.
+    noswap_ipcs = [row[2] for row in result.rows]
+    assert noswap_ipcs[-1] > noswap_ipcs[0]

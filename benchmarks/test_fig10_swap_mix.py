@@ -1,0 +1,36 @@
+"""Figure 10: share of swaps that are prefetch swaps.
+
+Shape checks (paper): prefetch swaps form a large share of all swaps
+(62.8% average) and MMU-triggered swaps outnumber prefetching-triggered
+ones; the workloads split into a few-prefetch group (pointer chasers) and
+a many-prefetch group (streams).
+"""
+
+from repro.experiments import fig10_swap_mix
+
+from benchmarks.conftest import record_figure
+
+
+def test_fig10_swap_mix(runner, benchmark):
+    result = benchmark.pedantic(
+        fig10_swap_mix.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    rows = result.row_map()
+    average = rows["AVERAGE"]
+    mmu_avg, pct_avg = average[2], average[3]
+
+    # MMU-triggered swaps dominate prefetching-triggered ones on average.
+    assert mmu_avg > pct_avg
+    # Prefetch swaps are a substantial share of all swaps.
+    assert mmu_avg + pct_avg > 25.0
+
+    # The two groups exist: some workloads barely prefetch, some mostly do.
+    per_workload = [
+        row for name, row in rows.items()
+        if name != "AVERAGE" and row[1] and row[1] > 0
+    ]
+    prefetch_shares = [row[2] + row[3] for row in per_workload]
+    assert min(prefetch_shares) < 40.0
+    assert max(prefetch_shares) > 60.0

@@ -1,0 +1,37 @@
+"""Figure 7: main-memory accesses serviced by DRAM / NVM / swap buffers.
+
+Shape checks (paper): PageSeer sends the largest share of requests to DRAM
+of the three schemes (88.5% in the paper), with a small but non-zero
+swap-buffer slice (2.2%).
+"""
+
+from repro.experiments import fig7_access_breakdown
+from repro.experiments.figures import arithmetic_mean
+
+from benchmarks.conftest import record_figure
+
+
+def test_fig7_access_breakdown(runner, benchmark):
+    result = benchmark.pedantic(
+        fig7_access_breakdown.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    averages = {
+        row[1]: row for row in result.rows if row[0] == "AVERAGE"
+    }
+    pageseer_fast = averages["pageseer"][2] + averages["pageseer"][4]
+    pom_fast = averages["pom"][2] + averages["pom"][4]
+    mempod_fast = averages["mempod"][2] + averages["mempod"][4]
+
+    # PageSeer serves the most requests from fast memory (DRAM + buffers).
+    assert pageseer_fast > pom_fast
+    assert pageseer_fast > mempod_fast
+    # The swap-buffer slice exists but stays a minority share.
+    assert 0.0 < averages["pageseer"][4] < 35.0
+    # Baselines have no swap buffers.
+    assert averages["pom"][4] == 0.0
+    assert averages["mempod"][4] == 0.0
+    # Sanity: percentages sum to 100.
+    for row in averages.values():
+        assert abs(row[2] + row[3] + row[4] - 100.0) < 0.1

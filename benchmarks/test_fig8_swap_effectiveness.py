@@ -1,0 +1,26 @@
+"""Figure 8: positive / negative / neutral accesses.
+
+Shape checks (paper): PageSeer attains the most positive accesses of the
+three schemes (81.3% average; +16 points over PoM, +13 over MemPod).
+"""
+
+from repro.experiments import fig8_swap_effectiveness
+
+from benchmarks.conftest import record_figure
+
+
+def test_fig8_swap_effectiveness(runner, benchmark):
+    result = benchmark.pedantic(
+        fig8_swap_effectiveness.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    averages = {row[1]: row for row in result.rows if row[0] == "AVERAGE"}
+    # PageSeer turns the most accesses positive.
+    assert averages["pageseer"][2] > averages["pom"][2]
+    assert averages["pageseer"][2] > averages["mempod"][2]
+    # Positive + negative + neutral covers everything.
+    for row in averages.values():
+        assert abs(row[2] + row[3] + row[4] - 100.0) < 0.1
+    # Negative accesses stay a clear minority for PageSeer.
+    assert averages["pageseer"][3] < averages["pageseer"][2]

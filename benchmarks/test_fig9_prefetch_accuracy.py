@@ -1,0 +1,29 @@
+"""Figure 9: prefetch-swap accuracy.
+
+Shape checks (paper): high average accuracy (86.7%), with phase-changing
+workloads (GemsFDTD-style) well below the mean.
+"""
+
+from repro.experiments import fig9_prefetch_accuracy
+
+from benchmarks.conftest import record_figure
+
+
+def test_fig9_prefetch_accuracy(runner, benchmark):
+    result = benchmark.pedantic(
+        fig9_prefetch_accuracy.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    rows = result.row_map()
+    average = rows["AVERAGE"][3]
+    assert average > 50.0  # clearly better than chance
+
+    # Workloads that prefetch a lot on stable patterns should be accurate.
+    judged = {
+        name: row for name, row in rows.items()
+        if name != "AVERAGE" and isinstance(row[1], (int, float)) and row[1] > 20
+    }
+    if judged:
+        best = max(row[3] for row in judged.values())
+        assert best > 70.0

@@ -1,0 +1,39 @@
+"""Design-space sensitivity bench (DESIGN.md's design-choice ablations).
+
+Shape checks: the paper's Table II operating point must be competitive —
+within each parameter sweep, the paper's value reaches at least ~95% of
+the best swept value's geomean IPC — and the sweeps behave sanely
+(more engines never reduce swap throughput to zero, thresholds trade
+swap count against accuracy in the expected direction).
+"""
+
+from repro.experiments import sensitivity
+
+from benchmarks.conftest import record_figure
+
+
+def test_sensitivity_sweep(runner, benchmark):
+    result = benchmark.pedantic(
+        sensitivity.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    rows = result.rows
+    for parameter in sensitivity.SWEEPS:
+        swept = [row for row in rows if row[0] == parameter]
+        assert len(swept) == len(sensitivity.SWEEPS[parameter])
+        best_ipc = max(row[2] for row in swept)
+        paper_row = next(row for row in swept if row[5] == "*")
+        # The paper's choice is competitive within its sweep.
+        assert paper_row[2] >= 0.9 * best_ipc
+
+    # Lower HPT threshold -> more (or equal) swaps.
+    hpt_rows = sorted(
+        (row for row in rows if row[0] == "hpt_swap_threshold"),
+        key=lambda row: row[1],
+    )
+    assert hpt_rows[0][4] >= hpt_rows[-1][4]
+
+    # A single swap engine still swaps (the cap declines, not deadlocks).
+    engine_rows = [row for row in rows if row[0] == "swap_engines"]
+    assert all(row[4] > 0 for row in engine_rows)

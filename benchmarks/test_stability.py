@@ -1,0 +1,21 @@
+"""Seed-stability bench: the headline must not depend on the seed."""
+
+from repro.experiments import stability
+
+from benchmarks.conftest import record_figure
+
+
+def test_seed_stability(runner, benchmark):
+    result = benchmark.pedantic(
+        stability.compute, args=(runner,), iterations=1, rounds=1
+    )
+    record_figure(result)
+
+    # The winner never flips: PageSeer beats MemPod under every seed.
+    for row in result.rows:
+        if isinstance(row[1], int):  # a per-seed row
+            assert row[4] > 1.0, f"seed {row[1]} flipped the winner on {row[0]}"
+
+    # And the ratio is reasonably tight across seeds.
+    for spread in stability.ratio_spreads(result):
+        assert spread < 0.35

@@ -1,0 +1,38 @@
+"""Table I: regenerate the system-configuration table and check it."""
+
+from repro.common.config import default_system_config
+from repro.experiments import tables
+
+from benchmarks.conftest import record_figure
+
+
+def test_table1_config(benchmark):
+    result = benchmark(tables.table1)
+    record_figure(result)
+
+    rows = {row[0]: row[1] for row in result.rows}
+    # The exact Table I values.
+    assert "512 MB" in rows["dram capacity"]
+    assert "4096 MB" in rows["nvm capacity"]
+    assert rows["dram channels"] == "4"
+    assert rows["nvm channels"] == "2"
+    assert rows["dram tCAS-tRCD-tRAS"] == "11-11-28"
+    assert rows["nvm tCAS-tRCD-tRAS"] == "11-58-80"
+    assert rows["dram tRP,tWR"] == "11,12"
+    assert rows["nvm tRP,tWR"] == "11,180"
+    assert "32KB 8-way" in rows["l1"]
+    assert "256KB 8-way" in rows["l2"]
+    assert "8192KB" in rows["l3"]
+    assert "64 entries" in rows["l1 tlb"]
+    assert "1024 entries" in rows["l2 tlb"]
+
+
+def test_table1_scaled_consistency(benchmark):
+    """Scaling preserves the DRAM:NVM capacity ratio of Table I."""
+
+    def build():
+        return default_system_config(scale=512)
+
+    config = benchmark(build)
+    ratio = config.memory.nvm.capacity_bytes / config.memory.dram.capacity_bytes
+    assert ratio == 8.0

@@ -1,0 +1,55 @@
+"""Table II: regenerate the PageSeer parameter table and check budgets."""
+
+from repro.common.config import PageSeerConfig
+from repro.experiments import tables
+from repro.experiments.tables import ENTRY_BYTES
+
+from benchmarks.conftest import record_figure
+
+
+def test_table2_structures(benchmark):
+    result = benchmark(tables.table2)
+    record_figure(result)
+
+    rows = {row[0]: row[1] for row in result.rows}
+    assert rows["pctc prefetch swap threshold"] == "14"
+    assert rows["hpt swap threshold"] == "6"
+    assert rows["counters"].startswith("6 bits")
+    assert rows["prt associativity"] == "4-way"
+    assert "16 lines" in rows["mmu driver"]
+    assert rows["swap size"].startswith("4 KB")
+
+
+def test_table2_sram_budgets(benchmark):
+    """Structure sizes must stay within Table II's SRAM budget (~72 KB)."""
+
+    def total_kb():
+        ps = PageSeerConfig()
+        prtc = ps.prtc_entries * ENTRY_BYTES["prtc"]
+        pctc = ps.pctc_entries * ENTRY_BYTES["pctc"]
+        hpts = 2 * ps.hpt_entries * ENTRY_BYTES["hpt"]
+        filt = ps.filter_entries * ENTRY_BYTES["filter"]
+        driver = ps.mmu_driver_pte_lines * 64
+        return (prtc + pctc + hpts + filt + driver) / 1024
+
+    total = benchmark(total_kb)
+    assert total <= 80.0  # paper: "less than 72KB" plus rounding slack
+
+
+def test_table2_dram_resident_tables(benchmark):
+    """PRT/PCT in DRAM stay near the paper's sizes at full scale."""
+
+    def sizes():
+        from repro.common.config import default_system_config
+
+        config = default_system_config(scale=1)
+        dram_pages = config.memory.dram_pages
+        total_pages = config.memory.total_pages
+        prt_kb = dram_pages * ENTRY_BYTES["prtc"] / 1024
+        pct_mb = total_pages * ENTRY_BYTES["pctc"] / 1024 / 1024
+        return prt_kb, pct_mb
+
+    prt_kb, pct_mb = benchmark(sizes)
+    # Paper: PRT 426 KB, PCT 7 MB (with follower).
+    assert 350 <= prt_kb <= 520
+    assert 6.0 <= pct_mb <= 13.0

@@ -1,0 +1,37 @@
+"""Table III: regenerate the workload table and check it matches the paper."""
+
+from repro.experiments import tables
+from repro.workloads import all_workloads
+
+from benchmarks.conftest import BENCH_SCALE, record_figure
+
+
+def test_table3_workloads(benchmark):
+    result = benchmark(tables.table3, BENCH_SCALE)
+    record_figure(result)
+
+    assert len(result.rows) == 26
+    by_name = result.row_map()
+    # Spot-check Table III footprints and instance counts.
+    assert by_name["lbmx4"][3] == 422
+    assert by_name["milcx4"][3] == 380
+    assert by_name["LULESHx4"][3] == 914
+    assert by_name["leslie3dx12"][2] == 12
+    assert by_name["mcfx8"][2] == 8
+    assert by_name["libquantumx6"][2] == 6
+    assert by_name["mix6"][2] == 4
+
+
+def test_table3_suite_composition(benchmark):
+    def composition():
+        suites = {}
+        for spec in all_workloads():
+            suites[spec.suite] = suites.get(spec.suite, 0) + 1
+        return suites
+
+    suites = benchmark(composition)
+    assert suites == {"spec": 8, "splash3": 6, "coral": 6, "mix": 6}
+
+
+def test_table3_consistency(benchmark):
+    assert benchmark(tables.paper_table3_consistency)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Deep dive: quantify *why* PageSeer wins, on one workload.
+
+Runs PageSeer with the analysis probes attached and prints:
+
+1. swap lead times and the fraction of swap cost hidden from the demand
+   stream (the abstract's "effectively hides the swap overhead");
+2. page-residency statistics (how many swaps amortise the paper's 14-hit
+   break-even);
+3. an AMMAT decomposition (device service vs queueing vs remap waits),
+   for PageSeer and the no-swap reference side by side.
+"""
+
+import argparse
+
+from repro import build_system, workload_by_name
+from repro.analysis import LeadTimeProbe, ResidencyProbe, ammat_breakdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="lbmx4")
+    parser.add_argument("--scale", type=int, default=512)
+    parser.add_argument("--ops", type=int, default=12000)
+    args = parser.parse_args()
+
+    workload = workload_by_name(args.workload)
+    print(f"PageSeer deep dive on {workload.name} (scale 1/{args.scale})\n")
+
+    system = build_system("pageseer", workload, scale=args.scale)
+    lead = LeadTimeProbe(system)
+    residency = ResidencyProbe(system)
+    system.run_ops(args.ops)
+
+    print("1. Swap lead times (trigger -> first demand hit):")
+    print("   " + lead.summary().render().replace("\n", "\n   "))
+    print()
+    print("2. Page residencies in DRAM:")
+    print("   " + residency.summary().render().replace("\n", "\n   "))
+    print()
+    print("3. AMMAT decomposition:")
+    print("   PageSeer:")
+    print("   " + ammat_breakdown(system).render().replace("\n", "\n   "))
+
+    reference = build_system("noswap", workload, scale=args.scale)
+    reference.run_ops(args.ops)
+    print("   No-swap reference:")
+    print("   " + ammat_breakdown(reference).render().replace("\n", "\n   "))
+
+
+if __name__ == "__main__":
+    main()

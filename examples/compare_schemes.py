@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Compare PageSeer against PoM, MemPod, and a no-swap reference.
+
+Usage::
+
+    python examples/compare_schemes.py [--workloads lbmx4 milcx4] [--scale 512]
+
+Reproduces the paper's headline comparison (Figure 14's shape) on a chosen
+set of workloads: PageSeer should deliver the highest IPC and lowest AMMAT
+of the three managed schemes, with the largest share of requests serviced
+from DRAM.
+"""
+
+import argparse
+
+from repro import build_system, workload_by_name
+
+SCHEMES = ["noswap", "mempod", "pom", "pageseer"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+", default=["lbmx4", "milcx4"])
+    parser.add_argument("--scale", type=int, default=512)
+    parser.add_argument("--measure-ops", type=int, default=8000)
+    parser.add_argument("--warmup-ops", type=int, default=12000)
+    args = parser.parse_args()
+
+    header = (f"{'workload':10s} {'scheme':9s} {'IPC':>7s} {'AMMAT':>8s} "
+              f"{'DRAM%':>7s} {'buf%':>6s} {'swaps':>6s} {'pos%':>6s}")
+    print(header)
+    print("-" * len(header))
+
+    for name in args.workloads:
+        workload = workload_by_name(name)
+        baseline_ipc = None
+        for scheme in SCHEMES:
+            system = build_system(scheme, workload, scale=args.scale)
+            m = system.run(args.measure_ops, args.warmup_ops)
+            if scheme == "mempod":
+                baseline_ipc = m.ipc
+            print(f"{name:10s} {scheme:9s} {m.ipc:7.3f} {m.ammat:8.1f} "
+                  f"{100 * m.dram_share:7.1f} {100 * m.buffer_share:6.1f} "
+                  f"{m.swaps_total:6d} {100 * m.positive_share:6.1f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Usage::
+
+    python examples/full_evaluation.py --quick        # 4 workloads, minutes
+    python examples/full_evaluation.py                # all 26 workloads
+
+Results are cached under ``.repro_cache`` (override with REPRO_CACHE_DIR),
+so a second invocation renders instantly.  The output is the same report
+the benchmark suite checks and EXPERIMENTS.md records.
+"""
+
+import argparse
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.report import generate_report
+
+QUICK_WORKLOADS = ["lbmx4", "milcx4", "mcfx8", "mix1"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run a 4-workload subset instead of all 26")
+    parser.add_argument("--scale", type=int, default=512)
+    parser.add_argument("--measure-ops", type=int, default=None)
+    parser.add_argument("--warmup-ops", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--csv-dir", default=None,
+                        help="also write one CSV per figure to this directory")
+    args = parser.parse_args()
+
+    kwargs = {}
+    if args.measure_ops is not None:
+        kwargs["measure_ops"] = args.measure_ops
+    if args.warmup_ops is not None:
+        kwargs["warmup_ops"] = args.warmup_ops
+    if args.quick:
+        kwargs["workloads"] = QUICK_WORKLOADS
+
+    runner = ExperimentRunner(scale=args.scale, verbose=True, **kwargs)
+    report = generate_report(runner)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        print(f"\n(report written to {args.out})")
+    if args.csv_dir:
+        import pathlib
+
+        from repro.experiments.report import compute_all
+
+        directory = pathlib.Path(args.csv_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for figure in compute_all(runner):
+            slug = figure.figure_id.lower().replace(" ", "_").replace("-", "_")
+            figure.save_csv(directory / f"{slug}.csv")
+        print(f"(CSVs written to {directory})")
+
+
+if __name__ == "__main__":
+    main()

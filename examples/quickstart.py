@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate PageSeer on one workload and print its metrics.
+
+Usage::
+
+    python examples/quickstart.py [--workload lbmx4] [--scale 512]
+
+Builds the Table I system (scaled down), runs the workload with a warm-up
+window, and prints the headline quantities the paper reports: IPC, AMMAT,
+where requests were serviced, and the swap mix.
+"""
+
+import argparse
+
+from repro import build_system, workload_by_name
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="lbmx4",
+                        help="Table III workload name (e.g. lbmx4, milcx4, mix1)")
+    parser.add_argument("--scale", type=int, default=512,
+                        help="system down-scaling factor (1 = paper size)")
+    parser.add_argument("--measure-ops", type=int, default=8000)
+    parser.add_argument("--warmup-ops", type=int, default=12000)
+    args = parser.parse_args()
+
+    workload = workload_by_name(args.workload)
+    print(f"Simulating PageSeer on {workload.name} "
+          f"({workload.cores} cores, suite {workload.suite}, scale 1/{args.scale})")
+
+    system = build_system("pageseer", workload, scale=args.scale)
+    metrics = system.run(args.measure_ops, args.warmup_ops)
+
+    print()
+    print(f"  IPC (mean per core)      {metrics.ipc:8.3f}")
+    print(f"  AMMAT (cycles)           {metrics.ammat:8.1f}")
+    print(f"  serviced by DRAM         {metrics.dram_share:8.1%}")
+    print(f"  serviced by NVM          {metrics.nvm_share:8.1%}")
+    print(f"  serviced by swap buffers {metrics.buffer_share:8.1%}")
+    print(f"  positive accesses        {metrics.positive_share:8.1%}")
+    print(f"  negative accesses        {metrics.negative_share:8.1%}")
+    print()
+    print(f"  swaps: {metrics.swaps_total} total — "
+          f"{metrics.swaps_mmu} MMU-triggered, "
+          f"{metrics.swaps_pct} prefetching-triggered, "
+          f"{metrics.swaps_regular} regular (HPT)")
+    if metrics.prefetch_swaps:
+        print(f"  prefetch-swap accuracy   {metrics.prefetch_accuracy:8.1%}")
+    print(f"  TLB misses               {metrics.tlb_misses}")
+    print(f"  PTE cache-miss rate      {metrics.pte_cache_miss_rate:8.1%}")
+    print(f"  MMU Driver hit rate      {metrics.mmu_driver_hit_rate:8.1%}")
+
+
+if __name__ == "__main__":
+    main()

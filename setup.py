@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs.
+
+The execution environment has no network and no `wheel` package, so PEP
+517 builds cannot run; this file lets ``pip install -e .`` fall back to
+the legacy setuptools path (see pip.conf's ``no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

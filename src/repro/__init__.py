@@ -1,0 +1,39 @@
+"""PageSeer reproduction: page-walk-triggered page swaps in hybrid memory.
+
+A trace-driven, cycle-approximate simulator reproducing *PageSeer: Using
+Page Walks to Trigger Page Swaps in Hybrid Memory Systems* (HPCA 2019),
+including the PoM and MemPod baselines, the Table III workload suite (as
+synthetic archetypes), and a harness regenerating every evaluation figure.
+
+Quickstart::
+
+    from repro import build_system, workload_by_name
+
+    system = build_system("pageseer", workload_by_name("lbmx4"), scale=256)
+    metrics = system.run(measure_ops=20_000, warmup_ops=5_000)
+    print(metrics.ipc, metrics.ammat, metrics.dram_share)
+"""
+
+from repro.common.config import (
+    PageSeerConfig,
+    SystemConfig,
+    default_system_config,
+)
+from repro.sim.metrics import RunMetrics
+from repro.sim.system import SCHEMES, System, build_system
+from repro.workloads import all_workloads, workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PageSeerConfig",
+    "SystemConfig",
+    "default_system_config",
+    "RunMetrics",
+    "SCHEMES",
+    "System",
+    "build_system",
+    "all_workloads",
+    "workload_by_name",
+    "__version__",
+]

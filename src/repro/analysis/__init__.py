@@ -1,0 +1,35 @@
+"""Post-run analysis tools.
+
+The paper's abstract claims PageSeer performs swaps "accurately and with
+substantial lead time" and "effectively hides the swap overhead".  This
+package quantifies those claims on any run:
+
+* :mod:`repro.analysis.lead_time` — per-swap lead time (trigger to first
+  demand hit) and the fraction of swaps whose cost is fully hidden;
+* :mod:`repro.analysis.residency` — how long swapped-in pages stay in
+  DRAM and how much service they deliver while there;
+* :mod:`repro.analysis.breakdown` — AMMAT decomposition into device
+  service, queueing, and remap-table waiting.
+"""
+
+from repro.analysis.lead_time import LeadTimeProbe, LeadTimeSummary
+from repro.analysis.residency import ResidencyProbe, ResidencySummary
+from repro.analysis.breakdown import ammat_breakdown
+from repro.analysis.compare import (
+    ComparisonRow,
+    compare_schemes,
+    comparison_table,
+    winner_by_ipc,
+)
+
+__all__ = [
+    "LeadTimeProbe",
+    "LeadTimeSummary",
+    "ResidencyProbe",
+    "ResidencySummary",
+    "ammat_breakdown",
+    "ComparisonRow",
+    "compare_schemes",
+    "comparison_table",
+    "winner_by_ipc",
+]

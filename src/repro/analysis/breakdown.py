@@ -1,0 +1,76 @@
+"""AMMAT decomposition: where does main-memory access time go?
+
+Splits a finished run's mean main-memory access time into:
+
+* **device service** — activation + CAS + burst on the DRAM/NVM devices;
+* **queueing** — waiting for busy banks and buses;
+* **remap wait** — stalling on PRTc/SRC fills from DRAM;
+* **other** — controller fixed latencies and buffer services.
+
+The pieces come from the device counters and the controller statistics;
+they are attributions over the same request population as AMMAT, so the
+parts sum approximately to the whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class AmmatBreakdown:
+    """Mean per-request attribution of main-memory access time."""
+
+    ammat: float
+    device_service: float
+    queueing: float
+    remap_wait: float
+
+    @property
+    def other(self) -> float:
+        explained = self.device_service + self.queueing + self.remap_wait
+        return max(0.0, self.ammat - explained)
+
+    def render(self) -> str:
+        def pct(value: float) -> str:
+            return f"{100 * value / self.ammat:5.1f}%" if self.ammat else "  n/a"
+
+        return (
+            f"AMMAT               {self.ammat:8.1f} cycles\n"
+            f"  device service    {self.device_service:8.1f}  {pct(self.device_service)}\n"
+            f"  queueing          {self.queueing:8.1f}  {pct(self.queueing)}\n"
+            f"  remap-table wait  {self.remap_wait:8.1f}  {pct(self.remap_wait)}\n"
+            f"  other/controller  {self.other:8.1f}  {pct(self.other)}"
+        )
+
+
+def ammat_breakdown(system) -> AmmatBreakdown:
+    """Decompose the AMMAT of a *finished* run of any scheme."""
+    stats = system.stats
+    requests = stats.count("hmc/ammat")
+    ammat = stats.mean("hmc/ammat")
+
+    dram = system.hmc.memory.dram
+    nvm = system.hmc.memory.nvm
+    device_ops = dram.reads + dram.writes + nvm.reads + nvm.writes
+    service_total = dram.service_time_total + nvm.service_time_total
+    queue_total = dram.queue_delay_total + nvm.queue_delay_total
+
+    if requests == 0:
+        return AmmatBreakdown(0.0, 0.0, 0.0, 0.0)
+
+    # Device counters cover every line moved (including swap traffic);
+    # attribute the mean per *demand request* by dividing by the request
+    # population, and scale service to a per-access mean so swap bulk
+    # does not inflate the per-request figure.
+    per_access_service = service_total / device_ops if device_ops else 0.0
+    per_request_queue = queue_total / requests
+    remap_wait = stats.get("hmc/remap_wait_cycles") / requests
+
+    return AmmatBreakdown(
+        ammat=ammat,
+        device_service=min(per_access_service, ammat),
+        queueing=min(per_request_queue, ammat),
+        remap_wait=min(remap_wait, ammat),
+    )

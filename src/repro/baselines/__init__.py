@@ -1,0 +1,23 @@
+"""Baseline hybrid-memory controllers the paper compares against.
+
+* :mod:`repro.baselines.pom` — PoM (Sim et al., MICRO'14): 2 KB segments,
+  direct-mapped swap groups, threshold-triggered fast swaps, SRC remap
+  cache.
+* :mod:`repro.baselines.mempod` — MemPod (Prodromou et al., HPCA'17):
+  pods, the Majority Element Algorithm, interval-based migration bursts.
+* :mod:`repro.baselines.static` — no-swap and all-DRAM/all-NVM references.
+"""
+
+from repro.baselines.cameo import CameoHmc
+from repro.baselines.pom import PomHmc
+from repro.baselines.mempod import MemPodHmc, MajorityElementTracker
+from repro.baselines.static import all_dram_config, all_nvm_config
+
+__all__ = [
+    "CameoHmc",
+    "PomHmc",
+    "MemPodHmc",
+    "MajorityElementTracker",
+    "all_dram_config",
+    "all_nvm_config",
+]

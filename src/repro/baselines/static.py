@@ -1,0 +1,46 @@
+"""Static reference configurations: all-DRAM and all-NVM bounds.
+
+These pair with :class:`repro.sim.hmc_base.NoSwapHmc` to bracket every
+swap scheme: all-DRAM is the performance ceiling (every access fast),
+all-NVM the floor.  They are used by sanity tests and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.common.config import SystemConfig
+
+
+def all_dram_config(config: SystemConfig) -> SystemConfig:
+    """Return a copy whose NVM behaves exactly like its DRAM (ceiling).
+
+    Capacity is unchanged — only the timing is made DRAM-fast — so the
+    same workloads and allocations run unmodified.
+    """
+    fast_nvm = replace(
+        config.memory.nvm,
+        t_cas=config.memory.dram.t_cas,
+        t_rcd=config.memory.dram.t_rcd,
+        t_ras=config.memory.dram.t_ras,
+        t_rp=config.memory.dram.t_rp,
+        t_wr=config.memory.dram.t_wr,
+        channels=config.memory.dram.channels,
+        row_bytes=config.memory.dram.row_bytes,
+    )
+    return replace(config, memory=replace(config.memory, nvm=fast_nvm))
+
+
+def all_nvm_config(config: SystemConfig) -> SystemConfig:
+    """Return a copy whose DRAM behaves exactly like its NVM (floor)."""
+    slow_dram = replace(
+        config.memory.dram,
+        t_cas=config.memory.nvm.t_cas,
+        t_rcd=config.memory.nvm.t_rcd,
+        t_ras=config.memory.nvm.t_ras,
+        t_rp=config.memory.nvm.t_rp,
+        t_wr=config.memory.nvm.t_wr,
+        channels=config.memory.nvm.channels,
+        row_bytes=config.memory.nvm.row_bytes,
+    )
+    return replace(config, memory=replace(config.memory, dram=slow_dram))

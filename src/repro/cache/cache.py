@@ -1,0 +1,95 @@
+"""A single set-associative, write-back, LRU cache level."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line pushed out of a cache level by a fill."""
+
+    line_number: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache with true LRU and dirty bits.
+
+    Addresses are *line numbers* (byte address >> 6).  The cache stores no
+    data — the simulator only needs hit/miss behaviour and write-back
+    traffic.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        # Each set maps tag -> dirty flag, ordered LRU-first.
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _locate(self, line_number: int) -> tuple:
+        return line_number % self.num_sets, line_number // self.num_sets
+
+    def lookup(self, line_number: int, is_write: bool = False) -> bool:
+        """Probe the cache; on a hit, update LRU (and dirty on writes)."""
+        set_index, tag = self._locate(line_number)
+        entries = self._sets[set_index]
+        if tag not in entries:
+            return False
+        entries.move_to_end(tag)
+        if is_write:
+            entries[tag] = True
+        return True
+
+    def contains(self, line_number: int) -> bool:
+        """Probe without disturbing LRU or dirty state."""
+        set_index, tag = self._locate(line_number)
+        return tag in self._sets[set_index]
+
+    def fill(self, line_number: int, dirty: bool = False) -> Optional[EvictedLine]:
+        """Install a line, returning the victim (if any) for write-back."""
+        set_index, tag = self._locate(line_number)
+        entries = self._sets[set_index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            if dirty:
+                entries[tag] = True
+            return None
+        victim: Optional[EvictedLine] = None
+        if len(entries) >= self.ways:
+            victim_tag, victim_dirty = entries.popitem(last=False)
+            victim_line = victim_tag * self.num_sets + set_index
+            victim = EvictedLine(victim_line, victim_dirty)
+        entries[tag] = dirty
+        return victim
+
+    def invalidate(self, line_number: int) -> bool:
+        """Drop a line if present; returns whether it was present."""
+        set_index, tag = self._locate(line_number)
+        return self._sets[set_index].pop(tag, None) is not None
+
+    def invalidate_page(self, page_number: int, lines_per_page: int = 64) -> int:
+        """Drop every line of a page; returns how many were present."""
+        first = page_number * lines_per_page
+        return sum(
+            1 for offset in range(lines_per_page) if self.invalidate(first + offset)
+        )
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def resident_lines(self) -> List[int]:
+        """Return every line currently cached (for tests)."""
+        lines = []
+        for set_index, entries in enumerate(self._sets):
+            for tag in entries:
+                lines.append(tag * self.num_sets + set_index)
+        return lines

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``             simulate one (scheme, workload) pair and print metrics
+* ``report``          regenerate every table/figure (cached)
+* ``energy``          run PageSeer and print the Table II energy report
+* ``trace-record``    dump one core's access stream to a trace file
+* ``trace-run``       simulate a scheme over recorded trace files
+* ``list-workloads``  the 26 Table III workloads
+* ``list-schemes``    available memory-controller schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.runner import VARIANTS
+from repro.sim.system import SCHEMES, build_system
+from repro.workloads import all_workloads, workload_by_name
+
+
+def _add_sizing_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=512,
+                        help="system down-scaling factor (1 = paper size)")
+    parser.add_argument("--measure-ops", type=int, default=8000,
+                        help="measured memory operations per core")
+    parser.add_argument("--warmup-ops", type=int, default=12000,
+                        help="warm-up memory operations per core")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    system = build_system(
+        args.scheme,
+        workload,
+        scale=args.scale,
+        seed=args.seed,
+        config_mutator=VARIANTS[args.variant],
+    )
+    metrics = system.run(args.measure_ops, args.warmup_ops)
+    print(f"{args.scheme} on {workload.name} "
+          f"({workload.cores} cores, scale 1/{args.scale}, variant {args.variant})")
+    print(f"  ipc                 {metrics.ipc:.4f}")
+    print(f"  ammat               {metrics.ammat:.1f} cycles")
+    print(f"  dram/nvm/buffer     {metrics.dram_share:.1%} / "
+          f"{metrics.nvm_share:.1%} / {metrics.buffer_share:.1%}")
+    print(f"  pos/neg/neutral     {metrics.positive_share:.1%} / "
+          f"{metrics.negative_share:.1%} / {metrics.neutral_share:.1%}")
+    print(f"  swaps (mmu/pct/reg) {metrics.swaps_total} "
+          f"({metrics.swaps_mmu}/{metrics.swaps_pct}/{metrics.swaps_regular})")
+    print(f"  swaps per k-instr   {metrics.swaps_per_kilo_instruction:.3f}")
+    if metrics.prefetch_swaps:
+        print(f"  prefetch accuracy   {metrics.prefetch_accuracy:.1%}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    workloads = args.workloads if args.workloads else None
+    runner = ExperimentRunner(
+        scale=args.scale,
+        measure_ops=args.measure_ops,
+        warmup_ops=args.warmup_ops,
+        seed=args.seed,
+        workloads=workloads,
+        verbose=True,
+    )
+    report = generate_report(runner)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+def _command_energy(args: argparse.Namespace) -> int:
+    from repro.core.energy import energy_report
+
+    workload = workload_by_name(args.workload)
+    system = build_system("pageseer", workload, scale=args.scale, seed=args.seed)
+    system.run(args.measure_ops, args.warmup_ops)
+    elapsed = max(core.clock for core in system.cores)
+    print(energy_report(system.hmc, elapsed).render())
+    return 0
+
+
+def _command_trace_record(args: argparse.Namespace) -> int:
+    from repro.workloads.trace import record_trace
+
+    workload = workload_by_name(args.workload)
+    count = record_trace(
+        workload, args.core, args.count, args.out,
+        seed=args.seed, scale=args.scale,
+    )
+    print(f"recorded {count} ops of {workload.name} core {args.core} "
+          f"to {args.out}")
+    return 0
+
+
+def _command_trace_run(args: argparse.Namespace) -> int:
+    from repro.common.config import default_system_config
+    from repro.sim.system import System
+    from repro.workloads.trace import trace_workload
+
+    spec = trace_workload("trace", args.traces)
+    config = default_system_config(
+        scale=args.scale, cores=spec.cores, seed=args.seed
+    )
+    system = System(config, args.scheme, spec, args.scale)
+    metrics = system.run(args.measure_ops, args.warmup_ops)
+    print(f"{args.scheme} over {spec.cores} trace(s)")
+    print(f"  ipc    {metrics.ipc:.4f}")
+    print(f"  ammat  {metrics.ammat:.1f} cycles")
+    print(f"  dram/nvm/buffer {metrics.dram_share:.1%} / "
+          f"{metrics.nvm_share:.1%} / {metrics.buffer_share:.1%}")
+    print(f"  swaps  {metrics.swaps_total}")
+    return 0
+
+
+def _command_list_workloads(args: argparse.Namespace) -> int:
+    for spec in all_workloads():
+        members = "+".join(sorted({p.benchmark for p in spec.parts}))
+        print(f"{spec.name:14s} suite={spec.suite:8s} cores={spec.cores:2d} "
+              f"({members})")
+    return 0
+
+
+def _command_list_schemes(args: argparse.Namespace) -> int:
+    for name in sorted(SCHEMES):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="simulate one scheme/workload")
+    run_parser.add_argument("--scheme", required=True, choices=sorted(SCHEMES))
+    run_parser.add_argument("--workload", required=True)
+    run_parser.add_argument("--variant", default="default",
+                            choices=sorted(VARIANTS))
+    _add_sizing_arguments(run_parser)
+    run_parser.set_defaults(handler=_command_run)
+
+    report_parser = commands.add_parser(
+        "report", help="regenerate every table and figure"
+    )
+    report_parser.add_argument("--workloads", nargs="*", default=None)
+    report_parser.add_argument("--out", default=None)
+    _add_sizing_arguments(report_parser)
+    report_parser.set_defaults(handler=_command_report)
+
+    energy_parser = commands.add_parser(
+        "energy", help="Table II energy/area report for one workload"
+    )
+    energy_parser.add_argument("--workload", default="lbmx4")
+    _add_sizing_arguments(energy_parser)
+    energy_parser.set_defaults(handler=_command_energy)
+
+    record_parser = commands.add_parser(
+        "trace-record", help="dump one core's access stream to a file"
+    )
+    record_parser.add_argument("--workload", required=True)
+    record_parser.add_argument("--core", type=int, default=0)
+    record_parser.add_argument("--count", type=int, default=10_000)
+    record_parser.add_argument("--out", required=True)
+    record_parser.add_argument("--scale", type=int, default=512)
+    record_parser.add_argument("--seed", type=int, default=0)
+    record_parser.set_defaults(handler=_command_trace_record)
+
+    trace_run_parser = commands.add_parser(
+        "trace-run", help="simulate a scheme over recorded trace files"
+    )
+    trace_run_parser.add_argument("--traces", nargs="+", required=True,
+                                  help="one trace file per core")
+    trace_run_parser.add_argument("--scheme", default="pageseer",
+                                  choices=sorted(SCHEMES))
+    _add_sizing_arguments(trace_run_parser)
+    trace_run_parser.set_defaults(handler=_command_trace_run)
+
+    commands.add_parser(
+        "list-workloads", help="list the Table III workloads"
+    ).set_defaults(handler=_command_list_workloads)
+    commands.add_parser(
+        "list-schemes", help="list memory-controller schemes"
+    ).set_defaults(handler=_command_list_schemes)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

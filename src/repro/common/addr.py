@@ -1,0 +1,103 @@
+"""Address arithmetic shared by every subsystem.
+
+The simulator uses byte addresses throughout.  Pages are 4 KB and cache
+lines are 64 B, exactly as in the paper (Table I).  Virtual addresses follow
+the x86-64 4-level layout described in Section II-C of the paper: 48
+meaningful bits split as 9 (PGD) + 9 (PUD) + 9 (PMD) + 9 (PTE) + 12 (page
+offset).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+CACHE_LINE_BYTES = 64
+PAGE_BYTES = 4096
+LINES_PER_PAGE = PAGE_BYTES // CACHE_LINE_BYTES
+
+LINE_SHIFT = 6
+PAGE_SHIFT = 12
+
+#: Number of index bits per page-table level (x86-64).
+LEVEL_BITS = 9
+#: Number of page-table levels walked on a TLB miss (PGD, PUD, PMD, PTE).
+WALK_LEVELS = 4
+#: Meaningful virtual-address bits (x86-64 canonical form).
+VA_BITS = 48
+
+
+class VirtualAddressParts(NamedTuple):
+    """The five fields of a 48-bit x86-64 virtual address."""
+
+    pgd_index: int
+    pud_index: int
+    pmd_index: int
+    pte_index: int
+    offset: int
+
+
+def line_of(address: int) -> int:
+    """Return the cache-line number containing *address*."""
+    return address >> LINE_SHIFT
+
+
+def line_base(address: int) -> int:
+    """Return the byte address of the start of the line containing *address*."""
+    return address & ~(CACHE_LINE_BYTES - 1)
+
+
+def page_of(address: int) -> int:
+    """Return the page number (PPN or VPN) containing *address*."""
+    return address >> PAGE_SHIFT
+
+
+def page_base(address: int) -> int:
+    """Return the byte address of the start of the page containing *address*."""
+    return address & ~(PAGE_BYTES - 1)
+
+
+def page_offset(address: int) -> int:
+    """Return the offset of *address* within its 4 KB page."""
+    return address & (PAGE_BYTES - 1)
+
+
+def line_in_page(address: int) -> int:
+    """Return the index (0..63) of the line within its page."""
+    return (address & (PAGE_BYTES - 1)) >> LINE_SHIFT
+
+
+def address_of_page(page_number: int) -> int:
+    """Return the byte address of the first byte of *page_number*."""
+    return page_number << PAGE_SHIFT
+
+
+def address_of_line(line_number: int) -> int:
+    """Return the byte address of the first byte of *line_number*."""
+    return line_number << LINE_SHIFT
+
+
+def split_virtual_address(virtual_address: int) -> VirtualAddressParts:
+    """Split a virtual address into its page-walk indices (Figure 1).
+
+    Only the low 48 bits participate; higher bits are ignored, mirroring the
+    canonical-address handling of x86-64 hardware.
+    """
+    va = virtual_address & ((1 << VA_BITS) - 1)
+    offset = va & (PAGE_BYTES - 1)
+    vpn = va >> PAGE_SHIFT
+    pte_index = vpn & ((1 << LEVEL_BITS) - 1)
+    pmd_index = (vpn >> LEVEL_BITS) & ((1 << LEVEL_BITS) - 1)
+    pud_index = (vpn >> (2 * LEVEL_BITS)) & ((1 << LEVEL_BITS) - 1)
+    pgd_index = (vpn >> (3 * LEVEL_BITS)) & ((1 << LEVEL_BITS) - 1)
+    return VirtualAddressParts(pgd_index, pud_index, pmd_index, pte_index, offset)
+
+
+def join_virtual_address(parts: VirtualAddressParts) -> int:
+    """Inverse of :func:`split_virtual_address`."""
+    vpn = (
+        (parts.pgd_index << (3 * LEVEL_BITS))
+        | (parts.pud_index << (2 * LEVEL_BITS))
+        | (parts.pmd_index << LEVEL_BITS)
+        | parts.pte_index
+    )
+    return (vpn << PAGE_SHIFT) | parts.offset

@@ -1,0 +1,17 @@
+"""Exception hierarchy for the PageSeer reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """An invariant was violated while a simulation was running."""
+
+
+class AllocationError(ReproError):
+    """The OS model ran out of physical frames."""

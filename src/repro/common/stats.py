@@ -1,0 +1,100 @@
+"""Hierarchical statistics counters.
+
+Every simulator component records its activity into a shared
+:class:`StatsRegistry`.  Counters are created lazily, live under
+slash-separated paths (``"hmc/prtc/hits"``), and can be snapshot or diffed,
+which the experiment harness uses to separate warm-up from measurement.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class StatsRegistry:
+    """A flat namespace of integer/float counters and value accumulators."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._sums: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+        self._maxima: Dict[str, float] = {}
+
+    # -- counters ---------------------------------------------------------
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter *name* by *amount*."""
+        self._counters[name] += amount
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Return the value of counter *name* (``default`` if never touched)."""
+        return self._counters.get(name, default)
+
+    # -- value accumulators (for averages) --------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation of a value (for averaging)."""
+        self._sums[name] += value
+        self._counts[name] += 1
+        previous = self._maxima.get(name)
+        if previous is None or value > previous:
+            self._maxima[name] = value
+
+    def mean(self, name: str, default: float = 0.0) -> float:
+        """Return the mean of all observations of *name*."""
+        count = self._counts.get(name, 0)
+        if count == 0:
+            return default
+        return self._sums[name] / count
+
+    def total(self, name: str) -> float:
+        """Return the sum of all observations of *name*."""
+        return self._sums.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Return how many observations of *name* were recorded."""
+        return self._counts.get(name, 0)
+
+    def maximum(self, name: str, default: float = 0.0) -> float:
+        """Return the largest observation of *name*."""
+        return self._maxima.get(name, default)
+
+    # -- bookkeeping -------------------------------------------------------
+    def names(self) -> Iterable[str]:
+        """Return all counter names touched so far."""
+        seen = set(self._counters) | set(self._sums)
+        return sorted(seen)
+
+    def snapshot(self) -> Mapping[str, float]:
+        """Return a copy of all plain counters."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        """Zero every counter and accumulator (used at end of warm-up)."""
+        self._counters.clear()
+        self._sums.clear()
+        self._counts.clear()
+        self._maxima.clear()
+
+    def merged_with(self, other: "StatsRegistry") -> "StatsRegistry":
+        """Return a new registry combining this one and *other*."""
+        merged = StatsRegistry()
+        for source in (self, other):
+            for name, value in source._counters.items():
+                merged._counters[name] += value
+            for name, value in source._sums.items():
+                merged._sums[name] += value
+            for name, value in source._counts.items():
+                merged._counts[name] += value
+            for name, value in source._maxima.items():
+                if name not in merged._maxima or value > merged._maxima[name]:
+                    merged._maxima[name] = value
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return counters plus derived means in one flat dictionary."""
+        out: Dict[str, float] = dict(self._counters)
+        for name in self._sums:
+            out[f"{name}/mean"] = self.mean(name)
+            out[f"{name}/total"] = self.total(name)
+            out[f"{name}/count"] = float(self.count(name))
+        return out

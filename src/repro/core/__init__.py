@@ -1,0 +1,34 @@
+"""PageSeer: the paper's contribution (Section III).
+
+The Hybrid Memory Controller (:class:`repro.core.hmc.PageSeerHmc`) composes:
+
+* :mod:`repro.core.prt` — the Page Remapping Table and its cache (III-C1),
+* :mod:`repro.core.pct` — the Page Correlation Table, its cache, and the
+  Filter table (III-C2),
+* :mod:`repro.core.hpt` — the DRAM/NVM Hot Page Tables (III-C3),
+* :mod:`repro.core.mmu_driver` — the MMU Driver with its PTE-line cache
+  (III-B, III-C4),
+* :mod:`repro.core.swap_driver` — the Swap Driver executing optimized slow
+  swaps through swap buffers, with the bandwidth heuristic (III-C1, V-B).
+"""
+
+from repro.core.prt import PageRemapTable, PrtCache
+from repro.core.pct import FilterTable, PageCorrelationTable, PctCache, PctEntry
+from repro.core.hpt import HotPageTable
+from repro.core.mmu_driver import MmuDriver
+from repro.core.swap_driver import SwapDriver, SwapRecord
+from repro.core.hmc import PageSeerHmc
+
+__all__ = [
+    "PageRemapTable",
+    "PrtCache",
+    "FilterTable",
+    "PageCorrelationTable",
+    "PctCache",
+    "PctEntry",
+    "HotPageTable",
+    "MmuDriver",
+    "SwapDriver",
+    "SwapRecord",
+    "PageSeerHmc",
+]

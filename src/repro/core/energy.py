@@ -1,0 +1,128 @@
+"""Energy and area accounting for the PageSeer structures (Table II, bottom).
+
+The paper reports per-structure area, leakage, and per-access read/write
+energies obtained from CACTI 7.  CACTI itself has no behavioural role, so
+this module takes the paper's numbers as constants and combines them with
+the access counts the simulator records, producing the dynamic-energy and
+leakage totals for a run — the analysis a hardware evaluation would
+include.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: The simulated core clock (Table I): used to convert cycles to seconds.
+CPU_HZ = 2_000_000_000
+
+
+@dataclass(frozen=True)
+class StructureCosts:
+    """Per-structure constants, exactly as printed in Table II."""
+
+    area_mm2: float
+    leakage_mw: float
+    read_pj: float
+    write_pj: float
+
+
+#: Table II: Area (10^-3 mm^2), Leakage (mW), Rd/Wr energy (pJ).
+TABLE2_COSTS: Dict[str, StructureCosts] = {
+    "prtc": StructureCosts(area_mm2=54.9e-3, leakage_mw=11.4, read_pj=14.8, write_pj=14.4),
+    "pctc": StructureCosts(area_mm2=36.8e-3, leakage_mw=11.4, read_pj=14.7, write_pj=16.7),
+    "hpt": StructureCosts(area_mm2=23.7e-3, leakage_mw=9.1, read_pj=1.8, write_pj=2.6),
+    "filter": StructureCosts(area_mm2=7.7e-3, leakage_mw=2.3, read_pj=1.4, write_pj=2.7),
+}
+
+
+@dataclass(frozen=True)
+class StructureEnergy:
+    """Energy of one structure over a run."""
+
+    name: str
+    reads: int
+    writes: int
+    dynamic_pj: float
+    leakage_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        return self.dynamic_pj / 1e6 + self.leakage_uj
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-structure and total energy/area of the PageSeer hardware."""
+
+    structures: Dict[str, StructureEnergy]
+    elapsed_cycles: float
+
+    @property
+    def total_dynamic_pj(self) -> float:
+        return sum(s.dynamic_pj for s in self.structures.values())
+
+    @property
+    def total_leakage_uj(self) -> float:
+        return sum(s.leakage_uj for s in self.structures.values())
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(TABLE2_COSTS[name].area_mm2 for name in self.structures)
+
+    def render(self) -> str:
+        lines = [
+            "PageSeer structure energy "
+            f"(over {self.elapsed_cycles:.0f} CPU cycles)",
+            f"{'structure':10s} {'reads':>10s} {'writes':>10s} "
+            f"{'dynamic pJ':>12s} {'leakage uJ':>11s}",
+        ]
+        for name, s in self.structures.items():
+            lines.append(
+                f"{name:10s} {s.reads:10d} {s.writes:10d} "
+                f"{s.dynamic_pj:12.1f} {s.leakage_uj:11.4f}"
+            )
+        lines.append(
+            f"{'TOTAL':10s} {'':10s} {'':10s} "
+            f"{self.total_dynamic_pj:12.1f} {self.total_leakage_uj:11.4f}"
+        )
+        lines.append(f"total structure area: {self.total_area_mm2 * 1000:.1f} "
+                     f"x10^-3 mm^2")
+        return "\n".join(lines)
+
+
+def _structure_energy(
+    name: str, reads: int, writes: int, elapsed_cycles: float
+) -> StructureEnergy:
+    costs = TABLE2_COSTS[name]
+    dynamic = reads * costs.read_pj + writes * costs.write_pj
+    seconds = elapsed_cycles / CPU_HZ
+    leakage_uj = costs.leakage_mw * seconds * 1000.0  # mW * s = mJ -> uJ
+    return StructureEnergy(name, reads, writes, dynamic, leakage_uj)
+
+
+def energy_report(hmc, elapsed_cycles: float) -> EnergyReport:
+    """Build the energy report for a finished :class:`PageSeerHmc` run.
+
+    Read/write counts come from the structures' own access counters:
+    PRTc lookups/fills, PCTc lookups/writes, both HPTs' read-modify-write
+    updates, and the Filter's per-miss update.
+    """
+    structures = {
+        "prtc": _structure_energy(
+            "prtc", hmc.prtc.hits + hmc.prtc.misses, hmc.prtc.fills, elapsed_cycles
+        ),
+        "pctc": _structure_energy(
+            "pctc", hmc.pctc.hits + hmc.pctc.misses, hmc.pctc.writes, elapsed_cycles
+        ),
+        "hpt": _structure_energy(
+            "hpt",
+            hmc.dram_hpt.reads + hmc.nvm_hpt.reads,
+            hmc.dram_hpt.writes + hmc.nvm_hpt.writes,
+            elapsed_cycles,
+        ),
+        "filter": _structure_energy(
+            "filter", hmc.filter.reads, hmc.filter.writes, elapsed_cycles
+        ),
+    }
+    return EnergyReport(structures=structures, elapsed_cycles=elapsed_cycles)

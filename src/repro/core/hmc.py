@@ -1,0 +1,346 @@
+"""The PageSeer Hybrid Memory Controller — Section III, assembled.
+
+This is the paper's Figure 2 in code: the PRTc on the critical path of
+every request, the PCTc and Filter observing the pre-remap miss stream, the
+two HPTs classifying hot pages by their *current* residence, the MMU Driver
+receiving page-walk hints and intercepting PTE requests, and the Swap
+Driver executing swaps through the buffers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.common.addr import LINES_PER_PAGE, PAGE_BYTES
+from repro.common.config import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.core.hpt import HotPageTable
+from repro.core.mmu_driver import MmuDriver
+from repro.core.pct import FilterTable, PageCorrelationTable, PctCache, PctEntry
+from repro.core.prt import PageRemapTable, PrtCache
+from repro.core.swap_driver import (
+    SwapDriver,
+    TRIGGER_MMU,
+    TRIGGER_PCT,
+    TRIGGER_REGULAR,
+)
+from repro.mem.swap_buffer import SwapBufferPool
+from repro.sim.hmc_base import HmcBase, RequestKind
+from repro.vm.os_model import OsModel
+
+#: Table II entry sizes (bytes), used to size the in-DRAM metadata region.
+_PRT_ENTRY_BYTES = 3.5
+_PCT_ENTRY_BYTES = 10.5
+
+
+class PageSeerHmc(HmcBase):
+    """The complete PageSeer memory controller."""
+
+    scheme_name = "pageseer"
+
+    def __init__(self, config: SystemConfig, os_model: OsModel, stats: StatsRegistry):
+        super().__init__(config, os_model, stats)
+        ps = config.pageseer
+        self.ps = ps
+
+        self.prt = PageRemapTable(self.dram_pages, self.total_pages, ps.prt_ways)
+        self.prtc = PrtCache(ps.prtc_entries, ps.prtc_ways, ps.prtc_latency_cycles)
+        self.pct = PageCorrelationTable()
+        self.pctc = PctCache(ps.pctc_entries, ps.pctc_ways, ps.pctc_latency_cycles)
+        self.filter = FilterTable(
+            ps.filter_entries, ps.counter_max, ps.pct_prefetch_threshold
+        )
+        self.dram_hpt = HotPageTable(
+            ps.hpt_entries, ps.counter_max, ps.hpt_decay_interval_cycles
+        )
+        self.nvm_hpt = HotPageTable(
+            ps.hpt_entries,
+            ps.counter_max,
+            ps.hpt_decay_interval_cycles,
+            swap_threshold=ps.hpt_swap_threshold,
+        )
+        self.buffers = SwapBufferPool(ps.swap_buffers, stats)
+        #: Pages frozen while a DMA transfer runs (Section III-E).
+        self._frozen_pages: set = set()
+        self.swap_driver = SwapDriver(
+            ps,
+            self.memory,
+            self.prt,
+            self.dram_hpt,
+            self.buffers,
+            stats,
+            is_protected_frame=os_model.is_protected_frame,
+            on_swap_in=self._on_swap_in,
+            on_swap_out=self._on_swap_out,
+            is_frozen=self._frozen_pages.__contains__,
+            hot_lines=self._hot_lines_of,
+        )
+        self.mmu_driver = MmuDriver(
+            ps.mmu_driver_pte_lines, self._fetch_pte_line, stats
+        )
+
+        # Size and reserve the in-DRAM metadata region (PRT + PCT).
+        prt_bytes = int(self.dram_pages * _PRT_ENTRY_BYTES)
+        pct_bytes = int(self.total_pages * _PCT_ENTRY_BYTES)
+        metadata_pages = max(1, math.ceil((prt_bytes + pct_bytes) / PAGE_BYTES))
+        self.reserve_metadata(metadata_pages)
+        self._prt_metadata_keys = max(1, prt_bytes // 64)
+
+        #: Prefetch-swapped pages still resident in DRAM -> post-swap hits.
+        self._prefetch_live: Dict[int, int] = {}
+        #: Observed per-page line-usage bitmaps (the SILC-FM extension's
+        #: input); only maintained when partial swaps are enabled.
+        self._line_usage: Dict[int, int] = {}
+
+    # -- metadata key spaces --------------------------------------------------
+    def _prt_key(self, colour: int) -> int:
+        return colour
+
+    def _pct_key(self, page: int) -> int:
+        return self._prt_metadata_keys + page
+
+    # -- the regular request path (Section III-D1) ------------------------------
+    def handle_request(
+        self,
+        now: int,
+        line_spa: int,
+        is_write: bool,
+        pid: int,
+        kind: RequestKind = RequestKind.DEMAND,
+    ) -> int:
+        page = line_spa // LINES_PER_PAGE
+        colour = self.prt.colour_of(page)
+
+        # PRTc: on the critical path of every request.
+        t = now + self.ps.prtc_latency_cycles
+        if not self.prtc.lookup(colour):
+            fill_done = self.metadata_access(t, self._prt_key(colour))
+            self.record_remap_wait(fill_done - t)
+            t = fill_done
+            self.prtc.fill(colour)
+
+        line_offset = line_spa % LINES_PER_PAGE
+        if self.ps.partial_swaps_enabled:
+            self._line_usage[page] = self._line_usage.get(page, 0) | (
+                1 << line_offset
+            )
+
+        # Swap Driver look-up: in-flight pages are served from the buffers.
+        buffered = self.swap_driver.service_if_swapping(t, page)
+        if buffered is not None:
+            finish = buffered
+            serviced = "buffer"
+            resident_dram = True
+        elif self._line_in_partial_residue(page, line_offset):
+            # SILC-FM extension: this line was not moved by the partial
+            # swap — serve it from the page's home location and migrate it
+            # into the DRAM frame in the background.
+            finish = self._migrate_residue_line(t, page, line_offset, is_write)
+            serviced = "nvm"
+            resident_dram = True  # the page (frame) is DRAM-resident
+        else:
+            location = self.prt.location_of(page)
+            actual_line = location * LINES_PER_PAGE + line_offset
+            result = self.memory.access(
+                t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
+            )
+            finish = result.finish
+            resident_dram = location < self.dram_pages
+            serviced = "dram" if resident_dram else "nvm"
+
+        self.account_service(now, finish, page, serviced, kind)
+        if serviced != "nvm" and page in self._prefetch_live:
+            self._prefetch_live[page] += 1
+
+        # Off the critical path: HPTs, PCTc, Filter, swap triggers.
+        self._observe_miss(t, page, pid, resident_dram)
+        return finish
+
+    def _observe_miss(self, now: int, page: int, pid: int, resident_dram: bool) -> None:
+        self.dram_hpt.advance_time(now)
+        self.nvm_hpt.advance_time(now)
+        if resident_dram:
+            self.dram_hpt.record_miss(now, page)
+        elif self.nvm_hpt.record_miss(now, page):
+            started = self.swap_driver.request_swap(
+                now, page, TRIGGER_REGULAR, self.dram_service_share
+            )
+            if started:
+                self.nvm_hpt.remove(page)
+
+        history = self._pctc_entry_for(now, page)
+        triggers, evicted = self.filter.observe_miss(pid, page, history)
+        for entry in evicted:
+            self._writeback_filter_entry(now, entry)
+        for trigger in triggers:
+            if trigger.is_follower and not self.ps.correlation_enabled:
+                continue
+            self.swap_driver.request_swap(
+                now, trigger.page, TRIGGER_PCT, self.dram_service_share
+            )
+
+    # -- PCT plumbing --------------------------------------------------------------
+    def _pctc_entry_for(self, now: int, page: int) -> PctEntry:
+        entry = self.pctc.lookup(page)
+        if entry is not None:
+            return entry
+        # Fetch from the in-DRAM PCT (off the critical path, real bandwidth).
+        self.metadata_access(now, self._pct_key(page))
+        entry = self.pct.read(page)
+        if not self.ps.correlation_enabled:
+            entry = replace(entry, follower_ppn=None, follower_count=0)
+        victim = self.pctc.fill(page, entry)
+        if victim is not None:
+            victim_page, victim_entry, changed = victim
+            if changed:
+                self.pct.write(victim_page, victim_entry)
+                self.metadata_access(now, self._pct_key(victim_page), is_write=True)
+        return entry
+
+    def _writeback_filter_entry(self, now: int, entry) -> None:
+        merged = FilterTable.merged_history(entry, self.ps.counter_max)
+        if not self.ps.correlation_enabled:
+            merged = replace(merged, follower_ppn=None, follower_count=0)
+        threshold = self.ps.pct_prefetch_threshold
+        effective_change = (
+            (merged.count >= threshold) != (entry.base.count >= threshold)
+            or merged.follower_ppn != entry.base.follower_ppn
+            or (merged.follower_count >= threshold)
+            != (entry.base.follower_count >= threshold)
+        )
+        self.pctc.update(entry.page, merged, effective_change)
+
+    # -- MMU paths (Sections III-B, III-D2) -----------------------------------------
+    def mmu_hint(
+        self, now: int, pte_line_spa: int, pid: int, vpn: int, target_ppn: int
+    ) -> None:
+        if not self.ps.mmu_hints_enabled:
+            return
+        t = now + self.ps.mmu_hint_latency_cycles
+        self.stats.add("hmc/mmu_hints")
+        self.mmu_driver.on_hint(t, pte_line_spa)
+
+        # Prefetch the PRTc and PCTc entries for the page being translated,
+        # so demand requests do not stall on metadata fills (Section V-B).
+        colour = self.prt.colour_of(target_ppn)
+        if not self.prtc.contains(colour):
+            self.metadata_access(t, self._prt_key(colour))
+            self.prtc.fill(colour)
+            self.stats.add("hmc/prtc_prefetches")
+
+        history = self._pctc_entry_for(t, target_ppn)
+        threshold = self.ps.pct_prefetch_threshold
+        if history.count >= threshold:
+            self.swap_driver.request_swap(
+                t, target_ppn, TRIGGER_MMU, self.dram_service_share
+            )
+        if (
+            self.ps.correlation_enabled
+            and history.follower_ppn is not None
+            and history.follower_count >= threshold
+        ):
+            self.swap_driver.request_swap(
+                t, history.follower_ppn, TRIGGER_MMU, self.dram_service_share
+            )
+
+    def handle_pte_fetch(
+        self, now: int, line_spa: int, target_ppn: Optional[int], pid: int
+    ) -> int:
+        intercepted = self.mmu_driver.intercept(now, line_spa)
+        if intercepted is not None:
+            return intercepted
+        return self.handle_request(now, line_spa, False, pid, RequestKind.PTE)
+
+    def _fetch_pte_line(self, now: int, line_spa: int) -> int:
+        """The MMU Driver's own memory read for a PTE line."""
+        page = line_spa // LINES_PER_PAGE
+        location = self.prt.location_of(page)
+        actual_line = location * LINES_PER_PAGE + (line_spa % LINES_PER_PAGE)
+        result = self.memory.access(now, actual_line, False)
+        serviced = "dram" if location < self.dram_pages else "nvm"
+        self.account_service(now, result.finish, page, serviced, RequestKind.PTE)
+        self.stats.add("mmu_driver/fetches")
+        return result.finish
+
+    # -- prefetch-accuracy bookkeeping (Figure 9) --------------------------------------
+    def _on_swap_in(self, page: int, trigger: str, now: int) -> None:
+        if trigger in (TRIGGER_MMU, TRIGGER_PCT):
+            self._prefetch_live[page] = 0
+            self.stats.add("hmc/prefetch_swaps")
+
+    def _on_swap_out(self, page: int, now: int) -> None:
+        hits = self._prefetch_live.pop(page, None)
+        if hits is not None:
+            self._close_accuracy(hits)
+
+    def _close_accuracy(self, hits: int) -> None:
+        if hits >= self.ps.pct_prefetch_threshold:
+            self.stats.add("hmc/prefetch_swaps_accurate")
+        else:
+            self.stats.add("hmc/prefetch_swaps_inaccurate")
+
+    # -- the SILC-FM partial-swap extension (Section VI) --------------------------------
+    def _hot_lines_of(self, page: int) -> int:
+        """The observed line-usage bitmap for *page* (0 = unknown)."""
+        return self._line_usage.get(page, 0)
+
+    def _line_in_partial_residue(self, page: int, line_offset: int) -> bool:
+        residue = self.swap_driver.partial_residue.get(page)
+        return residue is not None and bool(residue & (1 << line_offset))
+
+    def _migrate_residue_line(
+        self, now: int, page: int, line_offset: int, is_write: bool
+    ) -> int:
+        """Serve a not-yet-moved line from home and pull it into the frame."""
+        home_line = page * LINES_PER_PAGE + line_offset
+        result = self.memory.access(now, home_line, is_write)
+        frame = self.prt.dram_frame_holding(page)
+        if frame is not None:
+            self.memory.access(result.finish, frame * LINES_PER_PAGE + line_offset,
+                               True, bulk=True)
+        residue = self.swap_driver.partial_residue.get(page, 0)
+        residue &= ~(1 << line_offset)
+        if residue:
+            self.swap_driver.partial_residue[page] = residue
+        else:
+            self.swap_driver.partial_residue.pop(page, None)
+        self.stats.add("hmc/residue_line_migrations")
+        return result.finish
+
+    # -- DMA interaction (Section III-E) ---------------------------------------------
+    def dma_begin(self, now: int, page_spa: int) -> int:
+        """Prepare *page_spa* for a DMA transfer; returns when it may start.
+
+        Any swap in progress for the page is allowed to complete first,
+        then the page is frozen: the Swap Driver will neither move it nor
+        pick its frame as a victim until :meth:`dma_end`.  DMA requests
+        themselves go through :meth:`handle_request`, which remaps them to
+        the page's current location.
+        """
+        ready = now
+        end = self.swap_driver.swap_end_for(now, page_spa)
+        if end is not None:
+            ready = max(ready, end)
+        self._frozen_pages.add(page_spa)
+        self.stats.add("hmc/dma_freezes")
+        return ready
+
+    def dma_end(self, page_spa: int) -> None:
+        """Unfreeze the page after the DMA completes.
+
+        Its HMC state is left untouched — as the paper notes, the history
+        simply evolves with the new page's miss pattern.
+        """
+        self._frozen_pages.discard(page_spa)
+
+    def is_frozen(self, page_spa: int) -> bool:
+        return page_spa in self._frozen_pages
+
+    def finalize(self, now: int) -> None:
+        for entry in self.filter.drain():
+            self._writeback_filter_entry(now, entry)
+        for hits in self._prefetch_live.values():
+            self._close_accuracy(hits)
+        self._prefetch_live.clear()

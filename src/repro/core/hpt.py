@@ -1,0 +1,107 @@
+"""The Hot Page Tables — Section III-C3.
+
+Two small fully-associative tables, one for pages currently resident in
+DRAM and one for pages currently resident in NVM.  Each entry is a PPN and
+a saturating miss counter.  Counters are halved at a fixed interval; an
+entry whose counter reaches zero is removed.
+
+* The DRAM HPT *locks* hot pages: a page present in it must not be chosen
+  as a swap victim.
+* The NVM HPT triggers a *regular swap* when a page's counter reaches the
+  swap threshold (6 in Table II — deliberately lower than the PCTc's 14,
+  as the HPT is the safety net for pages the PCTc missed).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+
+
+class HotPageTable:
+    """One HPT (instantiate twice: DRAM-side and NVM-side)."""
+
+    def __init__(
+        self,
+        entries: int,
+        counter_max: int,
+        decay_interval_cycles: int,
+        swap_threshold: Optional[int] = None,
+    ):
+        if entries < 1:
+            raise ConfigError("HPT needs at least one entry")
+        self.capacity = entries
+        self.counter_max = counter_max
+        self.decay_interval_cycles = decay_interval_cycles
+        self.swap_threshold = swap_threshold
+        self._counters: "OrderedDict[int, int]" = OrderedDict()
+        self._last_decay = 0
+        self.reads = 0
+        self.writes = 0
+
+    def advance_time(self, now: int) -> None:
+        """Apply any counter halvings that became due by *now*."""
+        if self.decay_interval_cycles <= 0:
+            return
+        while now - self._last_decay >= self.decay_interval_cycles:
+            self._last_decay += self.decay_interval_cycles
+            self._halve_all()
+
+    def _halve_all(self) -> None:
+        dead = []
+        for page in self._counters:
+            self._counters[page] //= 2
+            if self._counters[page] == 0:
+                dead.append(page)
+        for page in dead:
+            del self._counters[page]
+
+    def record_miss(self, now: int, page: int) -> bool:
+        """Count one LLC miss on *page*.
+
+        Returns True when the counter just reached the swap threshold
+        (only meaningful for the NVM-side table).
+        """
+        self.advance_time(now)
+        self.reads += 1
+        self.writes += 1
+        count = self._counters.get(page)
+        if count is None:
+            if len(self._counters) >= self.capacity:
+                self._evict_coldest()
+            self._counters[page] = 1
+            count = 1
+        else:
+            count = min(self.counter_max, count + 1)
+            self._counters[page] = count
+            self._counters.move_to_end(page)
+        return self.swap_threshold is not None and count == self.swap_threshold
+
+    def _evict_coldest(self) -> None:
+        coldest_page = None
+        coldest_count = None
+        for page, count in self._counters.items():
+            if coldest_count is None or count < coldest_count:
+                coldest_page, coldest_count = page, count
+        if coldest_page is not None:
+            del self._counters[coldest_page]
+
+    def is_hot(self, page: int) -> bool:
+        """True if the page is currently tracked (DRAM HPT lock check)."""
+        return page in self._counters
+
+    def count_of(self, page: int) -> int:
+        return self._counters.get(page, 0)
+
+    def remove(self, page: int) -> None:
+        """Drop a page (e.g. after its swap has been initiated)."""
+        self._counters.pop(page, None)
+
+    def pages(self) -> List[int]:
+        return list(self._counters)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._counters)

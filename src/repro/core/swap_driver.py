@@ -1,0 +1,319 @@
+"""The Swap Driver — Sections III-C1 (optimized slow swaps), III-D, V-B.
+
+The Swap Driver initiates all page swaps, executes them through the swap
+buffers in the memory modules, answers requests that target in-flight
+pages from those buffers, and applies the bandwidth heuristic: when DRAM
+has been serving almost all traffic, additional swaps are declined so the
+NVM channels' bandwidth is not wasted (Section V-B's 95% rule).
+
+PageSeer's remapping design forbids fast swaps (pages must return to their
+home locations), so when an incoming NVM page needs a DRAM frame that is
+already occupied by a *different* swapped-in NVM page, the driver performs
+the paper's *optimized slow swap* (Figure 5): 3 page reads and 3 page
+writes through the buffers, instead of the naive slow swap's 4+4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.config import PageSeerConfig
+from repro.common.stats import StatsRegistry
+from repro.core.hpt import HotPageTable
+from repro.core.prt import PageRemapTable
+from repro.mem.main_memory import MainMemory
+from repro.mem.swap_buffer import SwapBufferPool
+
+#: Swap trigger labels (Figure 10's categories).
+TRIGGER_MMU = "mmu"
+TRIGGER_PCT = "pct"
+TRIGGER_REGULAR = "regular"
+
+
+@dataclass(frozen=True)
+class SwapRecord:
+    """One completed swap, for the evaluation figures."""
+
+    page: int
+    dram_frame: int
+    trigger: str
+    start: int
+    end: int
+    reads: int
+    writes: int
+    optimized_slow: bool
+
+
+class SwapDriver:
+    """Executes and arbitrates page swaps for PageSeer."""
+
+    def __init__(
+        self,
+        config: PageSeerConfig,
+        memory: MainMemory,
+        prt: PageRemapTable,
+        dram_hpt: HotPageTable,
+        buffers: SwapBufferPool,
+        stats: StatsRegistry,
+        is_protected_frame: Callable[[int], bool],
+        on_swap_in: Optional[Callable[[int, str, int], None]] = None,
+        on_swap_out: Optional[Callable[[int, int], None]] = None,
+        is_frozen: Optional[Callable[[int], bool]] = None,
+        hot_lines: Optional[Callable[[int], int]] = None,
+    ):
+        self.config = config
+        self.memory = memory
+        self.prt = prt
+        self.dram_hpt = dram_hpt
+        self.buffers = buffers
+        self.stats = stats
+        self._is_protected_frame = is_protected_frame
+        self._on_swap_in = on_swap_in
+        self._on_swap_out = on_swap_out
+        self._is_frozen = is_frozen or (lambda page: False)
+        self._hot_lines = hot_lines
+        #: SILC-FM extension: per swapped-in page, bitmask of lines whose
+        #: data was NOT moved (it still lives at the page's home location
+        #: and migrates lazily on first touch).
+        self.partial_residue: Dict[int, int] = {}
+        #: SPA pages participating in an in-flight swap -> swap end time.
+        self._active: Dict[int, int] = {}
+        #: End times of in-flight swaps (each swap needs up to 3 buffers).
+        self._in_flight_ends: List[int] = []
+        self.max_in_flight = max(1, min(config.swap_engines, buffers.capacity // 3))
+        #: Frames' last swap time, for victim LRU among equals.
+        self._frame_last_swap: Dict[int, int] = {}
+        self.records: List[SwapRecord] = []
+
+    # -- servicing requests that hit a swap in progress ------------------------
+    def _purge(self, now: int) -> None:
+        finished = [page for page, end in self._active.items() if end <= now]
+        for page in finished:
+            del self._active[page]
+        if self._in_flight_ends:
+            self._in_flight_ends = [e for e in self._in_flight_ends if e > now]
+
+    def is_swapping(self, now: int, page_spa: int) -> bool:
+        self._purge(now)
+        return page_spa in self._active
+
+    def swap_end_for(self, now: int, page_spa: int) -> Optional[int]:
+        """When the in-flight swap involving *page_spa* completes, if any."""
+        self._purge(now)
+        return self._active.get(page_spa)
+
+    def service_if_swapping(self, now: int, page_spa: int) -> Optional[int]:
+        """Serve a request for an in-flight page from the swap buffers.
+
+        Returns the finish time, or None when the page is not part of any
+        in-flight swap or no buffer holds its data (the caller then issues
+        a normal access to the page's current location).
+        """
+        self._purge(now)
+        if page_spa not in self._active:
+            return None
+        finish = self.buffers.service(now, page_spa)
+        if finish is not None:
+            self.stats.add("swap_driver/buffer_services")
+            return finish
+        self.stats.add("swap_driver/buffer_misses")
+        return None
+
+    # -- initiating swaps -----------------------------------------------------------
+    def request_swap(
+        self, now: int, page_spa: int, trigger: str, dram_service_share: float
+    ) -> bool:
+        """Try to move NVM-resident page *page_spa* into DRAM.
+
+        Returns True when a swap was started.  Decline reasons are counted
+        individually, because Figure 11 studies the bandwidth heuristic.
+        """
+        self._purge(now)
+        self.stats.add(f"swap_driver/requests_{trigger}")
+
+        if self.prt.is_dram(page_spa):
+            # A home-DRAM page: either already fast, or displaced by an
+            # active pair — it returns home only when its displacer leaves.
+            self.stats.add("swap_driver/declined_dram_home")
+            return False
+        if self.prt.dram_frame_holding(page_spa) is not None:
+            self.stats.add("swap_driver/declined_already_swapped")
+            return False
+        if page_spa in self._active:
+            self.stats.add("swap_driver/declined_in_flight")
+            return False
+        if self._is_frozen(page_spa):
+            # DMA in progress for this page (Section III-E): no swaps.
+            self.stats.add("swap_driver/declined_frozen")
+            return False
+        if len(self._in_flight_ends) >= self.max_in_flight:
+            self.stats.add("swap_driver/declined_engines_busy")
+            return False
+        if (
+            self.config.bandwidth_heuristic_enabled
+            and dram_service_share > self.config.bandwidth_decline_dram_share
+        ):
+            self.stats.add("swap_driver/declined_bandwidth")
+            return False
+
+        frame = self._choose_victim_frame(now, page_spa)
+        if frame is None:
+            self.stats.add("swap_driver/declined_locked")
+            return False
+
+        self._execute(now, page_spa, frame, trigger)
+        return True
+
+    def _choose_victim_frame(self, now: int, page_spa: int) -> Optional[int]:
+        """Pick a DRAM frame of the page's colour, honouring HPT locks."""
+        colour = self.prt.colour_of(page_spa)
+        best_frame = None
+        best_key = None
+        for frame in self.prt.dram_frames_of_colour(colour):
+            if frame in self._active:
+                continue
+            occupant = self.prt.nvm_page_in_frame(frame)
+            occupant_spa = occupant if occupant is not None else frame
+            if self.dram_hpt.is_hot(occupant_spa):
+                continue
+            if self._is_frozen(occupant_spa) or self._is_frozen(frame):
+                continue
+            if occupant is None and self._is_protected_frame(frame):
+                continue
+            if occupant_spa in self._active:
+                continue
+            # Prefer frames still holding (cold) home data, then the frame
+            # whose last swap is oldest.
+            key = (0 if occupant is None else 1, self._frame_last_swap.get(frame, -1))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_frame = frame
+        return best_frame
+
+    # -- executing swaps ---------------------------------------------------------------
+    def _execute(self, now: int, page_spa: int, frame: int, trigger: str) -> None:
+        incoming_lines, residue_mask = self._incoming_line_budget(page_spa)
+        occupant = self.prt.nvm_page_in_frame(frame)
+        if occupant is None:
+            end, reads, writes = self._simple_swap(
+                now, page_spa, frame, incoming_lines
+            )
+            optimized = False
+            involved = [page_spa, frame]
+        else:
+            end, reads, writes = self._optimized_slow_swap(
+                now, page_spa, frame, occupant, incoming_lines
+            )
+            optimized = True
+            involved = [page_spa, frame, occupant]
+            self.prt.remove(occupant)
+            self.partial_residue.pop(occupant, None)
+            if self._on_swap_out is not None:
+                self._on_swap_out(occupant, now)
+        if residue_mask:
+            self.partial_residue[page_spa] = residue_mask
+            self.stats.add("swap_driver/partial_swaps")
+        self.prt.install(page_spa, frame)
+        self._frame_last_swap[frame] = now
+
+        self._in_flight_ends.append(end)
+        for page in involved:
+            self._active[page] = end
+            self.buffers.try_hold(page, now, end)
+
+        record = SwapRecord(
+            page=page_spa,
+            dram_frame=frame,
+            trigger=trigger,
+            start=now,
+            end=end,
+            reads=reads,
+            writes=writes,
+            optimized_slow=optimized,
+        )
+        self.records.append(record)
+        self.stats.add("swap_driver/swaps")
+        self.stats.add(f"swap_driver/swaps_{trigger}")
+        if optimized:
+            self.stats.add("swap_driver/optimized_slow_swaps")
+        self.stats.observe("swap_driver/swap_duration", end - now)
+        if self._on_swap_in is not None:
+            self._on_swap_in(page_spa, trigger, now)
+
+    def _incoming_line_budget(self, page_spa: int) -> tuple:
+        """How many of the incoming page's 64 lines to move, plus residue.
+
+        Without the partial-swap extension (or without a usable bitmap)
+        the whole page moves.  With it, only the observed-hot lines move;
+        the rest are marked as residue and migrate lazily.
+        """
+        from repro.common.addr import LINES_PER_PAGE
+
+        full_mask = (1 << LINES_PER_PAGE) - 1
+        if not self.config.partial_swaps_enabled or self._hot_lines is None:
+            return LINES_PER_PAGE, 0
+        mask = self._hot_lines(page_spa) & full_mask
+        hot = bin(mask).count("1")
+        if hot == 0 or hot >= self.config.partial_swap_full_threshold:
+            return LINES_PER_PAGE, 0
+        return hot, full_mask & ~mask
+
+    def _partial_read(self, now: int, ppn: int, lines: int) -> int:
+        from repro.common.addr import LINES_PER_PAGE
+
+        if lines >= LINES_PER_PAGE:
+            return self.memory.read_page(now, ppn)
+        return self.memory.transfer_segment(
+            now, ppn * LINES_PER_PAGE, lines, is_write=False
+        )
+
+    def _partial_write(self, now: int, ppn: int, lines: int) -> int:
+        from repro.common.addr import LINES_PER_PAGE
+
+        if lines >= LINES_PER_PAGE:
+            return self.memory.write_page(now, ppn)
+        return self.memory.transfer_segment(
+            now, ppn * LINES_PER_PAGE, lines, is_write=True
+        )
+
+    def _simple_swap(
+        self, now: int, nvm_page: int, frame: int, incoming_lines: int
+    ) -> tuple:
+        """Exchange an NVM page with a frame holding its home data: 2R+2W."""
+        read_dram = self.memory.read_page(now, frame)
+        read_nvm = self._partial_read(now, nvm_page, incoming_lines)
+        data_ready = max(read_dram, read_nvm)
+        write_nvm = self.memory.write_page(data_ready, nvm_page)
+        write_dram = self._partial_write(data_ready, frame, incoming_lines)
+        return max(write_nvm, write_dram), 2, 2
+
+    def _optimized_slow_swap(
+        self, now: int, nvm_page: int, frame: int, occupant: int,
+        incoming_lines: int,
+    ) -> tuple:
+        """Figure 5's 3-read/3-write swap through the buffers.
+
+        *occupant*'s data currently sits in *frame*; *frame*'s home data
+        sits at *occupant*'s home location.  Afterwards: occupant is back
+        home, *nvm_page*'s data is in *frame*, and *frame*'s home data is
+        at *nvm_page*'s home.
+        """
+        read_frame = self.memory.read_page(now, frame)          # occupant's data
+        read_occ_home = self.memory.read_page(now, occupant)    # frame's home data
+        read_new = self._partial_read(now, nvm_page, incoming_lines)
+        write_occ_home = self.memory.write_page(max(read_frame, read_occ_home), occupant)
+        write_frame = self._partial_write(max(read_frame, read_new), frame, incoming_lines)
+        write_new_home = self.memory.write_page(max(read_occ_home, read_new), nvm_page)
+        return max(write_occ_home, write_frame, write_new_home), 3, 3
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def total_swaps(self) -> int:
+        return len(self.records)
+
+    def swaps_by_trigger(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {TRIGGER_MMU: 0, TRIGGER_PCT: 0, TRIGGER_REGULAR: 0}
+        for record in self.records:
+            counts[record.trigger] = counts.get(record.trigger, 0) + 1
+        return counts

@@ -1,0 +1,27 @@
+"""The evaluation harness: one module per table/figure of the paper.
+
+:class:`repro.experiments.runner.ExperimentRunner` executes (scheme,
+workload, variant) simulations with an on-disk result cache, so the many
+figures that share the same underlying runs (7, 8, 10, 13, 14 all consume
+the PoM/MemPod/PageSeer matrix) pay for each simulation once.
+
+Each ``figN_*`` module exposes a ``compute(runner)`` returning a
+:class:`repro.experiments.figures.FigureResult` with the same rows/series
+the paper reports, plus the shape checks DESIGN.md Section 4 lists.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_MEASURE_OPS,
+    DEFAULT_SCALE,
+    DEFAULT_WARMUP_OPS,
+    ExperimentRunner,
+)
+from repro.experiments.figures import FigureResult
+
+__all__ = [
+    "DEFAULT_MEASURE_OPS",
+    "DEFAULT_SCALE",
+    "DEFAULT_WARMUP_OPS",
+    "ExperimentRunner",
+    "FigureResult",
+]

@@ -1,0 +1,85 @@
+"""Figure 14: IPC and AMMAT of PoM and PageSeer, normalised to MemPod.
+
+The headline result of the paper: across the 26 workloads, PageSeer's IPC
+is 28% higher than MemPod's and 19% higher than PoM's, while its AMMAT is
+37% and 29% lower respectively.  MemPod never beats PageSeer on IPC; PoM
+does only on milc and GemsFDTD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.figures import FigureResult, geometric_mean
+from repro.experiments.runner import ExperimentRunner
+
+SCHEMES = ["pom", "mempod", "pageseer"]
+
+
+def compute(runner: ExperimentRunner) -> FigureResult:
+    matrix = runner.run_matrix(SCHEMES)
+    result = FigureResult(
+        figure_id="Figure 14",
+        title="IPC and AMMAT normalised to MemPod",
+        columns=[
+            "workload",
+            "ipc_pom", "ipc_pageseer",
+            "ammat_pom", "ammat_pageseer",
+        ],
+    )
+    ipc_ratios: Dict[str, list] = {"pom": [], "pageseer": []}
+    ammat_ratios: Dict[str, list] = {"pom": [], "pageseer": []}
+    for name in runner.workload_names():
+        base = matrix["mempod"][name]
+        row = [name]
+        for metric, ratios in (("ipc", ipc_ratios), ("ammat", ammat_ratios)):
+            base_value = getattr(base, metric)
+            for scheme in ("pom", "pageseer"):
+                value = getattr(matrix[scheme][name], metric)
+                ratio = value / base_value if base_value else 0.0
+                ratios[scheme].append(ratio)
+        row.extend(
+            [
+                ipc_ratios["pom"][-1],
+                ipc_ratios["pageseer"][-1],
+                ammat_ratios["pom"][-1],
+                ammat_ratios["pageseer"][-1],
+            ]
+        )
+        result.rows.append(row)
+    result.rows.append(
+        [
+            "GEOMEAN",
+            geometric_mean(ipc_ratios["pom"]),
+            geometric_mean(ipc_ratios["pageseer"]),
+            geometric_mean(ammat_ratios["pom"]),
+            geometric_mean(ammat_ratios["pageseer"]),
+        ]
+    )
+    result.notes.append(
+        "paper: PageSeer IPC is 1.28x MemPod and 1.19x PoM on average; "
+        "PageSeer AMMAT is 0.63x MemPod and 0.71x PoM"
+    )
+    return result
+
+
+def headline_ratios(runner: ExperimentRunner) -> Dict[str, float]:
+    """The four headline numbers: PageSeer vs MemPod/PoM, IPC and AMMAT."""
+    matrix = runner.run_matrix(SCHEMES)
+    names = runner.workload_names()
+
+    def ratio_geomean(metric: str, numerator: str, denominator: str) -> float:
+        ratios = []
+        for name in names:
+            denominator_value = getattr(matrix[denominator][name], metric)
+            numerator_value = getattr(matrix[numerator][name], metric)
+            if denominator_value > 0 and numerator_value > 0:
+                ratios.append(numerator_value / denominator_value)
+        return geometric_mean(ratios)
+
+    return {
+        "ipc_vs_mempod": ratio_geomean("ipc", "pageseer", "mempod"),
+        "ipc_vs_pom": ratio_geomean("ipc", "pageseer", "pom"),
+        "ammat_vs_mempod": ratio_geomean("ammat", "pageseer", "mempod"),
+        "ammat_vs_pom": ratio_geomean("ammat", "pageseer", "pom"),
+    }

@@ -1,0 +1,59 @@
+"""Run every table and figure and render one text report.
+
+Used by ``examples/full_evaluation.py`` and by the EXPERIMENTS.md
+regeneration flow.  All heavy lifting is cached by the runner, so the
+marginal cost of rendering every figure after the first sweep is nil.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import (
+    ablation_hints,
+    ablation_nocorr,
+    ablation_partial,
+    fig7_access_breakdown,
+    fig8_swap_effectiveness,
+    fig9_prefetch_accuracy,
+    fig10_swap_mix,
+    fig11_swap_rate,
+    fig12_pte_miss,
+    fig13_prtc_wait,
+    fig14_performance,
+    tables,
+)
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import ExperimentRunner
+
+FIGURE_MODULES = [
+    fig7_access_breakdown,
+    fig8_swap_effectiveness,
+    fig9_prefetch_accuracy,
+    fig10_swap_mix,
+    fig11_swap_rate,
+    fig12_pte_miss,
+    fig13_prtc_wait,
+    fig14_performance,
+    ablation_nocorr,
+    ablation_hints,
+    ablation_partial,
+]
+
+
+def compute_all(runner: ExperimentRunner) -> List[FigureResult]:
+    """Compute every reproduced table and figure."""
+    results = [tables.table1(), tables.table2(), tables.table3(runner.scale)]
+    results.extend(module.compute(runner) for module in FIGURE_MODULES)
+    return results
+
+
+def generate_report(runner: ExperimentRunner) -> str:
+    """Render every table/figure into one plain-text report."""
+    sections = [result.render() for result in compute_all(runner)]
+    header = (
+        "PageSeer reproduction — full evaluation report\n"
+        f"(scale 1/{runner.scale}, {runner.measure_ops} measured ops/core, "
+        f"{runner.warmup_ops} warm-up ops/core, seed {runner.seed})\n"
+    )
+    return header + "\n\n".join(sections)

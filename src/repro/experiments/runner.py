@@ -1,0 +1,254 @@
+"""Experiment execution with an on-disk result cache.
+
+Figures 7, 8, 10, 13, and 14 all consume the same PoM / MemPod / PageSeer
+runs over the 26 workloads; Figure 11 adds a no-bandwidth-heuristic
+variant and Section V-C a no-correlation variant.  The runner executes
+each distinct (scheme, workload, variant, sizing) combination once and
+caches the resulting metrics as JSON keyed by every input that affects
+the outcome, including a cache version bumped on model changes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.config import SystemConfig
+from repro.sim.metrics import RunMetrics
+from repro.sim.system import build_system
+from repro.workloads import all_workloads, workload_by_name
+
+#: Bump when a simulator change invalidates cached results.
+CACHE_VERSION = 2
+
+DEFAULT_SCALE = 512
+#: The warm-up must cover the longest workload's first full sweep
+#: (fft: ~384 pages x 64 lines = ~25K ops/core) so the PCT has history
+#: when measurement starts — mirroring the paper's 1.5B-instruction warm-up.
+DEFAULT_MEASURE_OPS = 10_000
+DEFAULT_WARMUP_OPS = 26_000
+
+
+def _variant_default(config: SystemConfig) -> SystemConfig:
+    return config
+
+
+def _variant_nocorr(config: SystemConfig) -> SystemConfig:
+    """PageSeer-NoCorr (Section V-C): PCTc entries carry no follower info."""
+    return dataclasses.replace(
+        config,
+        pageseer=dataclasses.replace(config.pageseer, correlation_enabled=False),
+    )
+
+
+def _variant_nobw(config: SystemConfig) -> SystemConfig:
+    """PageSeer w/o BW-opt (Figure 11): Swap Driver heuristic disabled."""
+    return dataclasses.replace(
+        config,
+        pageseer=dataclasses.replace(
+            config.pageseer, bandwidth_heuristic_enabled=False
+        ),
+    )
+
+
+def _variant_nohints(config: SystemConfig) -> SystemConfig:
+    """PageSeer without the MMU signal (used by ablation benches)."""
+    return dataclasses.replace(
+        config,
+        pageseer=dataclasses.replace(config.pageseer, mmu_hints_enabled=False),
+    )
+
+
+VARIANTS: Dict[str, Callable[[SystemConfig], SystemConfig]] = {
+    "default": _variant_default,
+    "nocorr": _variant_nocorr,
+    "nobw": _variant_nobw,
+    "nohints": _variant_nohints,
+}
+
+#: RunMetrics fields persisted in the cache (``raw`` is dropped: it is
+#: large and only useful interactively).
+_METRIC_FIELDS = [
+    field.name for field in dataclasses.fields(RunMetrics) if field.name != "raw"
+]
+
+
+class ExperimentRunner:
+    """Runs (scheme, workload, variant) simulations with caching."""
+
+    def __init__(
+        self,
+        scale: int = DEFAULT_SCALE,
+        measure_ops: int = DEFAULT_MEASURE_OPS,
+        warmup_ops: int = DEFAULT_WARMUP_OPS,
+        seed: int = 0,
+        cache_dir: Optional[Path] = None,
+        verbose: bool = False,
+        workloads: Optional[List[str]] = None,
+    ):
+        self.scale = scale
+        self.measure_ops = measure_ops
+        self.warmup_ops = warmup_ops
+        self.seed = seed
+        self.verbose = verbose
+        self._workloads = list(workloads) if workloads is not None else None
+        if cache_dir is None:
+            env = os.environ.get("REPRO_CACHE_DIR")
+            cache_dir = Path(env) if env else Path(".repro_cache")
+        self.cache_dir = Path(cache_dir)
+        self._memory: Dict[str, RunMetrics] = {}
+
+    # -- cache plumbing ------------------------------------------------------
+    def _key(self, scheme: str, workload: str, variant: str) -> str:
+        return (
+            f"v{CACHE_VERSION}_{scheme}_{workload}_{variant}"
+            f"_s{self.scale}_m{self.measure_ops}_w{self.warmup_ops}"
+            f"_seed{self.seed}"
+        )
+
+    def _cache_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def _load(self, key: str) -> Optional[RunMetrics]:
+        if key in self._memory:
+            return self._memory[key]
+        path = self._cache_path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        metrics = RunMetrics(raw={}, **{k: payload[k] for k in _METRIC_FIELDS})
+        self._memory[key] = metrics
+        return metrics
+
+    def _store(self, key: str, metrics: RunMetrics) -> None:
+        self._memory[key] = metrics
+        payload = {name: getattr(metrics, name) for name in _METRIC_FIELDS}
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._cache_path(key).write_text(json.dumps(payload))
+
+    # -- execution --------------------------------------------------------------
+    def run(
+        self, scheme: str, workload_name: str, variant: str = "default"
+    ) -> RunMetrics:
+        """Run (or fetch from cache) one simulation and return its metrics."""
+        key = self._key(scheme, workload_name, variant)
+        cached = self._load(key)
+        if cached is not None:
+            return cached
+        if self.verbose:
+            print(f"[runner] simulating {scheme}/{workload_name}/{variant} ...")
+        system = build_system(
+            scheme,
+            workload_by_name(workload_name),
+            scale=self.scale,
+            seed=self.seed,
+            config_mutator=VARIANTS[variant],
+        )
+        metrics = system.run(self.measure_ops, self.warmup_ops)
+        self._store(key, metrics)
+        return metrics
+
+    def run_matrix(
+        self,
+        schemes: Iterable[str],
+        workload_names: Optional[Iterable[str]] = None,
+        variant: str = "default",
+    ) -> Dict[str, Dict[str, RunMetrics]]:
+        """Return ``{scheme: {workload: metrics}}`` over the workload list."""
+        if workload_names is None:
+            workload_names = self.workload_names()
+        names = list(workload_names)
+        return {
+            scheme: {name: self.run(scheme, name, variant) for name in names}
+            for scheme in schemes
+        }
+
+    def run_many(
+        self,
+        requests: Iterable[Tuple[str, str, str]],
+        jobs: Optional[int] = None,
+    ) -> Dict[Tuple[str, str, str], RunMetrics]:
+        """Run many (scheme, workload, variant) triples, in parallel.
+
+        Simulations are independent CPU-bound processes, so a process pool
+        cuts a cold sweep roughly by the core count.  Cached results are
+        returned without spawning work; results computed by workers are
+        stored in the cache by the parent.  ``jobs=None`` uses the CPU
+        count; ``jobs=1`` degrades to the serial path (useful under
+        debuggers).
+        """
+        requests = list(dict.fromkeys(requests))
+        results: Dict[Tuple[str, str, str], RunMetrics] = {}
+        pending = []
+        for request in requests:
+            cached = self._load(self._key(*request))
+            if cached is not None:
+                results[request] = cached
+            else:
+                pending.append(request)
+        if not pending:
+            return results
+        if jobs == 1:
+            for request in pending:
+                results[request] = self.run(*request)
+            return results
+
+        sizing = (self.scale, self.measure_ops, self.warmup_ops, self.seed)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_run_one_for_pool, request, sizing): request
+                for request in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                request = futures[future]
+                metrics = future.result()
+                self._store(self._key(*request), metrics)
+                results[request] = metrics
+                if self.verbose:
+                    print(f"[runner] finished {'/'.join(request)}")
+        return results
+
+    def prewarm(self, jobs: Optional[int] = None) -> None:
+        """Populate the cache for every run the standard figures need."""
+        requests: List[Tuple[str, str, str]] = []
+        for name in self.workload_names():
+            for scheme in ("pageseer", "pom", "mempod"):
+                requests.append((scheme, name, "default"))
+            requests.append(("pageseer", name, "nobw"))
+            requests.append(("pageseer", name, "nocorr"))
+            requests.append(("pageseer", name, "nohints"))
+        self.run_many(requests, jobs=jobs)
+
+    def workload_names(self) -> List[str]:
+        """The workloads this runner covers (all 26 unless restricted)."""
+        if self._workloads is not None:
+            return list(self._workloads)
+        return [spec.name for spec in all_workloads()]
+
+
+def _run_one_for_pool(
+    request: Tuple[str, str, str], sizing: Tuple[int, int, int, int]
+) -> RunMetrics:
+    """Process-pool worker: one simulation, no cache access."""
+    scheme, workload_name, variant = request
+    scale, measure_ops, warmup_ops, seed = sizing
+    # Import inside the worker so forked/spawned processes initialise
+    # their own module state (notably dynamically-registered variants).
+    from repro.experiments import ablation_partial, dram_capacity, sensitivity  # noqa: F401
+
+    system = build_system(
+        scheme,
+        workload_by_name(workload_name),
+        scale=scale,
+        seed=seed,
+        config_mutator=VARIANTS[variant],
+    )
+    metrics = system.run(measure_ops, warmup_ops)
+    return dataclasses.replace(metrics, raw={})

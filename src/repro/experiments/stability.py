@@ -1,0 +1,60 @@
+"""Seed stability: results must not hinge on one random stream.
+
+The workload generators are synthetic, so a reviewer's first question is
+whether the headline ratios are an artifact of one particular random
+stream.  This module re-runs the three schemes under several seeds and
+reports the spread of the PageSeer-vs-MemPod IPC ratio.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import ExperimentRunner
+
+SEEDS = [0, 1, 2]
+WORKLOADS = ["lbmx4", "milcx4"]
+SCHEMES = ["pageseer", "mempod"]
+
+
+def _runner_for_seed(runner: ExperimentRunner, seed: int) -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=runner.scale,
+        measure_ops=runner.measure_ops,
+        warmup_ops=runner.warmup_ops,
+        seed=seed,
+        cache_dir=runner.cache_dir,
+        workloads=WORKLOADS,
+    )
+
+
+def compute(runner: ExperimentRunner) -> FigureResult:
+    names = [n for n in WORKLOADS if n in runner.workload_names()]
+    result = FigureResult(
+        figure_id="Stability",
+        title="Seed stability of the PageSeer/MemPod IPC ratio",
+        columns=["workload", "seed", "ipc_pageseer", "ipc_mempod", "ratio"],
+    )
+    ratios_by_workload = {}
+    for name in names:
+        for seed in SEEDS:
+            seeded = _runner_for_seed(runner, seed)
+            pageseer = seeded.run("pageseer", name)
+            mempod = seeded.run("mempod", name)
+            ratio = pageseer.ipc / mempod.ipc if mempod.ipc else 0.0
+            ratios_by_workload.setdefault(name, []).append(ratio)
+            result.rows.append([name, seed, pageseer.ipc, mempod.ipc, ratio])
+    for name, ratios in ratios_by_workload.items():
+        mean = sum(ratios) / len(ratios)
+        spread = (max(ratios) - min(ratios)) / mean if mean else 0.0
+        result.rows.append([f"{name} SPREAD", "", "", "", spread])
+    result.notes.append(
+        "spread = (max-min)/mean of the ratio across seeds; the winner "
+        "must not change with the seed"
+    )
+    return result
+
+
+def ratio_spreads(result: FigureResult) -> List[float]:
+    return [row[4] for row in result.rows if str(row[0]).endswith("SPREAD")]

@@ -1,0 +1,144 @@
+"""Tables I, II, and III: configuration printers and consistency checks.
+
+These are not measurements; they regenerate the paper's configuration
+tables from the library's defaults so any drift between the code and the
+paper is visible, and they compute the structure sizes Table II reports.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig, default_system_config
+from repro.experiments.figures import FigureResult
+from repro.workloads import all_workloads
+from repro.workloads.base import footprint_pages_for
+from repro.workloads.suites import BENCHMARKS, INSTANCE_COUNTS
+
+#: Table II entry sizes in bytes.
+ENTRY_BYTES = {"prtc": 3.5, "pctc": 10.5, "hpt": 5.25, "filter": 17.25}
+
+
+def table1(config: SystemConfig = None) -> FigureResult:
+    """Table I: the simulated system configuration."""
+    config = config or default_system_config(scale=1)
+    result = FigureResult(
+        figure_id="Table I",
+        title="Configuration of the system evaluated",
+        columns=["parameter", "value"],
+    )
+    memory = config.memory
+    rows = [
+        ("cores", f"{config.cores} @ 2 GHz (2 cycles per memory cycle)"),
+        ("cache line", "64 B"),
+        ("l1", f"{config.l1.size_bytes // 1024}KB {config.l1.ways}-way, "
+               f"{config.l1.latency_cycles} cycles"),
+        ("l2", f"{config.l2.size_bytes // 1024}KB {config.l2.ways}-way, "
+               f"{config.l2.latency_cycles} cycles"),
+        ("l3", f"{config.l3.size_bytes // 1024}KB {config.l3.ways}-way, "
+               f"{config.l3.latency_cycles} cycles, shared"),
+        ("l1 tlb", f"{config.l1_tlb.entries} entries, {config.l1_tlb.ways}-way"),
+        ("l2 tlb", f"{config.l2_tlb.entries} entries, {config.l2_tlb.ways}-way"),
+        ("dram capacity", f"{memory.dram.capacity_bytes // (1024 * 1024)} MB"),
+        ("nvm capacity", f"{memory.nvm.capacity_bytes // (1024 * 1024)} MB"),
+        ("dram channels", memory.dram.channels),
+        ("nvm channels", memory.nvm.channels),
+        ("dram tCAS-tRCD-tRAS",
+         f"{memory.dram.t_cas}-{memory.dram.t_rcd}-{memory.dram.t_ras}"),
+        ("nvm tCAS-tRCD-tRAS",
+         f"{memory.nvm.t_cas}-{memory.nvm.t_rcd}-{memory.nvm.t_ras}"),
+        ("dram tRP,tWR", f"{memory.dram.t_rp},{memory.dram.t_wr}"),
+        ("nvm tRP,tWR", f"{memory.nvm.t_rp},{memory.nvm.t_wr}"),
+        ("dram ranks/channel; banks/rank",
+         f"{memory.dram.ranks_per_channel}; {memory.dram.banks_per_rank}"),
+        ("nvm ranks/channel; banks/rank",
+         f"{memory.nvm.ranks_per_channel}; {memory.nvm.banks_per_rank}"),
+    ]
+    result.rows = [[name, str(value)] for name, value in rows]
+    return result
+
+
+def table2(config: SystemConfig = None) -> FigureResult:
+    """Table II: PageSeer design parameters and structure sizes."""
+    config = config or default_system_config(scale=1)
+    ps = config.pageseer
+    result = FigureResult(
+        figure_id="Table II",
+        title="PageSeer parameters",
+        columns=["parameter", "value"],
+    )
+    dram_pages = config.memory.dram_pages
+    total_pages = config.memory.total_pages
+    rows = [
+        ("swap size", "4 KB (one page)"),
+        ("counters", f"{ps.counter_bits} bits (max {ps.counter_max})"),
+        ("mmu-to-hmc latency", f"{ps.mmu_hint_latency_cycles} cycles @2GHz"),
+        ("pctc prefetch swap threshold", ps.pct_prefetch_threshold),
+        ("hpt swap threshold", ps.hpt_swap_threshold),
+        ("hpt counter decrease interval",
+         f"{ps.hpt_decay_interval_cycles} CPU cycles (= 50K @1GHz)"),
+        ("prt associativity", f"{ps.prt_ways}-way"),
+        ("prtc", f"{ps.prtc_entries} entries, {ps.prtc_ways}-way "
+                 f"({ps.prtc_entries * ENTRY_BYTES['prtc'] / 1024:.1f} KB)"),
+        ("pctc", f"{ps.pctc_entries} entries, {ps.pctc_ways}-way "
+                 f"({ps.pctc_entries * ENTRY_BYTES['pctc'] / 1024:.1f} KB)"),
+        ("hpt (each)", f"{ps.hpt_entries} entries "
+                       f"({ps.hpt_entries * ENTRY_BYTES['hpt'] / 1024:.1f} KB)"),
+        ("filter", f"{ps.filter_entries} entries "
+                   f"({ps.filter_entries * ENTRY_BYTES['filter'] / 1024:.2f} KB)"),
+        ("mmu driver", f"{ps.mmu_driver_pte_lines} lines with PTEs, 64 B per line"),
+        ("prt in dram", f"{dram_pages * ENTRY_BYTES['prtc'] / 1024:.0f} KB"),
+        ("pct in dram (with follower)",
+         f"{total_pages * ENTRY_BYTES['pctc'] / 1024 / 1024:.1f} MB"),
+        ("swap buffers", ps.swap_buffers),
+        ("bandwidth heuristic",
+         f"decline swaps above {ps.bandwidth_decline_dram_share:.0%} DRAM share"),
+    ]
+    result.rows = [[name, str(value)] for name, value in rows]
+    result.notes.append(
+        "paper: PRTc/PCTc 32KB each; HPT 5.3KB; Filter 2.2KB; PRT in DRAM "
+        "426KB; PCT in DRAM 7MB with follower"
+    )
+    return result
+
+
+def table3(scale: int = 1) -> FigureResult:
+    """Table III: the 26 workloads and their footprints."""
+    result = FigureResult(
+        figure_id="Table III",
+        title="Workloads (single-instance footprints)",
+        columns=["workload", "suite", "cores", "MB(single)", "pages@scale"],
+    )
+    for spec in all_workloads():
+        if spec.is_mix:
+            footprint = "+".join(p.benchmark for p in spec.parts)
+            pages = spec.footprint_pages(scale)
+            result.rows.append([spec.name, spec.suite, spec.cores, footprint, pages])
+        else:
+            part = spec.parts[0]
+            result.rows.append(
+                [
+                    spec.name,
+                    spec.suite,
+                    spec.cores,
+                    part.footprint_mb,
+                    footprint_pages_for(part.footprint_mb, scale),
+                ]
+            )
+    result.notes.append("paper Table III lists 20 unique workloads + 6 mixes")
+    return result
+
+
+def paper_table3_consistency() -> bool:
+    """Check our suite matches Table III's names and instance counts."""
+    expected_unique = 20
+    expected_mixes = 6
+    unique = [w for w in all_workloads() if not w.is_mix]
+    mixes = [w for w in all_workloads() if w.is_mix]
+    if len(unique) != expected_unique or len(mixes) != expected_mixes:
+        return False
+    for spec in unique:
+        benchmark = spec.parts[0].benchmark
+        if spec.cores != INSTANCE_COUNTS[benchmark]:
+            return False
+        if benchmark not in BENCHMARKS:
+            return False
+    return True

@@ -1,0 +1,13 @@
+"""Memory-device substrate: DRAM/NVM timing, channels, banks, swap buffers.
+
+This package plays the role DRAMSim2 plays in the paper's infrastructure: it
+turns line-granularity read/write requests into latencies that reflect row
+buffer locality, bank occupancy, and channel bandwidth, for two differently
+parameterised technologies (Table I).
+"""
+
+from repro.mem.device import AccessResult, MemoryDevice
+from repro.mem.main_memory import MainMemory
+from repro.mem.swap_buffer import SwapBufferPool
+
+__all__ = ["AccessResult", "MemoryDevice", "MainMemory", "SwapBufferPool"]

@@ -1,0 +1,263 @@
+"""A single memory technology (DRAM or NVM) with banks, rows, and channels.
+
+The device accepts line-granularity accesses and returns when they start
+and finish, accounting for:
+
+* row-buffer state per bank (hit / closed-row miss / conflict),
+* bank busy time (a bank serves one access at a time; writes add t_WR),
+* channel data-bus occupancy (one 64 B burst per access),
+* queueing when banks or buses are oversubscribed,
+* two priority classes: *demand* requests (processor-visible) and *bulk*
+  transfers (page swaps, write-backs).  Real controllers schedule demand
+  first; we model that by letting a demand access preempt queued bulk work
+  after at most one in-flight line, while bulk yields to everything.
+
+Address mapping interleaves consecutive lines across channels (maximising
+channel parallelism for streams) and consecutive rows across banks, a
+standard open-page mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.addr import CACHE_LINE_BYTES
+from repro.common.config import CYCLES_PER_MEMORY_CYCLE, MemoryTimingConfig
+from repro.common.stats import StatsRegistry
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one device access, all times in CPU cycles."""
+
+    start: int
+    finish: int
+    row_hit: bool
+    queue_delay: int
+
+    @property
+    def latency(self) -> int:
+        return self.finish - self.start + self.queue_delay
+
+
+class _Resource:
+    """One bank or bus with two-priority occupancy tracking."""
+
+    __slots__ = ("demand_busy_until", "any_busy_until", "total_busy")
+
+    def __init__(self) -> None:
+        self.demand_busy_until = 0
+        self.any_busy_until = 0
+        self.total_busy = 0
+
+    def reserve(self, now: int, duration: int, bulk: bool, preempt_cap: int) -> int:
+        """Grant ``[start, start+duration)``; returns the start time.
+
+        Demand work waits for earlier demand work in full, but waits for
+        queued bulk work only up to *preempt_cap* cycles (the current line
+        finishes, then demand preempts).  Bulk work yields to everything.
+        """
+        if bulk:
+            start = max(now, self.any_busy_until)
+            self.any_busy_until = start + duration
+        else:
+            start = max(
+                now,
+                self.demand_busy_until,
+                min(self.any_busy_until, now + preempt_cap),
+            )
+            end = start + duration
+            self.demand_busy_until = end
+            if end > self.any_busy_until:
+                self.any_busy_until = end
+        self.total_busy += duration
+        return start
+
+    def next_free(self, now: int) -> int:
+        return max(now, self.any_busy_until)
+
+    def utilization(self, elapsed: int) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / elapsed)
+
+
+class MemoryDevice:
+    """One DRAM or NVM module behind its own set of channels."""
+
+    def __init__(
+        self,
+        config: MemoryTimingConfig,
+        stats: StatsRegistry,
+        model_contention: bool = True,
+        stats_prefix: Optional[str] = None,
+    ):
+        self.config = config
+        self.stats = stats
+        self.model_contention = model_contention
+        self._prefix = stats_prefix or config.name
+        total_banks = config.channels * config.total_banks_per_channel
+        self._banks: List[_Resource] = [_Resource() for _ in range(total_banks)]
+        self._buses: List[_Resource] = [_Resource() for _ in range(config.channels)]
+        self._open_rows: Dict[int, int] = {}
+        #: Banks whose open row has absorbed writes (t_WR owed at close, or
+        #: at the next read from the same bank — write-to-read turnaround).
+        self._row_written: Dict[int, bool] = {}
+        self._lines_per_row = config.row_bytes // CACHE_LINE_BYTES
+        # Per-device counters kept as plain attributes: this path runs for
+        # every line transferred, so registry lookups would dominate.
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.queue_delay_total = 0
+        self.service_time_total = 0
+        #: Demand preempts queued bulk after one in-flight line.
+        self.preempt_cap_cycles = (
+            config.t_rp + config.t_rcd + config.t_cas
+        ) * CYCLES_PER_MEMORY_CYCLE + config.line_transfer_cycles
+
+    # -- address mapping ---------------------------------------------------
+    def map_line(self, line_number: int) -> Tuple[int, int, int]:
+        """Map a line number to ``(channel, global_bank, row)``."""
+        channels = self.config.channels
+        channel = line_number % channels
+        within_channel = line_number // channels
+        row_sequence = within_channel // self._lines_per_row
+        banks = self.config.total_banks_per_channel
+        bank_in_channel = row_sequence % banks
+        row = row_sequence // banks
+        global_bank = channel * banks + bank_in_channel
+        return channel, global_bank, row
+
+    # -- the access path -----------------------------------------------------
+    def access(
+        self, now: int, line_number: int, is_write: bool, bulk: bool = False
+    ) -> AccessResult:
+        """Perform one 64 B access; returns start/finish in CPU cycles."""
+        channel, bank, row = self.map_line(line_number)
+        open_row = self._open_rows.get(bank)
+        row_hit = open_row == row
+        row_conflict = open_row is not None and not row_hit
+        self._open_rows[bank] = row
+
+        core_latency = self.config.read_latency_cycles(row_hit, row_conflict)
+        # Write recovery (t_WR) is owed after a burst of writes: either when
+        # the dirty row is closed, or when a read turns the bank around.
+        # Consecutive writes stream into the open row at burst rate, so
+        # write-heavy sequential traffic pays it once per turnaround — the
+        # NVM behaviour (t_WR = 180 memory cycles) the paper leans on.
+        if self._row_written.get(bank) and (row_conflict or not is_write):
+            core_latency += self.config.write_recovery_cycles()
+            self._row_written[bank] = False
+        if is_write:
+            self._row_written[bank] = True
+        burst = self.config.line_transfer_cycles
+
+        if not self.model_contention:
+            finish = now + core_latency + burst
+            self._record(is_write, row_hit, 0, core_latency + burst)
+            return AccessResult(now, finish, row_hit, 0)
+
+        occupancy = core_latency + burst
+        start = self._banks[bank].reserve(
+            now, occupancy, bulk, self.preempt_cap_cycles
+        )
+        data_ready = start + core_latency
+        bus_start = self._buses[channel].reserve(
+            data_ready, burst, bulk, self.preempt_cap_cycles
+        )
+        finish = bus_start + burst
+
+        queue_delay = start - now
+        self._record(is_write, row_hit, queue_delay, finish - start)
+        return AccessResult(start, finish, row_hit, queue_delay)
+
+    def transfer_page(
+        self, now: int, first_line: int, line_count: int, is_write: bool,
+        bulk: bool = False,
+    ) -> int:
+        """Stream *line_count* consecutive lines; returns the finish time.
+
+        Used by the swap machinery: a 4 KB page move is 64 line transfers
+        that genuinely occupy banks and buses.  Swap engines issue at
+        demand priority (the paper treats swap traffic as regular memory
+        requests and bounds it by declining swaps, not by starving them);
+        pass ``bulk=True`` for background work that must yield.
+
+        The transfer is scheduled row-group at a time: consecutive lines of
+        one row stream at burst rate behind a single activation, which is
+        both how devices behave and ~4x fewer reservations than per-line
+        scheduling.
+        """
+        finish = now
+        burst = self.config.line_transfer_cycles
+        cap = self.preempt_cap_cycles
+        channels = self.config.channels
+        last_line = first_line + line_count
+        for channel in range(channels):
+            # Lines of this run on one channel are `channels` apart.
+            offset = (channel - first_line) % channels
+            channel_lines = list(range(first_line + offset, last_line, channels))
+            if not channel_lines:
+                continue
+            index = 0
+            while index < len(channel_lines):
+                _, bank, row = self.map_line(channel_lines[index])
+                group = 1
+                while index + group < len(channel_lines):
+                    _, next_bank, next_row = self.map_line(channel_lines[index + group])
+                    if next_bank != bank or next_row != row:
+                        break
+                    group += 1
+                open_row = self._open_rows.get(bank)
+                row_hit = open_row == row
+                row_conflict = open_row is not None and not row_hit
+                self._open_rows[bank] = row
+                core_latency = self.config.read_latency_cycles(row_hit, row_conflict)
+                if self._row_written.get(bank) and (row_conflict or not is_write):
+                    core_latency += self.config.write_recovery_cycles()
+                    self._row_written[bank] = False
+                if is_write:
+                    self._row_written[bank] = True
+                occupancy = core_latency + group * burst
+                if not self.model_contention:
+                    end = now + occupancy
+                else:
+                    start = self._banks[bank].reserve(now, occupancy, bulk, cap)
+                    bus_start = self._buses[channel].reserve(
+                        start + core_latency, group * burst, bulk, cap
+                    )
+                    end = bus_start + group * burst
+                if end > finish:
+                    finish = end
+                if is_write:
+                    self.writes += group
+                else:
+                    self.reads += group
+                if row_hit:
+                    self.row_hits += group
+                self.service_time_total += occupancy
+                index += group
+        return finish
+
+    # -- introspection -------------------------------------------------------
+    def channel_utilization(self, elapsed: int) -> float:
+        """Mean data-bus utilization across channels over *elapsed* cycles."""
+        if not self._buses or elapsed <= 0:
+            return 0.0
+        return sum(b.utilization(elapsed) for b in self._buses) / len(self._buses)
+
+    def earliest_bus_free(self, now: int) -> int:
+        """Earliest time any channel data bus is free."""
+        return min(b.next_free(now) for b in self._buses)
+
+    def _record(self, is_write: bool, row_hit: bool, queue: int, service: int) -> None:
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if row_hit:
+            self.row_hits += 1
+        self.queue_delay_total += queue
+        self.service_time_total += service

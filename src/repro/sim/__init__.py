@@ -1,0 +1,23 @@
+"""System assembly: cores, MMUs, caches, and a pluggable memory controller.
+
+:class:`repro.sim.system.System` wires one complete machine for a chosen
+hybrid-memory scheme ("pageseer", "pom", "mempod", "noswap") and runs
+workloads on it; :mod:`repro.sim.metrics` distils the statistics the
+paper's figures are built from.
+"""
+
+from repro.sim.hmc_base import HmcBase, NoSwapHmc, RequestKind
+from repro.sim.cpu import Core, MemoryOp
+from repro.sim.system import System, build_system
+from repro.sim.metrics import RunMetrics
+
+__all__ = [
+    "HmcBase",
+    "NoSwapHmc",
+    "RequestKind",
+    "Core",
+    "MemoryOp",
+    "System",
+    "build_system",
+    "RunMetrics",
+]

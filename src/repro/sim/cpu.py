@@ -1,0 +1,131 @@
+"""The analytic core model (see DESIGN.md Section 2, core substitution).
+
+A core consumes a stream of :class:`MemoryOp` items produced by a workload
+generator.  Non-memory work advances the clock by ``base_cpi`` cycles per
+instruction; address translation and cache/memory latencies add stall
+cycles, divided by an MLP factor that stands in for the out-of-order
+window's ability to overlap misses.  IPC differences between schemes are
+then driven by main-memory access time — exactly the coupling the paper's
+Figure 14 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.common.addr import line_of, page_of, page_offset
+from repro.common.config import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.cache.hierarchy import CacheHierarchy
+from repro.sim.hmc_base import HmcBase, RequestKind
+from repro.vm.mmu import Mmu
+from repro.vm.os_model import Process
+
+
+@dataclass(frozen=True)
+class MemoryOp:
+    """One memory reference emitted by a workload generator."""
+
+    vaddr: int
+    is_write: bool
+    #: Non-memory instructions executed since the previous reference.
+    instructions_before: int = 4
+
+
+#: Store misses stall the core less than load misses (store buffers drain
+#: in the background); this factor scales their contribution.
+_STORE_STALL_FRACTION = 0.25
+
+
+class Core:
+    """One simulated core bound to a process and an op stream."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SystemConfig,
+        mmu: Mmu,
+        hierarchy: CacheHierarchy,
+        hmc: HmcBase,
+        process: Process,
+        ops: Iterator[MemoryOp],
+        stats: StatsRegistry,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.mmu = mmu
+        self.hierarchy = hierarchy
+        self.hmc = hmc
+        self.process = process
+        self.ops = ops
+        self.stats = stats
+        self.clock = 0.0
+        self.instructions = 0
+        self.ops_executed = 0
+        self.done = False
+
+    @property
+    def now(self) -> int:
+        return int(self.clock)
+
+    def step(self) -> bool:
+        """Execute one memory operation; returns False when the stream ends."""
+        op = next(self.ops, None)
+        if op is None:
+            self.done = True
+            return False
+
+        work = op.instructions_before + 1
+        self.instructions += work
+        self.clock += work * self.config.core.base_cpi
+        now = self.now
+
+        # Address translation (first touch allocates the frame, as the OS
+        # would on a minor fault).
+        vpn = page_of(op.vaddr)
+        self.process.page_table.ensure_mapped(vpn)
+        translation = self.mmu.translate(now, self.process.page_table, op.vaddr)
+        if translation.source == "walk":
+            # A TLB miss blocks the access; hit latencies are folded into
+            # the base CPI.
+            self.clock += translation.latency
+            now = self.now
+
+        paddr = (translation.ppn << 12) | page_offset(op.vaddr)
+        outcome = self.hierarchy.access(self.core_id, line_of(paddr), op.is_write)
+
+        stall = 0.0
+        mlp = self.config.core.memory_level_parallelism
+        if outcome.hit_level in ("l2", "l3"):
+            stall = outcome.latency_cycles / mlp
+        elif outcome.llc_miss:
+            finish = self.hmc.handle_request(
+                now + outcome.latency_cycles,
+                line_of(paddr),
+                op.is_write,
+                self.process.pid,
+                RequestKind.DEMAND,
+            )
+            memory_latency = finish - now
+            if op.is_write:
+                stall = memory_latency * _STORE_STALL_FRACTION / mlp
+            else:
+                stall = memory_latency / mlp
+        self.clock += stall
+
+        # Dirty victims displaced by the fill drain to memory in the
+        # background (they consume bandwidth but do not stall the core).
+        for dirty_line in outcome.writebacks:
+            self.hmc.handle_request(
+                self.now, dirty_line, True, self.process.pid, RequestKind.WRITEBACK
+            )
+
+        self.ops_executed += 1
+        return True
+
+    @property
+    def ipc(self) -> float:
+        if self.clock <= 0:
+            return 0.0
+        return self.instructions / self.clock

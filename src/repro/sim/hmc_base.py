@@ -1,0 +1,184 @@
+"""The memory-controller interface every hybrid-memory scheme implements.
+
+The base class owns the things all schemes share: the two memory devices,
+a reserved DRAM region for in-memory controller metadata, and the
+accounting that the paper's figures are built from —
+
+* where each request was serviced (DRAM / NVM / swap buffer), Figure 7;
+* positive / negative / neutral classification against the page's *home*
+  location, Figure 8 (an access is positive when a swap let it hit DRAM
+  although its home is NVM, negative when a swap pushed it to NVM although
+  its home is DRAM);
+* AMMAT — the time from arrival at the controller until the data returns
+  (Figure 14, bottom);
+* remap-table waiting time (Figure 13).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.common.addr import LINES_PER_PAGE
+from repro.common.config import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.mem.main_memory import MainMemory
+from repro.vm.os_model import OsModel
+
+
+class RequestKind(enum.Enum):
+    """Why a request reached the memory controller."""
+
+    DEMAND = "demand"
+    WRITEBACK = "writeback"
+    PTE = "pte"
+
+
+class HmcBase:
+    """Common machinery for all memory-controller schemes."""
+
+    scheme_name = "base"
+
+    def __init__(self, config: SystemConfig, os_model: OsModel, stats: StatsRegistry):
+        self.config = config
+        self.os_model = os_model
+        self.stats = stats
+        self.memory = MainMemory(config.memory, stats, config.model_contention)
+        self.dram_pages = config.memory.dram_pages
+        self.total_pages = config.memory.total_pages
+        self._dram_serviced = 0
+        self._total_serviced = 0
+        self._metadata_lines: list = []
+
+    # -- metadata region ------------------------------------------------------
+    def reserve_metadata(self, pages: int) -> None:
+        """Claim DRAM pages for in-memory tables (PRT/PCT live in DRAM)."""
+        ppn_list = self.os_model.reserve_dram_pages(pages)
+        self._metadata_lines = [
+            ppn * LINES_PER_PAGE + offset
+            for ppn in ppn_list
+            for offset in range(LINES_PER_PAGE)
+        ]
+
+    def metadata_access(self, now: int, key: int, is_write: bool = False) -> int:
+        """Access the DRAM-resident metadata line for *key*; returns finish."""
+        if not self._metadata_lines:
+            raise RuntimeError("reserve_metadata was never called")
+        line = self._metadata_lines[key % len(self._metadata_lines)]
+        result = self.memory.access(now, line, is_write)
+        self.stats.add("hmc/metadata_accesses")
+        return result.finish
+
+    # -- the request interface (schemes override handle_request) ---------------
+    def handle_request(
+        self,
+        now: int,
+        line_spa: int,
+        is_write: bool,
+        pid: int,
+        kind: RequestKind = RequestKind.DEMAND,
+    ) -> int:
+        """Service one LLC-miss line request; returns the finish time."""
+        raise NotImplementedError
+
+    def handle_pte_fetch(
+        self, now: int, line_spa: int, target_ppn: Optional[int], pid: int
+    ) -> int:
+        """Service an LLC miss for a line holding a PTE entry.
+
+        Baselines treat it as a normal read; PageSeer intercepts it in the
+        MMU Driver (Section III-C4).
+        """
+        return self.handle_request(now, line_spa, False, pid, RequestKind.PTE)
+
+    def mmu_hint(
+        self, now: int, pte_line_spa: int, pid: int, vpn: int, target_ppn: int
+    ) -> None:
+        """Receive the MMU's fourth-level signal; baselines ignore it."""
+
+    def finalize(self, now: int) -> None:
+        """Called once when the measured run ends (close open bookkeeping)."""
+
+    # -- shared accounting -------------------------------------------------------
+    def home_is_dram(self, page_spa: int) -> bool:
+        """True if the OS placed this page in DRAM (its home location)."""
+        return page_spa < self.dram_pages
+
+    def account_service(
+        self,
+        now: int,
+        finish: int,
+        page_spa: int,
+        serviced_from: str,
+        kind: RequestKind,
+    ) -> None:
+        """Record one serviced request for Figures 7, 8, and 14."""
+        self._total_serviced += 1
+        if serviced_from == "dram":
+            self._dram_serviced += 1
+        self.stats.add(f"hmc/serviced_{serviced_from}")
+        self.stats.add(f"hmc/requests_{kind.value}")
+        if kind is not RequestKind.WRITEBACK:
+            # AMMAT covers processor-visible requests; background
+            # write-backs drain asynchronously and would distort it.
+            self.stats.observe("hmc/ammat", finish - now)
+
+        home_dram = self.home_is_dram(page_spa)
+        if not home_dram and serviced_from in ("dram", "buffer"):
+            self.stats.add("hmc/positive_accesses")
+        elif home_dram and serviced_from == "nvm":
+            self.stats.add("hmc/negative_accesses")
+        else:
+            self.stats.add("hmc/neutral_accesses")
+
+    def record_remap_wait(self, cycles: int) -> None:
+        """Record time a request waited for a remap-table fill (Figure 13)."""
+        if cycles > 0:
+            self.stats.add("hmc/remap_wait_cycles", cycles)
+            self.stats.add("hmc/remap_misses")
+
+    #: Requests that must have been observed before the bandwidth
+    #: heuristic may act; with fewer samples the DRAM share is noise.
+    bandwidth_heuristic_min_samples = 1000
+
+    @property
+    def dram_service_share(self) -> float:
+        """Fraction of requests serviced by DRAM so far (Swap Driver heuristic).
+
+        Reported as 0 until enough requests were seen for the share to be
+        meaningful, so the Swap Driver's 95% rule cannot trip on startup
+        noise.
+        """
+        if self._total_serviced < self.bandwidth_heuristic_min_samples:
+            return 0.0
+        return self._dram_serviced / self._total_serviced
+
+
+class NoSwapHmc(HmcBase):
+    """The reference controller: pages stay at their home location forever.
+
+    Used both as the Figure 8 reference semantics and as a sanity baseline.
+    """
+
+    scheme_name = "noswap"
+
+    def handle_request(
+        self,
+        now: int,
+        line_spa: int,
+        is_write: bool,
+        pid: int,
+        kind: RequestKind = RequestKind.DEMAND,
+    ) -> int:
+        page_spa = line_spa // LINES_PER_PAGE
+        result = self.memory.access(
+            now, line_spa, is_write, bulk=kind is RequestKind.WRITEBACK
+        )
+        serviced = "dram" if self.home_is_dram(page_spa) else "nvm"
+        self.account_service(now, result.finish, page_spa, serviced, kind)
+        return result.finish
+
+    def handle_pte_fetch(
+        self, now: int, line_spa: int, target_ppn: Optional[int], pid: int
+    ) -> int:
+        return self.handle_request(now, line_spa, False, pid, RequestKind.PTE)

@@ -1,0 +1,173 @@
+"""Full-system assembly and the simulation loop.
+
+:func:`build_system` wires a complete machine — OS, caches, TLBs/walkers,
+one memory-controller scheme, and one core per workload part — and
+:meth:`System.run` drives it: cores execute in global time order (always
+the core with the smallest local clock steps next), a warm-up window
+populates caches/TLBs/history tables, then statistics are reset and the
+measured window produces a :class:`repro.sim.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.baselines.cameo import CameoHmc
+from repro.baselines.mempod import MemPodHmc
+from repro.baselines.pom import PomHmc
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.stats import StatsRegistry
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.hmc import PageSeerHmc
+from repro.sim.cpu import Core
+from repro.sim.hmc_base import HmcBase, NoSwapHmc, RequestKind
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.vm.mmu import Mmu
+from repro.vm.os_model import OsModel
+from repro.vm.walker import PageWalkCache, PageWalker
+from repro.workloads.base import WorkloadSpec
+
+SCHEMES: Dict[str, Type[HmcBase]] = {
+    "pageseer": PageSeerHmc,
+    "pom": PomHmc,
+    "mempod": MemPodHmc,
+    "cameo": CameoHmc,
+    "noswap": NoSwapHmc,
+}
+
+
+class System:
+    """One simulated machine bound to one workload."""
+
+    def __init__(self, config: SystemConfig, scheme: str, workload: WorkloadSpec, scale: int):
+        if scheme not in SCHEMES:
+            raise ConfigError(f"unknown scheme {scheme!r}; pick from {sorted(SCHEMES)}")
+        self.config = config
+        self.scheme = scheme
+        self.workload = workload
+        self.scale = scale
+        self.stats = StatsRegistry()
+        self.os_model = OsModel(config.memory)
+        self.hmc: HmcBase = SCHEMES[scheme](config, self.os_model, self.stats)
+        self.hierarchy = CacheHierarchy(config, self.stats)
+        self.cores: List[Core] = []
+        self._build_cores()
+
+    def _build_cores(self) -> None:
+        use_hints = self.scheme == "pageseer"
+        for core_id in range(self.config.cores):
+            process = self.os_model.create_process(pid=core_id + 1)
+            pwc = PageWalkCache(self.config.pwc_entries_per_level)
+            walker = PageWalker(
+                core_id,
+                self.hierarchy,
+                pwc,
+                self.config.pwc_latency_cycles,
+                self.stats,
+                memory_fetch=self._walker_memory_fetch,
+                mmu_hint=self.hmc.mmu_hint if use_hints else None,
+            )
+            mmu = Mmu(core_id, self.config, walker, self.stats)
+            stream = self.workload.make_stream(core_id, self.config.seed, self.scale)
+            self.cores.append(
+                Core(
+                    core_id,
+                    self.config,
+                    mmu,
+                    self.hierarchy,
+                    self.hmc,
+                    process,
+                    stream,
+                    self.stats,
+                )
+            )
+
+    def _walker_memory_fetch(
+        self,
+        now: int,
+        line_spa: int,
+        is_write: bool,
+        is_pte: bool,
+        target_ppn: Optional[int],
+        pid: int,
+    ) -> int:
+        if is_pte:
+            return self.hmc.handle_pte_fetch(now, line_spa, target_ppn, pid)
+        kind = RequestKind.WRITEBACK if is_write else RequestKind.PTE
+        return self.hmc.handle_request(now, line_spa, is_write, pid, kind)
+
+    # -- driving --------------------------------------------------------------
+    def run_ops(self, ops_per_core: int) -> None:
+        """Advance every core by *ops_per_core* operations in time order."""
+        targets = [core.ops_executed + ops_per_core for core in self.cores]
+        live = [
+            core
+            for core, target in zip(self.cores, targets)
+            if not core.done and core.ops_executed < target
+        ]
+        while live:
+            core = min(live, key=lambda c: c.clock)
+            core.step()
+            if core.done or core.ops_executed >= targets[core.core_id]:
+                live.remove(core)
+
+    def run(self, measure_ops: int, warmup_ops: int = 0) -> RunMetrics:
+        """Warm up, reset statistics, run the measured window, and report."""
+        if warmup_ops > 0:
+            self.run_ops(warmup_ops)
+        self.stats.reset()
+        baseline_instr = [core.instructions for core in self.cores]
+        baseline_clock = [core.clock for core in self.cores]
+
+        self.run_ops(measure_ops)
+        end_time = max(core.now for core in self.cores)
+        self.hmc.finalize(end_time)
+
+        instructions = [
+            core.instructions - base for core, base in zip(self.cores, baseline_instr)
+        ]
+        cycles = [
+            core.clock - base for core, base in zip(self.cores, baseline_clock)
+        ]
+        return collect_metrics(
+            self, instructions_per_core=instructions, cycles_per_core=cycles
+        )
+
+
+def build_system(
+    scheme: str,
+    workload: WorkloadSpec,
+    scale: int = 256,
+    seed: int = 0,
+    model_contention: bool = True,
+    config_mutator: Optional[Callable[[SystemConfig], SystemConfig]] = None,
+) -> System:
+    """Build a ready-to-run system for one scheme and one workload.
+
+    ``config_mutator`` lets callers adjust the scaled config (ablations:
+    disable correlation, disable the bandwidth heuristic, ...).
+    """
+    from repro.common.config import default_system_config
+
+    config = default_system_config(
+        scale=scale,
+        cores=workload.cores,
+        seed=seed,
+        model_contention=model_contention,
+    )
+    if config_mutator is not None:
+        config = config_mutator(config)
+
+    # Fail early with a clear message if the workload cannot fit: data
+    # pages plus page tables plus controller metadata must fit the scaled
+    # physical memory, or first-touch allocation dies mid-run.
+    data_pages = workload.footprint_pages(scale)
+    overhead_estimate = workload.cores * 8 + 64  # page tables + metadata
+    if data_pages + overhead_estimate > config.memory.total_pages:
+        raise ConfigError(
+            f"workload {workload.name} needs ~{data_pages} data pages but the "
+            f"scale-1/{scale} memory has only {config.memory.total_pages}; "
+            f"use a smaller scale"
+        )
+    return System(config, scheme, workload, scale)

@@ -1,0 +1,73 @@
+"""The per-core MMU: L1/L2 TLBs in front of the page walker (Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.addr import page_of
+from repro.common.config import SystemConfig
+from repro.common.stats import StatsRegistry
+from repro.vm.page_table import PageTable
+from repro.vm.tlb import Tlb
+from repro.vm.walker import PageWalker
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of translating one virtual address."""
+
+    ppn: int
+    latency: int
+    #: "l1", "l2", or "walk".
+    source: str
+    #: Set when a walk happened and its PTE fetch reached main memory.
+    pte_reached_memory: bool = False
+
+
+class Mmu:
+    """One core's address-translation machinery."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SystemConfig,
+        walker: PageWalker,
+        stats: StatsRegistry,
+    ):
+        self.core_id = core_id
+        self.config = config
+        self.walker = walker
+        self.stats = stats
+        self.l1_tlb = Tlb(config.l1_tlb)
+        self.l2_tlb = Tlb(config.l2_tlb)
+
+    def translate(self, now: int, page_table: PageTable, vaddr: int) -> TranslationResult:
+        """Translate *vaddr* for the walker's process; VPN must be mapped."""
+        pid = page_table.pid
+        vpn = page_of(vaddr)
+
+        latency = self.config.l1_tlb.latency_cycles
+        ppn = self.l1_tlb.lookup(pid, vpn)
+        if ppn is not None:
+            self.stats.add("tlb/l1_hits")
+            return TranslationResult(ppn, latency, "l1")
+
+        latency += self.config.l2_tlb.latency_cycles
+        ppn = self.l2_tlb.lookup(pid, vpn)
+        if ppn is not None:
+            self.stats.add("tlb/l2_hits")
+            self.l1_tlb.fill(pid, vpn, ppn)
+            return TranslationResult(ppn, latency, "l2")
+
+        self.stats.add("tlb/misses")
+        walk = self.walker.walk(now + latency, page_table, vpn)
+        latency += walk.latency
+        self.l2_tlb.fill(pid, vpn, walk.ppn)
+        self.l1_tlb.fill(pid, vpn, walk.ppn)
+        return TranslationResult(walk.ppn, latency, "walk", walk.pte_reached_memory)
+
+    def invalidate(self, pid: int, vpn: int) -> None:
+        """Shoot down one translation from both TLB levels."""
+        self.l1_tlb.invalidate(pid, vpn)
+        self.l2_tlb.invalidate(pid, vpn)

@@ -1,0 +1,57 @@
+"""Set-associative TLBs (Table I: 64-entry L1, 1024-entry L2)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.common.config import TlbConfig
+
+
+class Tlb:
+    """One TLB level, keyed by ``(pid, vpn)`` with true LRU per set."""
+
+    def __init__(self, config: TlbConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self._sets: List["OrderedDict[Tuple[int, int], int]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _set_index(self, vpn: int) -> int:
+        return vpn % self.num_sets
+
+    def lookup(self, pid: int, vpn: int) -> Optional[int]:
+        """Return the cached PPN for (pid, vpn), updating LRU; None on miss."""
+        entries = self._sets[self._set_index(vpn)]
+        key = (pid, vpn)
+        ppn = entries.get(key)
+        if ppn is not None:
+            entries.move_to_end(key)
+        return ppn
+
+    def fill(self, pid: int, vpn: int, ppn: int) -> Optional[Tuple[int, int]]:
+        """Install a translation; returns the evicted (pid, vpn), if any."""
+        entries = self._sets[self._set_index(vpn)]
+        key = (pid, vpn)
+        victim: Optional[Tuple[int, int]] = None
+        if key not in entries and len(entries) >= self.ways:
+            victim, _ = entries.popitem(last=False)
+        entries[key] = ppn
+        entries.move_to_end(key)
+        return victim
+
+    def invalidate(self, pid: int, vpn: int) -> bool:
+        """Drop one translation (TLB shootdown granule)."""
+        entries = self._sets[self._set_index(vpn)]
+        return entries.pop((pid, vpn), None) is not None
+
+    def flush(self) -> None:
+        """Drop every translation."""
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)

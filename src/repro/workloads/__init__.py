@@ -1,0 +1,26 @@
+"""Workload synthesis (the Table III benchmarks, synthesised).
+
+SPEC CPU2006, Splash-3, and CORAL binaries cannot run inside a pure-Python
+simulator, so each benchmark is replaced by a generator reproducing its
+*memory-access archetype* — streaming sweeps, pointer chasing, hot/cold
+working sets, phase-changing flurries — with the Table III footprint
+(scaled with the system).  See DESIGN.md Section 2 for the substitution
+argument and :mod:`repro.workloads.suites` for the per-benchmark mapping.
+"""
+
+from repro.workloads.base import WorkloadSpec, footprint_pages_for
+from repro.workloads.suites import (
+    MIX_WORKLOADS,
+    UNIQUE_WORKLOADS,
+    all_workloads,
+    workload_by_name,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "footprint_pages_for",
+    "MIX_WORKLOADS",
+    "UNIQUE_WORKLOADS",
+    "all_workloads",
+    "workload_by_name",
+]

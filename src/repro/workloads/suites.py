@@ -1,0 +1,104 @@
+"""The 26 workloads of Table III.
+
+Each benchmark is mapped to the synthetic archetype that reproduces its
+page-grain memory behaviour (see the generator docstrings for the
+reasoning), with Table III's single-instance footprint and instance count.
+Suite labels follow the paper's grouping: 8 SPEC CPU2006, 6 Splash-3, 6
+CORAL, and 6 mixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.base import BenchmarkPart, WorkloadSpec, mix_workload, unique_workload
+
+#: benchmark -> (suite, single-instance footprint MB, generator, params).
+BENCHMARKS: Dict[str, Tuple[str, float, str, Dict]] = {
+    # SPEC CPU2006 (memory-intensive subset of Table III).
+    "lbm": ("spec", 422, "stream_sweep", {"arrays": 3, "write_fraction": 0.4}),
+    "milc": ("spec", 380, "hot_cold", {"hot_fraction": 0.12, "flurry_lines": 20}),
+    "bwaves": ("spec", 385, "stream_sweep", {"arrays": 4, "write_fraction": 0.25}),
+    "GemsFDTD": ("spec", 502, "phased_sweep", {"write_fraction": 0.35}),
+    "mcf": ("spec", 290, "pointer_chase", {"lines_per_visit": 2}),
+    "libquantum": ("spec", 267, "stream_sweep", {"arrays": 1, "write_fraction": 0.15}),
+    "omnetpp": ("spec", 164, "pointer_chase", {"lines_per_visit": 3}),
+    "leslie3d": ("spec", 62, "stencil_sweep", {"arrays": 3}),
+    # Splash-3.
+    "fft": ("splash3", 768, "phased_sweep", {"write_fraction": 0.4}),
+    "luCon": ("splash3", 520, "blocked_sweep", {"block_pages": 32}),
+    "luNCon": ("splash3", 520, "random_mix", {"streamed_fraction": 0.5}),
+    "oceanCon": ("splash3", 887, "stencil_sweep", {"arrays": 6}),
+    "barnes": ("splash3", 250, "pointer_chase", {"lines_per_visit": 2}),
+    "radix": ("splash3", 648, "phased_sweep", {"write_fraction": 0.5}),
+    # CORAL.
+    "stream": ("coral", 457, "stream_sweep", {"arrays": 3, "write_fraction": 0.33}),
+    "miniFE": ("coral", 480, "stencil_sweep", {"arrays": 4}),
+    "LULESH": ("coral", 914, "stencil_sweep", {"arrays": 8}),
+    "AMGmk": ("coral", 350, "random_mix", {"streamed_fraction": 0.6}),
+    "SNAP": ("coral", 441, "stream_sweep", {"arrays": 5, "write_fraction": 0.3}),
+    "MILCmk": ("coral", 480, "hot_cold", {"hot_fraction": 0.15, "flurry_lines": 24}),
+}
+
+#: Table III instance counts for the unique-benchmark workloads.
+INSTANCE_COUNTS: Dict[str, int] = {
+    "lbm": 4, "milc": 4, "bwaves": 4, "GemsFDTD": 4, "mcf": 8,
+    "libquantum": 6, "omnetpp": 8, "leslie3d": 12,
+    "fft": 4, "luCon": 4, "luNCon": 4, "oceanCon": 4, "barnes": 8, "radix": 4,
+    "stream": 4, "miniFE": 4, "LULESH": 4, "AMGmk": 4, "SNAP": 4, "MILCmk": 4,
+}
+
+#: The six mixed workloads (Table III, bottom).
+MIX_DEFINITIONS: Dict[str, List[str]] = {
+    "mix1": ["lbm", "LULESH", "SNAP", "leslie3d"],
+    "mix2": ["AMGmk", "luCon", "radix", "barnes"],
+    "mix3": ["miniFE", "oceanCon", "barnes", "AMGmk"],
+    "mix4": ["LULESH", "milc", "miniFE", "stream"],
+    "mix5": ["luCon", "radix", "oceanCon", "barnes"],
+    "mix6": ["libquantum", "lbm", "mcf", "bwaves"],
+}
+
+
+def _part(benchmark: str) -> BenchmarkPart:
+    suite, footprint_mb, generator, params = BENCHMARKS[benchmark]
+    return BenchmarkPart(benchmark, generator, footprint_mb, params)
+
+
+def _build_unique() -> List[WorkloadSpec]:
+    specs = []
+    for benchmark, (suite, footprint_mb, generator, params) in BENCHMARKS.items():
+        specs.append(
+            unique_workload(
+                benchmark,
+                suite,
+                INSTANCE_COUNTS[benchmark],
+                footprint_mb,
+                generator,
+                params,
+            )
+        )
+    return specs
+
+
+def _build_mixes() -> List[WorkloadSpec]:
+    return [
+        mix_workload(name, [_part(benchmark) for benchmark in members])
+        for name, members in MIX_DEFINITIONS.items()
+    ]
+
+
+UNIQUE_WORKLOADS: List[WorkloadSpec] = _build_unique()
+MIX_WORKLOADS: List[WorkloadSpec] = _build_mixes()
+
+
+def all_workloads() -> List[WorkloadSpec]:
+    """The paper's 26 workloads: 20 unique-benchmark + 6 mixes."""
+    return UNIQUE_WORKLOADS + MIX_WORKLOADS
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look a workload up by its Table III name (e.g. ``"lbmx4"``)."""
+    for spec in all_workloads():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown workload: {name!r}")

@@ -1,0 +1,254 @@
+"""Synthetic memory-access generators (the workload archetypes).
+
+Every generator is an infinite iterator of :class:`repro.sim.cpu.MemoryOp`
+over a private virtual address range; the runner bounds the number of
+operations.  The archetypes are chosen so that the page-grain behaviours
+the paper's mechanisms key off — per-page LLC-miss flurries, stable or
+shifting leader/follower page orders, page re-visitation, TLB pressure —
+appear with controllable intensity.  All randomness flows from the passed
+:class:`repro.common.rng.DeterministicRng`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
+from repro.common.rng import DeterministicRng
+from repro.sim.cpu import MemoryOp
+
+#: Base of the synthetic heap in each process's virtual space.
+HEAP_BASE = 0x1000_0000_0000
+
+
+def _page_va(page_index: int) -> int:
+    return HEAP_BASE + page_index * PAGE_BYTES
+
+
+def _flurry(
+    page_index: int,
+    line_stride: int,
+    write_fraction: float,
+    instructions: int,
+    rng: DeterministicRng,
+    lines: Optional[Sequence[int]] = None,
+) -> Iterator[MemoryOp]:
+    """Emit a burst of references inside one page."""
+    base = _page_va(page_index)
+    indices = lines if lines is not None else range(0, LINES_PER_PAGE, line_stride)
+    for line_index in indices:
+        is_write = rng.random() < write_fraction
+        yield MemoryOp(
+            vaddr=base + line_index * CACHE_LINE_BYTES,
+            is_write=is_write,
+            instructions_before=instructions,
+        )
+
+
+def stream_sweep(
+    rng: DeterministicRng,
+    footprint_pages: int,
+    arrays: int = 3,
+    line_stride: int = 1,
+    write_fraction: float = 0.3,
+    instructions: int = 40,
+) -> Iterator[MemoryOp]:
+    """Sequential sweeps over several arrays in lockstep.
+
+    Models lbm / STREAM / bwaves / libquantum-style kernels: page flurries
+    arrive in a stable order (page ``i`` of array A, then of array B, ...),
+    giving the PCT a perfectly learnable leader->follower structure and the
+    TLB a steady stream of new pages.
+    """
+    arrays = max(1, min(arrays, footprint_pages))
+    pages_per_array = footprint_pages // arrays
+    bases = [a * pages_per_array for a in range(arrays)]
+    while True:
+        for position in range(pages_per_array):
+            for base in bases:
+                yield from _flurry(
+                    base + position, line_stride, write_fraction, instructions, rng
+                )
+
+
+def pointer_chase(
+    rng: DeterministicRng,
+    footprint_pages: int,
+    lines_per_visit: int = 2,
+    write_fraction: float = 0.1,
+    instructions: int = 55,
+) -> Iterator[MemoryOp]:
+    """A fixed random tour over pages, few lines per visit.
+
+    Models mcf / omnetpp / barnes-style linked-structure traversal: low
+    spatial locality within a page and modest per-page miss counts, which
+    starves prefetch-swap triggers (these benchmarks sit in Figure 10's
+    "few prefetch swaps" group).
+    """
+    order = rng.permutation(footprint_pages)
+    while True:
+        for page_index in order:
+            lines = rng.sample(range(LINES_PER_PAGE), min(lines_per_visit, LINES_PER_PAGE))
+            yield from _flurry(
+                page_index, 1, write_fraction, instructions, rng, lines=lines
+            )
+
+
+def hot_cold(
+    rng: DeterministicRng,
+    footprint_pages: int,
+    hot_fraction: float = 0.12,
+    hot_probability: float = 0.8,
+    flurry_lines: int = 20,
+    write_fraction: float = 0.25,
+    instructions: int = 40,
+) -> Iterator[MemoryOp]:
+    """A small hot set absorbing most flurries, a large cold tail.
+
+    Models milc / MILCmk-style behaviour: hot pages are revisited with
+    dense flurries (prefetch-swap material), cold pages are touched
+    sparsely.
+    """
+    hot_pages = max(1, int(footprint_pages * hot_fraction))
+    cold_lines = max(2, flurry_lines // 5)
+    while True:
+        if rng.random() < hot_probability:
+            page_index = rng.zipf_index(hot_pages, skew=0.8)
+            lines = range(0, min(flurry_lines, LINES_PER_PAGE))
+        else:
+            page_index = hot_pages + rng.randint(0, max(0, footprint_pages - hot_pages - 1))
+            lines = range(0, cold_lines)
+        yield from _flurry(
+            page_index, 1, write_fraction, instructions, rng, lines=lines
+        )
+
+
+def phased_sweep(
+    rng: DeterministicRng,
+    footprint_pages: int,
+    line_stride: int = 1,
+    write_fraction: float = 0.35,
+    instructions: int = 40,
+    pages_per_phase: int = 0,
+) -> Iterator[MemoryOp]:
+    """Sweeps whose page order is reshuffled every phase.
+
+    Models GemsFDTD / fft / radix: pages still see dense flurries, but the
+    follower of a page changes between phases, which degrades correlation
+    prefetching accuracy (the effect behind GemsFDTD's 28.3% in Figure 9).
+    """
+    if pages_per_phase <= 0:
+        pages_per_phase = footprint_pages
+    while True:
+        order = rng.permutation(footprint_pages)
+        emitted = 0
+        for page_index in order:
+            yield from _flurry(page_index, line_stride, write_fraction, instructions, rng)
+            emitted += 1
+            if emitted >= pages_per_phase:
+                break
+
+
+def stencil_sweep(
+    rng: DeterministicRng,
+    footprint_pages: int,
+    arrays: int = 4,
+    row_pages: int = 8,
+    line_stride: int = 1,
+    write_fraction: float = 0.3,
+    instructions: int = 45,
+    neighbour_probability: float = 0.2,
+) -> Iterator[MemoryOp]:
+    """Structured-grid sweeps with occasional neighbour-row touches.
+
+    Models LULESH / oceanCon / miniFE / leslie3d: the main sweep produces
+    stable, dense flurries (these kernels are bandwidth-bound streams at
+    page granularity), and a minority of positions also touch a page
+    ``row_pages`` away — the grid's other spatial dimension.
+    """
+    arrays = max(1, min(arrays, footprint_pages))
+    pages_per_array = footprint_pages // arrays
+    bases = [a * pages_per_array for a in range(arrays)]
+    while True:
+        for position in range(pages_per_array):
+            for base in bases:
+                page_index = base + position
+                yield from _flurry(
+                    page_index, line_stride, write_fraction, instructions, rng
+                )
+                if rng.random() < neighbour_probability:
+                    direction = row_pages if rng.random() < 0.5 else -row_pages
+                    neighbour = position + direction
+                    if 0 <= neighbour < pages_per_array:
+                        lines = [rng.randint(0, LINES_PER_PAGE - 1)]
+                        yield from _flurry(
+                            base + neighbour, 1, write_fraction, instructions, rng,
+                            lines=lines,
+                        )
+
+
+def random_mix(
+    rng: DeterministicRng,
+    footprint_pages: int,
+    streamed_fraction: float = 0.5,
+    line_stride: int = 1,
+    write_fraction: float = 0.3,
+    instructions: int = 45,
+) -> Iterator[MemoryOp]:
+    """Interleaved streaming and scattered single-line references.
+
+    Models AMGmk / luNCon / SNAP-style sparse kernels: a structured sweep
+    carries the bulk of traffic while random gathers hit arbitrary pages.
+    """
+    sweep = stream_sweep(
+        rng.derive("sweep"), footprint_pages, arrays=2,
+        line_stride=line_stride, write_fraction=write_fraction,
+        instructions=instructions,
+    )
+    scatter_rng = rng.derive("scatter")
+    while True:
+        if scatter_rng.random() < streamed_fraction:
+            yield next(sweep)
+        else:
+            page_index = scatter_rng.randint(0, footprint_pages - 1)
+            lines = [scatter_rng.randint(0, LINES_PER_PAGE - 1)]
+            yield from _flurry(
+                page_index, 1, write_fraction, instructions, scatter_rng, lines=lines
+            )
+
+
+def blocked_sweep(
+    rng: DeterministicRng,
+    footprint_pages: int,
+    block_pages: int = 32,
+    passes_per_block: int = 2,
+    line_stride: int = 1,
+    write_fraction: float = 0.4,
+    instructions: int = 35,
+) -> Iterator[MemoryOp]:
+    """Blocked computation revisiting each block several times.
+
+    Models luCon / fft-style blocked kernels: a block's pages get repeated
+    dense flurries (strong swap candidates), then the computation moves on.
+    """
+    block_pages = max(1, min(block_pages, footprint_pages))
+    while True:
+        for block_start in range(0, footprint_pages, block_pages):
+            block_end = min(block_start + block_pages, footprint_pages)
+            for _ in range(passes_per_block):
+                for page_index in range(block_start, block_end):
+                    yield from _flurry(
+                        page_index, line_stride, write_fraction, instructions, rng
+                    )
+
+
+#: Registry used by the suite definitions.
+GENERATORS = {
+    "stream_sweep": stream_sweep,
+    "pointer_chase": pointer_chase,
+    "hot_cold": hot_cold,
+    "phased_sweep": phased_sweep,
+    "stencil_sweep": stencil_sweep,
+    "random_mix": random_mix,
+    "blocked_sweep": blocked_sweep,
+}

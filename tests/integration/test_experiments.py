@@ -1,0 +1,166 @@
+"""Integration tests for the experiment runner and figure harness."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments import (
+    ablation_hints,
+    ablation_nocorr,
+    ablation_partial,
+    fig7_access_breakdown,
+    fig8_swap_effectiveness,
+    fig9_prefetch_accuracy,
+    fig10_swap_mix,
+    fig11_swap_rate,
+    fig12_pte_miss,
+    fig13_prtc_wait,
+    fig14_performance,
+    tables,
+)
+from repro.experiments.figures import FigureResult, geometric_mean
+from repro.experiments.report import compute_all, generate_report
+
+WORKLOADS = ["lbmx4", "milcx4"]
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(
+        scale=1024,
+        measure_ops=1500,
+        warmup_ops=2500,
+        cache_dir=tmp_path_factory.mktemp("cache"),
+        workloads=WORKLOADS,
+    )
+
+
+class TestRunnerCaching:
+    def test_results_cached_on_disk(self, runner):
+        runner.run("noswap", "lbmx4")
+        files = list(runner.cache_dir.glob("*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["scheme"] == "noswap"
+
+    def test_cache_hit_returns_equal_metrics(self, runner):
+        first = runner.run("noswap", "lbmx4")
+        second = runner.run("noswap", "lbmx4")
+        assert first.ipc == second.ipc
+        assert first.ammat == second.ammat
+
+    def test_cache_survives_new_runner(self, runner):
+        runner.run("noswap", "milcx4")
+        fresh = ExperimentRunner(
+            scale=runner.scale,
+            measure_ops=runner.measure_ops,
+            warmup_ops=runner.warmup_ops,
+            cache_dir=runner.cache_dir,
+            workloads=WORKLOADS,
+        )
+        cached = fresh.run("noswap", "milcx4")
+        assert cached.scheme == "noswap"
+
+    def test_variants_cached_separately(self, runner):
+        default = runner.run("pageseer", "milcx4")
+        nobw = runner.run("pageseer", "milcx4", variant="nobw")
+        keys = {p.name for p in runner.cache_dir.glob("*pageseer_milcx4*")}
+        assert len(keys) == 2
+
+    def test_unknown_scheme_rejected(self, runner):
+        with pytest.raises(Exception):
+            runner.run("bogus", "lbmx4")
+
+    def test_matrix_shape(self, runner):
+        matrix = runner.run_matrix(["noswap"])
+        assert set(matrix["noswap"]) == set(WORKLOADS)
+
+
+class TestFigureComputations:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            fig7_access_breakdown,
+            fig8_swap_effectiveness,
+            fig9_prefetch_accuracy,
+            fig10_swap_mix,
+            fig11_swap_rate,
+            fig12_pte_miss,
+            fig13_prtc_wait,
+            fig14_performance,
+            ablation_nocorr,
+            ablation_hints,
+            ablation_partial,
+        ],
+    )
+    def test_compute_returns_wellformed_figure(self, runner, module):
+        result = module.compute(runner)
+        assert isinstance(result, FigureResult)
+        assert result.rows
+        for row in result.rows:
+            assert len(row) == len(result.columns)
+        rendered = result.render()
+        assert result.figure_id in rendered
+
+    def test_fig7_percentages_sum(self, runner):
+        result = fig7_access_breakdown.compute(runner)
+        for row in result.rows:
+            if row[0] in ("SPEC CPU2006", "AVERAGE"):
+                assert row[2] + row[3] + row[4] == pytest.approx(100.0, abs=0.1)
+
+    def test_fig14_normalisation(self, runner):
+        result = fig14_performance.compute(runner)
+        row = result.row_map()["lbmx4"]
+        matrix = runner.run_matrix(["pom", "mempod", "pageseer"])
+        expected = matrix["pom"]["lbmx4"].ipc / matrix["mempod"]["lbmx4"].ipc
+        assert row[1] == pytest.approx(expected)
+
+    def test_fig13_reduction_definition(self, runner):
+        result = fig13_prtc_wait.compute(runner)
+        row = result.row_map()["lbmx4"]
+        ps_wait, pom_wait, reduction = row[1], row[2], row[3]
+        if pom_wait > 0:
+            assert reduction == pytest.approx(100 * (1 - ps_wait / pom_wait))
+
+
+class TestTables:
+    def test_table1_reports_paper_values(self):
+        result = tables.table1()
+        rendered = result.render()
+        assert "11-58-80" in rendered  # NVM tCAS-tRCD-tRAS
+        assert "512 MB" in rendered
+
+    def test_table2_reports_thresholds(self):
+        rendered = tables.table2().render()
+        assert "14" in rendered
+        assert "4-way" in rendered
+
+    def test_table3_lists_26_workloads(self):
+        result = tables.table3(scale=512)
+        assert len(result.rows) == 26
+
+    def test_table3_consistency_check(self):
+        assert tables.paper_table3_consistency()
+
+
+class TestReport:
+    def test_report_contains_all_sections(self, runner):
+        report = generate_report(runner)
+        for section in ("Table I", "Table II", "Table III", "Figure 7",
+                        "Figure 14", "Section V-C"):
+            assert section in report
+
+    def test_compute_all_counts(self, runner):
+        assert len(compute_all(runner)) == 14
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_geomean_ignores_nonpositive(self):
+        assert geometric_mean([0, 4]) == pytest.approx(4.0)
+
+    def test_geomean_empty(self):
+        assert geometric_mean([]) == 0.0

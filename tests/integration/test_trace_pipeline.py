@@ -1,0 +1,53 @@
+"""Integration: trace round trips reproduce generator-driven runs exactly."""
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.sim.system import System, build_system
+from repro.workloads import workload_by_name
+from repro.workloads.trace import record_trace, trace_workload
+
+OPS = 600
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("scheme", ["noswap", "pageseer"])
+    def test_replay_matches_generator_run(self, scheme, tmp_path):
+        """A run over recorded traces is bit-identical to the source run.
+
+        This is the strongest end-to-end determinism statement the
+        simulator makes: the op stream fully determines the outcome.
+        """
+        source_spec = workload_by_name("milcx4")
+
+        paths = []
+        for core in range(source_spec.cores):
+            path = tmp_path / f"core{core}.trace"
+            # Record enough ops to cover warm-up plus measurement.
+            record_trace(source_spec, core, 2 * OPS + 100, path, scale=1024)
+            paths.append(path)
+        traced_spec = trace_workload("replay", paths)
+
+        source = build_system(scheme, source_spec, scale=1024)
+        source_metrics = source.run(OPS, OPS)
+
+        config = default_system_config(scale=1024, cores=traced_spec.cores)
+        replay = System(config, scheme, traced_spec, 1024)
+        replay_metrics = replay.run(OPS, OPS)
+
+        assert replay_metrics.ipc == source_metrics.ipc
+        assert replay_metrics.ammat == source_metrics.ammat
+        assert replay_metrics.swaps_total == source_metrics.swaps_total
+        assert replay_metrics.serviced_dram == source_metrics.serviced_dram
+        assert replay_metrics.tlb_misses == source_metrics.tlb_misses
+
+    def test_trace_cores_can_differ_from_source(self, tmp_path):
+        """Any subset of recorded cores forms a valid (smaller) workload."""
+        source_spec = workload_by_name("milcx4")
+        path = tmp_path / "solo.trace"
+        record_trace(source_spec, 0, 800, path, scale=1024)
+        solo = trace_workload("solo", [path])
+        config = default_system_config(scale=1024, cores=1)
+        system = System(config, "pageseer", solo, 1024)
+        metrics = system.run(300, 300)
+        assert metrics.instructions > 0

@@ -1,0 +1,67 @@
+"""Property-based tests for the Hot Page Tables."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hpt import HotPageTable
+
+events = st.lists(
+    st.tuples(st.integers(0, 50_000), st.integers(0, 40)),  # (time delta, page)
+    max_size=200,
+)
+
+
+def run_hpt(hpt, event_list):
+    now = 0
+    for delta, page in event_list:
+        now += delta
+        hpt.record_miss(now, page)
+    return now
+
+
+class TestHptInvariants:
+    @given(event_list=events)
+    @settings(max_examples=150, deadline=None)
+    def test_counters_bounded(self, event_list):
+        hpt = HotPageTable(8, 63, 10_000, swap_threshold=None)
+        run_hpt(hpt, event_list)
+        for page in hpt.pages():
+            assert 1 <= hpt.count_of(page) <= 63
+
+    @given(event_list=events)
+    @settings(max_examples=150, deadline=None)
+    def test_capacity_bounded(self, event_list):
+        hpt = HotPageTable(8, 63, 10_000, swap_threshold=None)
+        run_hpt(hpt, event_list)
+        assert hpt.occupancy <= 8
+
+    @given(event_list=events)
+    @settings(max_examples=100, deadline=None)
+    def test_long_idle_empties_table(self, event_list):
+        hpt = HotPageTable(8, 63, 10_000, swap_threshold=None)
+        now = run_hpt(hpt, event_list)
+        # 63 halvings zero every 6-bit counter.
+        hpt.advance_time(now + 10_000 * 64)
+        assert hpt.occupancy == 0
+
+    @given(event_list=events)
+    @settings(max_examples=100, deadline=None)
+    def test_threshold_fires_at_most_once_per_burst(self, event_list):
+        """With no decay in between, the threshold edge fires exactly once."""
+        hpt = HotPageTable(64, 63, 10**9, swap_threshold=6)
+        fires = {}
+        now = 0
+        for _, page in event_list:
+            now += 1
+            if hpt.record_miss(now, page):
+                fires[page] = fires.get(page, 0) + 1
+        for page, count in fires.items():
+            assert count == 1
+
+    @given(event_list=events)
+    @settings(max_examples=100, deadline=None)
+    def test_is_hot_iff_tracked(self, event_list):
+        hpt = HotPageTable(8, 63, 10_000, swap_threshold=None)
+        run_hpt(hpt, event_list)
+        tracked = set(hpt.pages())
+        for page in range(41):
+            assert hpt.is_hot(page) == (page in tracked)

@@ -1,0 +1,67 @@
+"""Property-based tests for the MEA / Space-Saving sketch (MemPod)."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.mempod import MajorityElementTracker
+
+streams = st.lists(st.integers(0, 30), min_size=1, max_size=400)
+
+
+class TestSpaceSavingGuarantees:
+    @given(stream=streams)
+    @settings(max_examples=150, deadline=None)
+    def test_occupancy_bounded(self, stream):
+        mea = MajorityElementTracker(8)
+        for key in stream:
+            mea.observe(key)
+        assert mea.occupancy <= 8
+
+    @given(stream=streams)
+    @settings(max_examples=150, deadline=None)
+    def test_counts_overestimate_true_frequency(self, stream):
+        """Space-Saving never under-counts a tracked element."""
+        mea = MajorityElementTracker(8)
+        for key in stream:
+            mea.observe(key)
+        true_counts = Counter(stream)
+        for key, count in mea._counts.items():
+            assert count >= true_counts[key] or true_counts[key] == 0
+
+    @given(stream=streams)
+    @settings(max_examples=150, deadline=None)
+    def test_heavy_hitters_are_tracked(self, stream):
+        """Any element with frequency > n/k must be in the sketch."""
+        k = 8
+        mea = MajorityElementTracker(k)
+        for key in stream:
+            mea.observe(key)
+        true_counts = Counter(stream)
+        threshold = len(stream) / k
+        for key, count in true_counts.items():
+            if count > threshold:
+                assert mea.count_of(key) > 0
+
+    @given(stream=streams)
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_by_n_over_k(self, stream):
+        """Overestimation is at most n/k (the classic bound)."""
+        k = 8
+        mea = MajorityElementTracker(k)
+        for key in stream:
+            mea.observe(key)
+        true_counts = Counter(stream)
+        bound = len(stream) / k
+        for key, count in mea._counts.items():
+            assert count - true_counts[key] <= bound + 1
+
+    @given(stream=streams)
+    @settings(max_examples=100, deadline=None)
+    def test_heavy_elements_sorted_descending(self, stream):
+        mea = MajorityElementTracker(8)
+        for key in stream:
+            mea.observe(key)
+        heavy = mea.heavy_elements(minimum_count=1)
+        counts = [mea.count_of(k) for k in heavy]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,102 @@
+"""Property-based tests for the PCT machinery (counters, Filter)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pct import FilterEntry, FilterTable, PctCache, PctEntry
+
+COUNTER_MAX = 63
+THRESHOLD = 14
+
+miss_streams = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 30)),  # (pid, page)
+    max_size=300,
+)
+
+
+class TestCounterInvariants:
+    @given(stream=miss_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_filter_counters_saturate(self, stream):
+        filt = FilterTable(8, COUNTER_MAX, THRESHOLD)
+        for pid, page in stream:
+            filt.observe_miss(pid, page, PctEntry())
+        for page in range(31):
+            entry = filt.entry_for(page)
+            if entry is not None:
+                assert 0 <= entry.misses <= COUNTER_MAX
+                assert 0 <= entry.follower_misses <= COUNTER_MAX
+                assert 0 <= entry.new_follower_misses <= COUNTER_MAX
+
+    @given(
+        base_count=st.integers(0, COUNTER_MAX),
+        misses=st.integers(0, COUNTER_MAX),
+        follower_count=st.integers(0, COUNTER_MAX),
+        follower_misses=st.integers(0, COUNTER_MAX),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_merged_history_bounded(
+        self, base_count, misses, follower_count, follower_misses
+    ):
+        entry = FilterEntry(
+            page=1,
+            pid=0,
+            base=PctEntry(base_count, 2, follower_count),
+            misses=misses,
+            follower_misses=follower_misses,
+        )
+        merged = FilterTable.merged_history(entry, COUNTER_MAX)
+        assert 0 <= merged.count <= COUNTER_MAX
+        assert 0 <= merged.follower_count <= COUNTER_MAX
+
+    @given(stream=miss_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_filter_capacity_respected(self, stream):
+        filt = FilterTable(4, COUNTER_MAX, THRESHOLD)
+        for pid, page in stream:
+            filt.observe_miss(pid, page, PctEntry())
+        assert filt.occupancy <= 4
+
+    @given(stream=miss_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_drain_empties(self, stream):
+        filt = FilterTable(8, COUNTER_MAX, THRESHOLD)
+        for pid, page in stream:
+            filt.observe_miss(pid, page, PctEntry())
+        filt.drain()
+        assert filt.occupancy == 0
+
+    @given(stream=miss_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_followers_never_self(self, stream):
+        """A page must never be recorded as its own follower."""
+        filt = FilterTable(8, COUNTER_MAX, THRESHOLD)
+        for pid, page in stream:
+            filt.observe_miss(pid, page, PctEntry())
+        for page in range(31):
+            entry = filt.entry_for(page)
+            if entry is not None:
+                assert entry.new_follower_ppn != page
+
+
+class TestPctCacheInvariants:
+    @given(
+        pages=st.lists(st.integers(0, 100), max_size=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_respected(self, pages):
+        cache = PctCache(8, 4, 1)
+        for page in pages:
+            cache.fill(page, PctEntry(page % 64, None, 0))
+        assert cache.occupancy <= 8
+
+    @given(pages=st.lists(st.integers(0, 100), max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_lookup_returns_last_fill(self, pages):
+        cache = PctCache(256, 4, 1)
+        last = {}
+        for index, page in enumerate(pages):
+            entry = PctEntry(index % 64, None, 0)
+            cache.fill(page, entry)
+            last[page] = entry
+        for page, entry in last.items():
+            assert cache.lookup(page) == entry

@@ -1,0 +1,100 @@
+"""Property-based tests for the Page Remapping Table.
+
+Invariants (Section III-C1):
+* the remap relation is an involution: ``location(location(p)) == p``;
+* colour constraint: a page's data only ever lives at a location of its
+  own colour;
+* unswapped pages live at home;
+* install/remove sequences never corrupt the two-way mapping.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prt import PageRemapTable
+
+DRAM_PAGES = 64
+NVM_PAGES = 256
+TOTAL = DRAM_PAGES + NVM_PAGES
+WAYS = 4
+
+
+def apply_ops(prt: PageRemapTable, ops):
+    """Interpret a random op sequence, skipping illegal steps."""
+    for kind, value in ops:
+        if kind == "install":
+            nvm_page = DRAM_PAGES + (value % NVM_PAGES)
+            frames = [
+                f
+                for f in prt.dram_frames_of_colour(prt.colour_of(nvm_page))
+                if prt.nvm_page_in_frame(f) is None
+            ]
+            if frames and prt.dram_frame_holding(nvm_page) is None:
+                prt.install(nvm_page, frames[value % len(frames)])
+        else:
+            swapped = sorted(
+                p for p in range(DRAM_PAGES, TOTAL) if prt.is_swapped(p)
+            )
+            if swapped:
+                prt.remove(swapped[value % len(swapped)])
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["install", "remove"]), st.integers(0, 10**6)),
+    max_size=60,
+)
+
+
+class TestPrtInvariants:
+    @given(ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_involution(self, ops):
+        prt = PageRemapTable(DRAM_PAGES, TOTAL, WAYS)
+        apply_ops(prt, ops)
+        for page in range(TOTAL):
+            assert prt.location_of(prt.location_of(page)) == page
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_colour_preserved(self, ops):
+        prt = PageRemapTable(DRAM_PAGES, TOTAL, WAYS)
+        apply_ops(prt, ops)
+        for page in range(TOTAL):
+            assert prt.colour_of(prt.location_of(page)) == prt.colour_of(page)
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_location_is_permutation(self, ops):
+        prt = PageRemapTable(DRAM_PAGES, TOTAL, WAYS)
+        apply_ops(prt, ops)
+        locations = [prt.location_of(page) for page in range(TOTAL)]
+        assert sorted(locations) == list(range(TOTAL))
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_pairs_consistent(self, ops):
+        prt = PageRemapTable(DRAM_PAGES, TOTAL, WAYS)
+        apply_ops(prt, ops)
+        for colour in range(prt.num_colours):
+            for nvm_page, frame in prt.pairs_of_colour(colour):
+                assert prt.dram_frame_holding(nvm_page) == frame
+                assert prt.nvm_page_in_frame(frame) == nvm_page
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_remove_all_restores_identity(self, ops):
+        prt = PageRemapTable(DRAM_PAGES, TOTAL, WAYS)
+        apply_ops(prt, ops)
+        for page in range(DRAM_PAGES, TOTAL):
+            if prt.is_swapped(page):
+                prt.remove(page)
+        for page in range(TOTAL):
+            assert prt.location_of(page) == page
+        assert prt.active_pairs == 0
+
+    @given(ops=ops_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_colour_capacity_bounded(self, ops):
+        prt = PageRemapTable(DRAM_PAGES, TOTAL, WAYS)
+        apply_ops(prt, ops)
+        for colour in range(prt.num_colours):
+            assert len(prt.pairs_of_colour(colour)) <= WAYS

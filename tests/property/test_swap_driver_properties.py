@@ -1,0 +1,121 @@
+"""Property-based tests: the Swap Driver preserves the PRT's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import (
+    HybridMemoryConfig,
+    PageSeerConfig,
+    dram_timing_table1,
+    nvm_timing_table1,
+)
+from repro.common.stats import StatsRegistry
+from repro.core.hpt import HotPageTable
+from repro.core.prt import PageRemapTable
+from repro.core.swap_driver import SwapDriver, TRIGGER_REGULAR
+from repro.mem.main_memory import MainMemory
+from repro.mem.swap_buffer import SwapBufferPool
+
+DRAM_PAGES = 64
+NVM_PAGES = 256
+TOTAL = DRAM_PAGES + NVM_PAGES
+
+
+def make_driver():
+    stats = StatsRegistry()
+    memory = MainMemory(
+        HybridMemoryConfig(
+            dram=dram_timing_table1(DRAM_PAGES * 4096),
+            nvm=nvm_timing_table1(NVM_PAGES * 4096),
+        ),
+        stats,
+    )
+    prt = PageRemapTable(DRAM_PAGES, TOTAL, 4)
+    driver = SwapDriver(
+        PageSeerConfig(),
+        memory,
+        prt,
+        HotPageTable(64, 63, 100_000),
+        SwapBufferPool(24, stats),
+        stats,
+        is_protected_frame=lambda frame: frame < 2,
+    )
+    return driver, prt
+
+
+requests = st.lists(
+    st.tuples(
+        st.integers(0, NVM_PAGES - 1),   # which NVM page
+        st.integers(1, 50_000),          # time delta
+    ),
+    max_size=60,
+)
+
+
+class TestSwapDriverInvariants:
+    @given(request_list=requests)
+    @settings(max_examples=60, deadline=None)
+    def test_prt_stays_an_involution(self, request_list):
+        driver, prt = make_driver()
+        now = 0
+        for page_index, delta in request_list:
+            now += delta
+            driver.request_swap(now, DRAM_PAGES + page_index, TRIGGER_REGULAR, 0.0)
+        for page in range(TOTAL):
+            assert prt.location_of(prt.location_of(page)) == page
+
+    @given(request_list=requests)
+    @settings(max_examples=60, deadline=None)
+    def test_locations_stay_a_permutation(self, request_list):
+        driver, prt = make_driver()
+        now = 0
+        for page_index, delta in request_list:
+            now += delta
+            driver.request_swap(now, DRAM_PAGES + page_index, TRIGGER_REGULAR, 0.0)
+        locations = sorted(prt.location_of(page) for page in range(TOTAL))
+        assert locations == list(range(TOTAL))
+
+    @given(request_list=requests)
+    @settings(max_examples=60, deadline=None)
+    def test_protected_frames_never_vacated(self, request_list):
+        driver, prt = make_driver()
+        now = 0
+        for page_index, delta in request_list:
+            now += delta
+            driver.request_swap(now, DRAM_PAGES + page_index, TRIGGER_REGULAR, 0.0)
+        # Frames 0 and 1 are protected: their home data must still be there.
+        for frame in (0, 1):
+            assert prt.location_of(frame) == frame
+
+    @given(request_list=requests)
+    @settings(max_examples=60, deadline=None)
+    def test_accepted_swaps_match_prt_population(self, request_list):
+        driver, prt = make_driver()
+        now = 0
+        swapped_in = 0
+        swapped_out = 0
+        original_driver_out = driver._on_swap_out
+        driver._on_swap_out = lambda page, t: None
+        for page_index, delta in request_list:
+            now += delta
+            before = prt.active_pairs
+            if driver.request_swap(
+                now, DRAM_PAGES + page_index, TRIGGER_REGULAR, 0.0
+            ):
+                swapped_in += 1
+                after = prt.active_pairs
+                if after == before:
+                    swapped_out += 1
+        assert prt.active_pairs == swapped_in - swapped_out
+
+    @given(request_list=requests)
+    @settings(max_examples=60, deadline=None)
+    def test_records_monotone_and_bounded(self, request_list):
+        driver, prt = make_driver()
+        now = 0
+        for page_index, delta in request_list:
+            now += delta
+            driver.request_swap(now, DRAM_PAGES + page_index, TRIGGER_REGULAR, 0.0)
+        for record in driver.records:
+            assert record.end > record.start
+            assert record.reads in (2, 3)
+            assert record.writes == record.reads

@@ -1,0 +1,188 @@
+"""Unit tests for the memory device model (repro.mem.device)."""
+
+import pytest
+
+from repro.common.config import (
+    CYCLES_PER_MEMORY_CYCLE,
+    dram_timing_table1,
+    nvm_timing_table1,
+)
+from repro.common.stats import StatsRegistry
+from repro.mem.device import MemoryDevice
+
+
+def make_device(contention=True, nvm=False, capacity=4 * 1024 * 1024):
+    config = nvm_timing_table1(capacity) if nvm else dram_timing_table1(capacity)
+    return MemoryDevice(config, StatsRegistry(), model_contention=contention)
+
+
+class TestMapping:
+    def test_consecutive_lines_interleave_channels(self):
+        device = make_device()
+        channels = {device.map_line(i)[0] for i in range(8)}
+        assert channels == set(range(4))
+
+    def test_same_row_for_row_run(self):
+        device = make_device()
+        # Lines 0, 4, 8 ... are consecutive on channel 0 within one row.
+        _, bank0, row0 = device.map_line(0)
+        _, bank1, row1 = device.map_line(4)
+        assert (bank0, row0) == (bank1, row1)
+
+    def test_rows_rotate_banks(self):
+        device = make_device()
+        lines_per_row = device.config.row_bytes // 64
+        _, bank0, _ = device.map_line(0)
+        _, bank_next, _ = device.map_line(lines_per_row * device.config.channels)
+        assert bank0 != bank_next
+
+    def test_mapping_is_injective_per_channel(self):
+        device = make_device()
+        seen = set()
+        for line in range(0, 4096, 1):
+            key = device.map_line(line)
+            offset_in_row = (line // device.config.channels) % (
+                device.config.row_bytes // 64
+            )
+            assert (key, offset_in_row) not in seen
+            seen.add((key, offset_in_row))
+
+
+class TestLatency:
+    def test_first_access_is_row_miss(self):
+        device = make_device(contention=False)
+        result = device.access(0, 0, is_write=False)
+        expected = (11 + 11) * CYCLES_PER_MEMORY_CYCLE + 8
+        assert result.finish - result.start == expected
+        assert not result.row_hit
+
+    def test_second_access_same_row_hits(self):
+        device = make_device(contention=False)
+        device.access(0, 0, is_write=False)
+        result = device.access(100, 4, is_write=False)
+        assert result.row_hit
+        expected = 11 * CYCLES_PER_MEMORY_CYCLE + 8
+        assert result.finish - result.start == expected
+
+    def test_row_conflict_pays_precharge(self):
+        device = make_device(contention=False)
+        device.access(0, 0, is_write=False)
+        lines_per_row = device.config.row_bytes // 64
+        banks = device.config.total_banks_per_channel
+        conflict_line = lines_per_row * device.config.channels * banks
+        assert device.map_line(conflict_line)[1] == device.map_line(0)[1]
+        result = device.access(1000, conflict_line, is_write=False)
+        assert not result.row_hit
+        expected = (11 + 11 + 11) * CYCLES_PER_MEMORY_CYCLE + 8
+        assert result.finish - result.start == expected
+
+    def test_nvm_slower_than_dram_on_activation(self):
+        dram = make_device(contention=False)
+        nvm = make_device(contention=False, nvm=True)
+        d = dram.access(0, 0, False)
+        n = nvm.access(0, 0, False)
+        assert (n.finish - n.start) > (d.finish - d.start)
+
+    def test_write_then_read_pays_recovery(self):
+        device = make_device(contention=False, nvm=True)
+        device.access(0, 0, is_write=True)
+        result = device.access(1000, 4, is_write=False)
+        recovery = device.config.write_recovery_cycles()
+        base = 11 * CYCLES_PER_MEMORY_CYCLE + 8
+        assert result.finish - result.start == base + recovery
+
+    def test_write_streams_without_recovery(self):
+        device = make_device(contention=False, nvm=True)
+        device.access(0, 0, is_write=True)
+        result = device.access(100, 4, is_write=True)
+        base = 11 * CYCLES_PER_MEMORY_CYCLE + 8
+        assert result.finish - result.start == base
+
+
+class TestContention:
+    def test_same_bank_queues(self):
+        device = make_device()
+        first = device.access(0, 0, False)
+        second = device.access(0, 4, False)
+        assert second.start >= first.start
+        assert second.queue_delay > 0
+
+    def test_different_banks_parallel(self):
+        device = make_device()
+        lines_per_row = device.config.row_bytes // 64
+        banks = device.config.total_banks_per_channel
+        other_bank_line = lines_per_row * device.config.channels
+        assert device.map_line(0)[1] != device.map_line(other_bank_line)[1]
+        first = device.access(0, 0, False)
+        second = device.access(0, other_bank_line, False)
+        assert second.queue_delay == 0
+
+    def test_demand_preempts_bulk_backlog(self):
+        device = make_device()
+        # A long bulk transfer on bank 0's row.
+        device.transfer_page(0, 0, 64, is_write=False, bulk=True)
+        result = device.access(0, 0, False)
+        assert result.queue_delay <= device.preempt_cap_cycles
+
+    def test_bulk_yields_to_demand(self):
+        device = make_device()
+        demand = device.access(0, 0, False)
+        bulk = device.access(0, 4, False, bulk=True)
+        assert bulk.start >= demand.finish - device.config.line_transfer_cycles
+
+    def test_no_contention_mode_ignores_queues(self):
+        device = make_device(contention=False)
+        a = device.access(0, 0, False)
+        b = device.access(0, 4, False)
+        assert b.queue_delay == 0
+
+
+class TestTransferPage:
+    def test_counts_lines(self):
+        device = make_device()
+        device.transfer_page(0, 0, 64, is_write=False)
+        assert device.reads == 64
+
+    def test_write_transfer_counts_writes(self):
+        device = make_device()
+        device.transfer_page(0, 0, 64, is_write=True)
+        assert device.writes == 64
+
+    def test_finish_after_start(self):
+        device = make_device()
+        finish = device.transfer_page(500, 0, 64, is_write=False)
+        assert finish > 500
+
+    def test_transfer_faster_than_serial_conflicts(self):
+        """A page transfer streams rows: far cheaper than 64 row misses."""
+        device = make_device(contention=False)
+        finish = device.transfer_page(0, 0, 64, is_write=False)
+        worst = 64 * ((11 + 11 + 11) * CYCLES_PER_MEMORY_CYCLE + 8)
+        assert finish < worst
+
+    def test_partial_transfer(self):
+        device = make_device()
+        device.transfer_page(0, 0, 32, is_write=False)
+        assert device.reads == 32
+
+    def test_single_line_transfer(self):
+        device = make_device()
+        finish = device.transfer_page(0, 7, 1, is_write=False)
+        assert finish > 0
+        assert device.reads == 1
+
+
+class TestIntrospection:
+    def test_channel_utilization_grows(self):
+        device = make_device()
+        assert device.channel_utilization(1000) == 0.0
+        device.access(0, 0, False)
+        assert device.channel_utilization(1000) > 0.0
+
+    def test_earliest_bus_free(self):
+        device = make_device()
+        assert device.earliest_bus_free(5) == 5
+        # Occupy every channel; the earliest free time must move forward.
+        for line in range(device.config.channels):
+            device.access(0, line, False)
+        assert device.earliest_bus_free(0) > 0

@@ -1,0 +1,84 @@
+"""Unit tests for the energy/area accounting (repro.core.energy)."""
+
+import pytest
+
+from repro.core.energy import (
+    CPU_HZ,
+    TABLE2_COSTS,
+    EnergyReport,
+    StructureEnergy,
+    energy_report,
+)
+
+from tests.conftest import make_system
+
+
+class TestTable2Constants:
+    def test_all_structures_present(self):
+        assert set(TABLE2_COSTS) == {"prtc", "pctc", "hpt", "filter"}
+
+    @pytest.mark.parametrize(
+        "name,area,leak,read,write",
+        [
+            ("prtc", 54.9e-3, 11.4, 14.8, 14.4),
+            ("pctc", 36.8e-3, 11.4, 14.7, 16.7),
+            ("hpt", 23.7e-3, 9.1, 1.8, 2.6),
+            ("filter", 7.7e-3, 2.3, 1.4, 2.7),
+        ],
+    )
+    def test_values_match_paper(self, name, area, leak, read, write):
+        costs = TABLE2_COSTS[name]
+        assert costs.area_mm2 == pytest.approx(area)
+        assert costs.leakage_mw == pytest.approx(leak)
+        assert costs.read_pj == pytest.approx(read)
+        assert costs.write_pj == pytest.approx(write)
+
+    def test_total_area_matches_paper_sum(self):
+        total = sum(c.area_mm2 for c in TABLE2_COSTS.values())
+        assert total == pytest.approx(123.1e-3, rel=0.01)
+
+
+class TestEnergyMath:
+    def test_dynamic_energy_formula(self):
+        report = EnergyReport(
+            structures={
+                "prtc": StructureEnergy("prtc", reads=100, writes=10,
+                                        dynamic_pj=100 * 14.8 + 10 * 14.4,
+                                        leakage_uj=0.0)
+            },
+            elapsed_cycles=0,
+        )
+        assert report.total_dynamic_pj == pytest.approx(1624.0)
+
+    def test_leakage_scales_with_time(self):
+        system = make_system("pageseer", "milcx4")
+        system.run_ops(300)
+        short = energy_report(system.hmc, 1_000_000)
+        long = energy_report(system.hmc, 2_000_000)
+        assert long.total_leakage_uj == pytest.approx(2 * short.total_leakage_uj)
+
+    def test_leakage_unit_conversion(self):
+        # 11.4 mW for one second = 11.4 mJ = 11400 uJ.
+        system = make_system("pageseer", "milcx4")
+        report = energy_report(system.hmc, CPU_HZ)  # one second
+        prtc = report.structures["prtc"]
+        assert prtc.leakage_uj == pytest.approx(11.4 * 1000)
+
+
+class TestReportFromRun:
+    def test_counts_flow_from_structures(self):
+        system = make_system("pageseer", "milcx4")
+        system.run_ops(500)
+        report = energy_report(system.hmc, max(c.clock for c in system.cores))
+        prtc = report.structures["prtc"]
+        assert prtc.reads == system.hmc.prtc.hits + system.hmc.prtc.misses
+        assert prtc.reads > 0
+        assert report.total_dynamic_pj > 0
+
+    def test_render_contains_all_structures(self):
+        system = make_system("pageseer", "milcx4")
+        system.run_ops(200)
+        text = energy_report(system.hmc, 10_000).render()
+        for name in TABLE2_COSTS:
+            assert name in text
+        assert "TOTAL" in text

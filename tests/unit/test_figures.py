@@ -1,0 +1,326 @@
+"""Unit tests for figure computations, on hand-crafted metrics.
+
+A fake runner hands the figure modules synthetic :class:`RunMetrics`, so
+the row arithmetic (percentages, normalisation, averaging rules) is
+checked exactly, without simulation.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig7_access_breakdown,
+    fig9_prefetch_accuracy,
+    fig10_swap_mix,
+    fig11_swap_rate,
+    fig13_prtc_wait,
+    fig14_performance,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    SUITE_ORDER,
+    suite_of,
+    workloads_in_suite,
+)
+from repro.sim.metrics import RunMetrics
+
+
+def metrics(scheme, workload, **overrides):
+    base = dict(
+        scheme=scheme,
+        workload=workload,
+        suite=suite_of(workload),
+        instructions=1_000_000,
+        cycles=2_000_000.0,
+        ipc=0.5,
+        ammat=300.0,
+        serviced_dram=800,
+        serviced_nvm=200,
+        serviced_buffer=0,
+        positive_accesses=500,
+        negative_accesses=50,
+        neutral_accesses=450,
+        swaps_total=100,
+        swaps_mmu=60,
+        swaps_pct=20,
+        swaps_regular=20,
+        prefetch_accurate=70,
+        prefetch_inaccurate=10,
+        tlb_misses=1000,
+        pte_llc_misses=150,
+        mmu_driver_hit_rate=1.0,
+        remap_wait_cycles=10_000.0,
+        remap_misses=100,
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+class FakeRunner:
+    """Quacks like ExperimentRunner for the figure modules."""
+
+    def __init__(self, table):
+        # table: {(scheme, workload, variant): RunMetrics}
+        self.table = table
+        self.scale = 512
+        self.measure_ops = 0
+        self.warmup_ops = 0
+        self.seed = 0
+
+    def workload_names(self):
+        return sorted({key[1] for key in self.table})
+
+    def run(self, scheme, workload, variant="default"):
+        return self.table[(scheme, workload, variant)]
+
+    def run_matrix(self, schemes, workload_names=None, variant="default"):
+        names = list(workload_names) if workload_names else self.workload_names()
+        return {
+            scheme: {name: self.run(scheme, name, variant) for name in names}
+            for scheme in schemes
+        }
+
+
+def full_table(workloads=("lbmx4", "milcx4"), **per_scheme):
+    table = {}
+    for workload in workloads:
+        for scheme in ("pageseer", "pom", "mempod"):
+            overrides = per_scheme.get(scheme, {})
+            table[(scheme, workload, "default")] = metrics(
+                scheme, workload, **overrides
+            )
+        table[("pageseer", workload, "nobw")] = metrics("pageseer", workload)
+    return table
+
+
+class TestFig7Math:
+    def test_percentages(self):
+        runner = FakeRunner(full_table(
+            pageseer=dict(serviced_dram=900, serviced_nvm=50, serviced_buffer=50),
+        ))
+        result = fig7_access_breakdown.compute(runner)
+        averages = {row[1]: row for row in result.rows if row[0] == "AVERAGE"}
+        assert averages["pageseer"][2] == pytest.approx(90.0)
+        assert averages["pageseer"][4] == pytest.approx(5.0)
+        assert averages["pom"][2] == pytest.approx(80.0)
+
+
+class TestFig9Math:
+    def test_average_skips_workloads_without_prefetches(self):
+        table = full_table()
+        table[("pageseer", "mcfx8", "default")] = metrics(
+            "pageseer", "mcfx8", prefetch_accurate=0, prefetch_inaccurate=0
+        )
+        runner = FakeRunner(table)
+        result = fig9_prefetch_accuracy.compute(runner)
+        average = result.row_map()["AVERAGE"][3]
+        # Both contributing workloads have accuracy 70/80 = 87.5%.
+        assert average == pytest.approx(87.5)
+
+
+class TestFig10Math:
+    def test_split_percentages(self):
+        runner = FakeRunner(full_table())
+        result = fig10_swap_mix.compute(runner)
+        row = result.row_map()["lbmx4"]
+        assert row[2] == pytest.approx(60.0)  # mmu
+        assert row[3] == pytest.approx(20.0)  # pct
+        assert row[4] == pytest.approx(20.0)  # regular
+
+    def test_zero_swap_workload_rows(self):
+        table = full_table()
+        table[("pageseer", "lbmx4", "default")] = metrics(
+            "pageseer", "lbmx4", swaps_total=0, swaps_mmu=0, swaps_pct=0,
+            swaps_regular=0,
+        )
+        runner = FakeRunner(table)
+        row = fig10_swap_mix.compute(runner).row_map()["lbmx4"]
+        assert row[2] == row[3] == row[4] == 0.0
+
+
+class TestFig11Math:
+    def test_rates_per_suite(self):
+        runner = FakeRunner(full_table())
+        result = fig11_swap_rate.compute(runner)
+        # 100 swaps / 1M instructions = 0.1 per kilo-instruction.
+        assert result.row_map()["AVERAGE"][1] == pytest.approx(0.1)
+
+
+class TestFig13Math:
+    def test_reduction(self):
+        table = full_table()
+        table[("pageseer", "lbmx4", "default")] = metrics(
+            "pageseer", "lbmx4", remap_wait_cycles=4_000.0
+        )
+        table[("pom", "lbmx4", "default")] = metrics(
+            "pom", "lbmx4", remap_wait_cycles=10_000.0
+        )
+        runner = FakeRunner(table)
+        row = fig13_prtc_wait.compute(runner).row_map()["lbmx4"]
+        assert row[3] == pytest.approx(60.0)
+
+    def test_zero_pom_wait_handled(self):
+        table = full_table()
+        table[("pom", "lbmx4", "default")] = metrics(
+            "pom", "lbmx4", remap_wait_cycles=0.0
+        )
+        runner = FakeRunner(table)
+        row = fig13_prtc_wait.compute(runner).row_map()["lbmx4"]
+        assert row[3] == 0.0
+
+
+class TestFig14Math:
+    def test_normalisation_to_mempod(self):
+        table = full_table(
+            pageseer=dict(ipc=0.6, ammat=200.0),
+            pom=dict(ipc=0.5, ammat=250.0),
+            mempod=dict(ipc=0.4, ammat=400.0),
+        )
+        runner = FakeRunner(table)
+        row = fig14_performance.compute(runner).row_map()["lbmx4"]
+        assert row[1] == pytest.approx(0.5 / 0.4)   # ipc_pom
+        assert row[2] == pytest.approx(0.6 / 0.4)   # ipc_pageseer
+        assert row[3] == pytest.approx(250 / 400)   # ammat_pom
+        assert row[4] == pytest.approx(200 / 400)   # ammat_pageseer
+
+    def test_headline_ratios(self):
+        table = full_table(
+            pageseer=dict(ipc=0.6, ammat=200.0),
+            pom=dict(ipc=0.5, ammat=250.0),
+            mempod=dict(ipc=0.4, ammat=400.0),
+        )
+        runner = FakeRunner(table)
+        ratios = fig14_performance.headline_ratios(runner)
+        assert ratios["ipc_vs_mempod"] == pytest.approx(1.5)
+        assert ratios["ipc_vs_pom"] == pytest.approx(1.2)
+        assert ratios["ammat_vs_pom"] == pytest.approx(0.8)
+
+
+class TestSuiteHelpers:
+    def test_suite_of(self):
+        assert suite_of("lbmx4") == "spec"
+        assert suite_of("mix3") == "mix"
+        with pytest.raises(KeyError):
+            suite_of("nope")
+
+    def test_workloads_in_suite_partition(self):
+        total = sum(len(workloads_in_suite(s)) for s in SUITE_ORDER)
+        assert total == 26
+
+    def test_figure_result_render_alignment(self):
+        result = FigureResult("F", "t", ["a", "bb"], [[1, 2.5], ["x", 3.0]])
+        rendered = result.render()
+        lines = rendered.splitlines()
+        assert lines[1].startswith("a")
+        assert "2.500" in rendered
+
+
+class TestFig8Math:
+    def test_classification_percentages(self):
+        from repro.experiments import fig8_swap_effectiveness
+
+        runner = FakeRunner(full_table(
+            pageseer=dict(positive_accesses=700, negative_accesses=100,
+                          neutral_accesses=200),
+        ))
+        result = fig8_swap_effectiveness.compute(runner)
+        averages = {row[1]: row for row in result.rows if row[0] == "AVERAGE"}
+        assert averages["pageseer"][2] == pytest.approx(70.0)
+        assert averages["pageseer"][3] == pytest.approx(10.0)
+        assert averages["pageseer"][4] == pytest.approx(20.0)
+
+
+class TestFig12Math:
+    def test_rates(self):
+        from repro.experiments import fig12_pte_miss
+
+        runner = FakeRunner(full_table(
+            pageseer=dict(tlb_misses=200, pte_llc_misses=50,
+                          mmu_driver_hit_rate=0.98),
+        ))
+        result = fig12_pte_miss.compute(runner)
+        row = result.row_map()["lbmx4"]
+        assert row[2] == pytest.approx(25.0)
+        assert row[3] == pytest.approx(98.0)
+
+    def test_zero_tlb_misses_excluded_from_average(self):
+        from repro.experiments import fig12_pte_miss
+
+        table = full_table()
+        table[("pageseer", "lbmx4", "default")] = metrics(
+            "pageseer", "lbmx4", tlb_misses=0, pte_llc_misses=0,
+            mmu_driver_hit_rate=0.0,
+        )
+        runner = FakeRunner(table)
+        result = fig12_pte_miss.compute(runner)
+        # Only milcx4 contributes: 150/1000 = 15%.
+        assert result.row_map()["AVERAGE"][2] == pytest.approx(15.0)
+
+
+class TestAblationMath:
+    def test_nocorr_ratio(self):
+        from repro.experiments import ablation_nocorr
+
+        table = full_table()
+        for workload in ("lbmx4", "milcx4"):
+            table[("pageseer", workload, "default")] = metrics(
+                "pageseer", workload, ipc=0.6
+            )
+            table[("pageseer", workload, "nocorr")] = metrics(
+                "pageseer", workload, ipc=0.5
+            )
+        runner = FakeRunner(table)
+        result = ablation_nocorr.compute(runner)
+        assert result.row_map()["lbmx4"][3] == pytest.approx(1.2)
+        assert result.row_map()["GEOMEAN"][3] == pytest.approx(1.2)
+
+    def test_hints_ratio_and_shares(self):
+        from repro.experiments import ablation_hints
+
+        table = full_table()
+        for workload in ("lbmx4", "milcx4"):
+            table[("pageseer", workload, "default")] = metrics(
+                "pageseer", workload, ipc=0.6, serviced_dram=900,
+                serviced_nvm=100, serviced_buffer=0,
+            )
+            table[("pageseer", workload, "nohints")] = metrics(
+                "pageseer", workload, ipc=0.4, serviced_dram=500,
+                serviced_nvm=500, serviced_buffer=0,
+            )
+        runner = FakeRunner(table)
+        result = ablation_hints.compute(runner)
+        row = result.row_map()["lbmx4"]
+        assert row[3] == pytest.approx(1.5)
+        assert row[4] == pytest.approx(0.9)
+        assert row[5] == pytest.approx(0.5)
+
+    def test_partial_subset_restriction(self):
+        from repro.experiments import ablation_partial
+
+        table = {}
+        for workload in ("lbmx4", "milcx4"):  # only 2 of the 6 subset names
+            for variant in ("default", "partial"):
+                table[("pageseer", workload, variant)] = metrics(
+                    "pageseer", workload
+                )
+        runner = FakeRunner(table)
+        result = ablation_partial.compute(runner)
+        names = {row[0] for row in result.rows}
+        assert names == {"lbmx4", "milcx4", "GEOMEAN"}
+
+
+class TestCsvExport:
+    def test_to_csv_roundtrip(self):
+        import csv
+        import io
+
+        result = FigureResult("F 1", "t", ["a", "b"], [[1, 2.5], ["x,y", 3]])
+        parsed = list(csv.reader(io.StringIO(result.to_csv())))
+        assert parsed[0] == ["a", "b"]
+        assert parsed[1] == ["1", "2.5"]
+        assert parsed[2] == ["x,y", "3"]
+
+    def test_save_csv(self, tmp_path):
+        result = FigureResult("F 1", "t", ["a"], [[1]])
+        path = tmp_path / "f.csv"
+        result.save_csv(path)
+        assert path.read_text().startswith("a")

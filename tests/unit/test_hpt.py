@@ -1,0 +1,111 @@
+"""Unit tests for the Hot Page Tables (repro.core.hpt)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.hpt import HotPageTable
+
+INTERVAL = 1000
+
+
+def make_hpt(entries=4, threshold=6):
+    return HotPageTable(entries, 63, INTERVAL, swap_threshold=threshold)
+
+
+class TestCounting:
+    def test_first_miss_inserts(self):
+        hpt = make_hpt()
+        hpt.record_miss(0, 42)
+        assert hpt.count_of(42) == 1
+        assert hpt.is_hot(42)
+
+    def test_counts_accumulate(self):
+        hpt = make_hpt()
+        for _ in range(4):
+            hpt.record_miss(0, 42)
+        assert hpt.count_of(42) == 4
+
+    def test_saturates_at_counter_max(self):
+        hpt = make_hpt(threshold=None)
+        for _ in range(100):
+            hpt.record_miss(0, 42)
+        assert hpt.count_of(42) == 63
+
+    def test_threshold_fires_exactly_once(self):
+        hpt = make_hpt(threshold=3)
+        fired = [hpt.record_miss(0, 42) for _ in range(5)]
+        assert fired == [False, False, True, False, False]
+
+    def test_no_threshold_table_never_fires(self):
+        hpt = HotPageTable(4, 63, INTERVAL, swap_threshold=None)
+        assert not any(hpt.record_miss(0, 42) for _ in range(20))
+
+
+class TestDecay:
+    def test_halving_after_interval(self):
+        hpt = make_hpt()
+        for _ in range(8):
+            hpt.record_miss(0, 42)
+        hpt.advance_time(INTERVAL)
+        assert hpt.count_of(42) == 4
+
+    def test_multiple_intervals(self):
+        hpt = make_hpt()
+        for _ in range(8):
+            hpt.record_miss(0, 42)
+        hpt.advance_time(3 * INTERVAL)
+        assert hpt.count_of(42) == 1
+
+    def test_zero_counter_removed(self):
+        hpt = make_hpt()
+        hpt.record_miss(0, 42)
+        hpt.advance_time(INTERVAL)
+        assert not hpt.is_hot(42)
+
+    def test_decay_applied_lazily_on_record(self):
+        hpt = make_hpt()
+        for _ in range(8):
+            hpt.record_miss(0, 42)
+        hpt.record_miss(INTERVAL, 43)
+        assert hpt.count_of(42) == 4
+
+    def test_no_decay_before_interval(self):
+        hpt = make_hpt()
+        hpt.record_miss(0, 42)
+        hpt.advance_time(INTERVAL - 1)
+        assert hpt.count_of(42) == 1
+
+
+class TestCapacity:
+    def test_coldest_evicted(self):
+        hpt = make_hpt(entries=2, threshold=None)
+        for _ in range(5):
+            hpt.record_miss(0, 1)
+        hpt.record_miss(0, 2)
+        hpt.record_miss(0, 3)  # evicts page 2 (count 1 < 5)
+        assert hpt.is_hot(1)
+        assert not hpt.is_hot(2)
+        assert hpt.is_hot(3)
+
+    def test_requires_capacity(self):
+        with pytest.raises(ConfigError):
+            HotPageTable(0, 63, INTERVAL)
+
+    def test_occupancy(self):
+        hpt = make_hpt()
+        hpt.record_miss(0, 1)
+        hpt.record_miss(0, 2)
+        assert hpt.occupancy == 2
+        assert set(hpt.pages()) == {1, 2}
+
+
+class TestRemove:
+    def test_remove_present(self):
+        hpt = make_hpt()
+        hpt.record_miss(0, 42)
+        hpt.remove(42)
+        assert not hpt.is_hot(42)
+
+    def test_remove_absent_noop(self):
+        hpt = make_hpt()
+        hpt.remove(42)

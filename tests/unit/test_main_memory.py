@@ -1,0 +1,90 @@
+"""Unit tests for the flat hybrid address space (repro.mem.main_memory)."""
+
+import pytest
+
+from repro.common.addr import LINES_PER_PAGE
+from repro.common.config import (
+    HybridMemoryConfig,
+    dram_timing_table1,
+    nvm_timing_table1,
+)
+from repro.common.stats import StatsRegistry
+from repro.mem.main_memory import MainMemory
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def memory():
+    config = HybridMemoryConfig(
+        dram=dram_timing_table1(2 * MB), nvm=nvm_timing_table1(16 * MB)
+    )
+    return MainMemory(config, StatsRegistry())
+
+
+class TestRouting:
+    def test_dram_range(self, memory):
+        dram_lines = memory.config.dram_pages * LINES_PER_PAGE
+        assert memory.is_dram_line(0)
+        assert memory.is_dram_line(dram_lines - 1)
+        assert not memory.is_dram_line(dram_lines)
+
+    def test_device_for_line(self, memory):
+        dram_lines = memory.config.dram_pages * LINES_PER_PAGE
+        assert memory.device_for_line(0) is memory.dram
+        assert memory.device_for_line(dram_lines) is memory.nvm
+
+    def test_dram_access_counts_on_dram_device(self, memory):
+        memory.access(0, 10, is_write=False)
+        assert memory.dram.reads == 1
+        assert memory.nvm.reads == 0
+
+    def test_nvm_access_counts_on_nvm_device(self, memory):
+        dram_lines = memory.config.dram_pages * LINES_PER_PAGE
+        memory.access(0, dram_lines + 10, is_write=False)
+        assert memory.nvm.reads == 1
+        assert memory.dram.reads == 0
+
+    def test_nvm_local_addressing_starts_at_zero(self, memory):
+        """The first NVM line must map like line 0 of a standalone device."""
+        dram_lines = memory.config.dram_pages * LINES_PER_PAGE
+        result = memory.access(0, dram_lines, is_write=False)
+        assert not result.row_hit  # first touch: row miss, proving line 0
+
+
+class TestPageTransfers:
+    def test_read_page_moves_64_lines(self, memory):
+        memory.read_page(0, 3)
+        assert memory.dram.reads == LINES_PER_PAGE
+
+    def test_write_page_moves_64_lines(self, memory):
+        memory.write_page(0, 3)
+        assert memory.dram.writes == LINES_PER_PAGE
+
+    def test_nvm_page_routed(self, memory):
+        nvm_ppn = memory.config.dram_pages + 5
+        memory.read_page(0, nvm_ppn)
+        assert memory.nvm.reads == LINES_PER_PAGE
+
+    def test_page_transfer_finish_monotonic(self, memory):
+        finish = memory.read_page(100, 0)
+        assert finish > 100
+
+    def test_transfer_segment_partial(self, memory):
+        memory.transfer_segment(0, 0, 32, is_write=False)
+        assert memory.dram.reads == 32
+
+    def test_transfer_segment_nvm(self, memory):
+        dram_lines = memory.config.dram_pages * LINES_PER_PAGE
+        memory.transfer_segment(0, dram_lines, 32, is_write=True)
+        assert memory.nvm.writes == 32
+
+
+class TestLatencyOrdering:
+    def test_nvm_activation_slower_than_dram(self, memory):
+        dram_lines = memory.config.dram_pages * LINES_PER_PAGE
+        dram_result = memory.access(0, 0, False)
+        nvm_result = memory.access(0, dram_lines, False)
+        assert (nvm_result.finish - nvm_result.start) > (
+            dram_result.finish - dram_result.start
+        )

@@ -1,0 +1,102 @@
+"""Unit tests for the MMU Driver (repro.core.mmu_driver)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.stats import StatsRegistry
+from repro.core.mmu_driver import MmuDriver
+
+
+class FakeFetcher:
+    def __init__(self, latency=200):
+        self.latency = latency
+        self.fetches = []
+
+    def __call__(self, now, line):
+        self.fetches.append((now, line))
+        return now + self.latency
+
+
+def make_driver(capacity=4, latency=200):
+    fetcher = FakeFetcher(latency)
+    driver = MmuDriver(capacity, fetcher, StatsRegistry(), respond_latency_cycles=2)
+    return driver, fetcher
+
+
+class TestHints:
+    def test_cold_hint_fetches(self):
+        driver, fetcher = make_driver()
+        ready = driver.on_hint(100, 55)
+        assert fetcher.fetches == [(100, 55)]
+        assert ready == 300
+
+    def test_warm_hint_skips_fetch(self):
+        driver, fetcher = make_driver()
+        driver.on_hint(100, 55)
+        ready = driver.on_hint(500, 55)
+        assert len(fetcher.fetches) == 1
+        assert ready == 500
+
+    def test_warm_hint_before_data_ready(self):
+        driver, _ = make_driver()
+        driver.on_hint(100, 55)  # ready at 300
+        ready = driver.on_hint(150, 55)
+        assert ready == 300
+
+
+class TestIntercept:
+    def test_intercept_hit(self):
+        driver, _ = make_driver()
+        driver.on_hint(100, 55)
+        finish = driver.intercept(400, 55)
+        assert finish == 402
+
+    def test_intercept_waits_for_fetch(self):
+        driver, _ = make_driver()
+        driver.on_hint(100, 55)  # ready at 300
+        finish = driver.intercept(200, 55)
+        assert finish == 302
+
+    def test_intercept_miss(self):
+        driver, _ = make_driver()
+        assert driver.intercept(100, 99) is None
+
+    def test_hit_rate(self):
+        driver, _ = make_driver()
+        driver.on_hint(0, 1)
+        driver.intercept(500, 1)
+        driver.intercept(500, 2)
+        assert driver.intercept_hit_rate == 0.5
+
+
+class TestCapacity:
+    def test_lru_eviction(self):
+        driver, _ = make_driver(capacity=2)
+        driver.on_hint(0, 1)
+        driver.on_hint(0, 2)
+        driver.intercept(500, 1)  # refresh line 1
+        driver.on_hint(600, 3)  # evicts line 2
+        assert driver.intercept(700, 2) is None
+        assert driver.intercept(700, 1) is not None
+
+    def test_requires_capacity(self):
+        with pytest.raises(ConfigError):
+            MmuDriver(0, lambda now, line: now, StatsRegistry())
+
+    def test_occupancy(self):
+        driver, _ = make_driver(capacity=4)
+        driver.on_hint(0, 1)
+        driver.on_hint(0, 2)
+        assert driver.occupancy == 2
+
+
+class TestInvalidate:
+    def test_invalidate_drops_line(self):
+        driver, _ = make_driver()
+        driver.on_hint(0, 1)
+        driver.invalidate(1)
+        assert driver.intercept(500, 1) is None
+
+    def test_invalidate_absent_noop(self):
+        driver, _ = make_driver()
+        driver.invalidate(1)

@@ -1,0 +1,100 @@
+"""Unit tests for the OS model (repro.vm.os_model)."""
+
+import pytest
+
+from repro.common.config import (
+    HybridMemoryConfig,
+    dram_timing_table1,
+    nvm_timing_table1,
+)
+from repro.common.errors import AllocationError
+from repro.vm.os_model import OsModel
+
+MB = 1024 * 1024
+
+
+def make_os(dram_mb=1, nvm_mb=8):
+    memory = HybridMemoryConfig(
+        dram=dram_timing_table1(dram_mb * MB), nvm=nvm_timing_table1(nvm_mb * MB)
+    )
+    return OsModel(memory)
+
+
+class TestFrameAllocation:
+    def test_table_frames_in_dram(self):
+        os_model = make_os()
+        frame = os_model.allocate_table_frame()
+        assert os_model.memory.is_dram_page(frame)
+
+    def test_table_frames_protected(self):
+        os_model = make_os()
+        frame = os_model.allocate_table_frame()
+        assert os_model.is_protected_frame(frame)
+
+    def test_data_interleaves_with_capacity_ratio(self):
+        os_model = make_os()
+        frames = [os_model.allocate_data_frame(v) for v in range(900)]
+        dram = sum(1 for f in frames if os_model.memory.is_dram_page(f))
+        nvm = len(frames) - dram
+        # 1 MB DRAM : 8 MB NVM -> roughly 1:8 interleave.
+        assert nvm > dram * 5
+
+    def test_some_data_lands_in_dram(self):
+        os_model = make_os()
+        frames = [os_model.allocate_data_frame(v) for v in range(100)]
+        assert any(os_model.memory.is_dram_page(f) for f in frames)
+
+    def test_frames_unique(self):
+        os_model = make_os()
+        frames = [os_model.allocate_data_frame(v) for v in range(500)]
+        assert len(set(frames)) == len(frames)
+
+    def test_exhaustion_raises(self):
+        os_model = make_os(dram_mb=1, nvm_mb=1)
+        total = os_model.memory.total_pages
+        with pytest.raises(AllocationError):
+            for v in range(total + 10):
+                os_model.allocate_data_frame(v)
+
+    def test_reserved_pages_protected_and_dram(self):
+        os_model = make_os()
+        pages = os_model.reserve_dram_pages(4)
+        assert len(pages) == 4
+        for page in pages:
+            assert os_model.memory.is_dram_page(page)
+            assert os_model.is_protected_frame(page)
+
+    def test_accounting(self):
+        os_model = make_os()
+        os_model.reserve_dram_pages(2)
+        os_model.allocate_table_frame()
+        assert os_model.dram_frames_used == 3
+        assert os_model.dram_frames_free == os_model.memory.dram_pages - 3
+
+
+class TestProcesses:
+    def test_create_process(self):
+        os_model = make_os()
+        process = os_model.create_process(7)
+        assert process.pid == 7
+        assert process.page_table.pid == 7
+
+    def test_duplicate_pid_rejected(self):
+        os_model = make_os()
+        os_model.create_process(7)
+        with pytest.raises(AllocationError):
+            os_model.create_process(7)
+
+    def test_processes_isolated(self):
+        os_model = make_os()
+        a = os_model.create_process(1)
+        b = os_model.create_process(2)
+        pa = a.page_table.ensure_mapped(0)
+        pb = b.page_table.ensure_mapped(0)
+        assert pa != pb
+
+    def test_process_lookup(self):
+        os_model = make_os()
+        created = os_model.create_process(3)
+        assert os_model.process(3) is created
+        assert 3 in os_model.processes

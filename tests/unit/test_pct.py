@@ -1,0 +1,215 @@
+"""Unit tests for the PCT, PCTc, and Filter (repro.core.pct)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.pct import (
+    CorrelationTrigger,
+    FilterEntry,
+    FilterTable,
+    PageCorrelationTable,
+    PctCache,
+    PctEntry,
+)
+
+THRESHOLD = 14
+COUNTER_MAX = 63
+
+
+def make_filter(entries=8):
+    return FilterTable(entries, COUNTER_MAX, THRESHOLD)
+
+
+class TestPageCorrelationTable:
+    def test_default_entry(self):
+        pct = PageCorrelationTable()
+        entry = pct.read(42)
+        assert entry == PctEntry(0, None, 0)
+
+    def test_write_read(self):
+        pct = PageCorrelationTable()
+        pct.write(42, PctEntry(10, 43, 5))
+        assert pct.read(42) == PctEntry(10, 43, 5)
+        assert len(pct) == 1
+
+
+class TestPctCache:
+    def test_requires_full_set(self):
+        with pytest.raises(ConfigError):
+            PctCache(entries=2, ways=4, latency_cycles=1)
+
+    def test_miss_then_hit(self):
+        cache = PctCache(8, 4, 1)
+        assert cache.lookup(1) is None
+        cache.fill(1, PctEntry(5, None, 0))
+        assert cache.lookup(1).count == 5
+
+    def test_eviction_returns_change_bit(self):
+        cache = PctCache(2, 1, 1)
+        cache.fill(1, PctEntry(1, None, 0))
+        cache.update(1, PctEntry(20, None, 0), effective_change=True)
+        cache.fill(2, PctEntry(2, None, 0))
+        victim = cache.fill(3, PctEntry(3, None, 0))
+        victim_page, victim_entry, changed = victim
+        assert victim_page == 1
+        assert victim_entry.count == 20
+        assert changed
+
+    def test_unchanged_eviction(self):
+        cache = PctCache(1, 1, 1)
+        cache.fill(1, PctEntry(1, None, 0))
+        victim = cache.fill(2, PctEntry(2, None, 0))
+        assert victim[2] is False
+
+    def test_update_nonresident_fills(self):
+        cache = PctCache(4, 1, 1)
+        cache.update(9, PctEntry(3, None, 0), effective_change=False)
+        assert cache.lookup(9).count == 3
+
+    def test_hit_rate(self):
+        cache = PctCache(4, 1, 1)
+        cache.lookup(1)
+        cache.fill(1, PctEntry(0, None, 0))
+        cache.lookup(1)
+        assert cache.hit_rate == 0.5
+
+
+class TestMergedHistory:
+    def test_count_blends_half_history(self):
+        entry = FilterEntry(page=1, pid=0, base=PctEntry(20, None, 0), misses=10)
+        merged = FilterTable.merged_history(entry, COUNTER_MAX)
+        assert merged.count == 10 + 20 // 2
+
+    def test_count_saturates(self):
+        entry = FilterEntry(page=1, pid=0, base=PctEntry(60, None, 0), misses=60)
+        merged = FilterTable.merged_history(entry, COUNTER_MAX)
+        assert merged.count == COUNTER_MAX
+
+    def test_keeps_old_follower_by_default(self):
+        entry = FilterEntry(
+            page=1, pid=0, base=PctEntry(5, 2, 8), misses=1, follower_misses=4
+        )
+        merged = FilterTable.merged_history(entry, COUNTER_MAX)
+        assert merged.follower_ppn == 2
+        assert merged.follower_count == 4 + 8 // 2
+
+    def test_new_follower_wins_when_observed_more(self):
+        entry = FilterEntry(
+            page=1,
+            pid=0,
+            base=PctEntry(5, 2, 8),
+            follower_misses=2,
+            new_follower_ppn=3,
+            new_follower_misses=9,
+        )
+        merged = FilterTable.merged_history(entry, COUNTER_MAX)
+        assert merged.follower_ppn == 3
+
+    def test_new_follower_fills_empty_slot(self):
+        entry = FilterEntry(
+            page=1,
+            pid=0,
+            base=PctEntry(5, None, 0),
+            new_follower_ppn=3,
+            new_follower_misses=1,
+        )
+        merged = FilterTable.merged_history(entry, COUNTER_MAX)
+        assert merged.follower_ppn == 3
+
+
+class TestFilterFlurries:
+    def test_first_miss_opens_flurry(self):
+        filt = make_filter()
+        triggers, evicted = filt.observe_miss(1, 100, PctEntry())
+        assert filt.current_leader(1) == 100
+        assert not evicted
+        assert triggers == []
+
+    def test_repeat_misses_accumulate(self):
+        filt = make_filter()
+        filt.observe_miss(1, 100, PctEntry())
+        for _ in range(5):
+            filt.observe_miss(1, 100, PctEntry())
+        assert filt.entry_for(100).misses == 6
+
+    def test_leader_change(self):
+        filt = make_filter()
+        filt.observe_miss(1, 100, PctEntry())
+        filt.observe_miss(1, 200, PctEntry())
+        assert filt.current_leader(1) == 200
+
+    def test_new_follower_learned(self):
+        filt = make_filter()
+        filt.observe_miss(1, 100, PctEntry())
+        filt.observe_miss(1, 200, PctEntry())
+        assert filt.entry_for(100).new_follower_ppn == 200
+
+    def test_known_follower_counts_misses(self):
+        filt = make_filter()
+        filt.observe_miss(1, 100, PctEntry(20, 200, 20))
+        for _ in range(3):
+            filt.observe_miss(1, 200, PctEntry())
+        assert filt.entry_for(100).follower_misses == 3
+
+    def test_pid_isolation(self):
+        filt = make_filter()
+        filt.observe_miss(1, 100, PctEntry())
+        filt.observe_miss(2, 200, PctEntry())
+        # Different PID: page 200 must not be recorded as 100's follower.
+        assert filt.entry_for(100).new_follower_ppn is None
+        assert filt.current_leader(1) == 100
+        assert filt.current_leader(2) == 200
+
+
+class TestFilterTriggers:
+    def test_hot_history_triggers(self):
+        filt = make_filter()
+        triggers, _ = filt.observe_miss(1, 100, PctEntry(THRESHOLD, None, 0))
+        assert CorrelationTrigger(100, False) in triggers
+
+    def test_cold_history_no_trigger(self):
+        filt = make_filter()
+        triggers, _ = filt.observe_miss(1, 100, PctEntry(THRESHOLD - 1, None, 0))
+        assert triggers == []
+
+    def test_follower_trigger(self):
+        filt = make_filter()
+        triggers, _ = filt.observe_miss(
+            1, 100, PctEntry(THRESHOLD, 200, THRESHOLD)
+        )
+        assert CorrelationTrigger(200, True) in triggers
+
+    def test_cold_follower_no_trigger(self):
+        filt = make_filter()
+        triggers, _ = filt.observe_miss(
+            1, 100, PctEntry(THRESHOLD, 200, THRESHOLD - 1)
+        )
+        assert triggers == [CorrelationTrigger(100, False)]
+
+    def test_trigger_only_on_first_miss(self):
+        filt = make_filter()
+        filt.observe_miss(1, 100, PctEntry(THRESHOLD, None, 0))
+        triggers, _ = filt.observe_miss(1, 100, PctEntry(THRESHOLD, None, 0))
+        assert triggers == []
+
+
+class TestFilterEviction:
+    def test_capacity_enforced(self):
+        filt = make_filter(entries=2)
+        filt.observe_miss(1, 100, PctEntry())
+        filt.observe_miss(1, 200, PctEntry())
+        _, evicted = filt.observe_miss(1, 300, PctEntry())
+        assert [e.page for e in evicted] == [100]
+
+    def test_requires_two_entries(self):
+        with pytest.raises(ConfigError):
+            FilterTable(1, COUNTER_MAX, THRESHOLD)
+
+    def test_drain_returns_everything(self):
+        filt = make_filter()
+        filt.observe_miss(1, 100, PctEntry())
+        filt.observe_miss(1, 200, PctEntry())
+        drained = filt.drain()
+        assert {e.page for e in drained} == {100, 200}
+        assert filt.occupancy == 0
+        assert filt.current_leader(1) is None

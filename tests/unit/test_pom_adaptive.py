@@ -1,0 +1,96 @@
+"""Unit tests for PoM's opt-in adaptive threshold."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import default_system_config
+from repro.common.stats import StatsRegistry
+from repro.baselines.pom import PomHmc
+from repro.vm.os_model import OsModel
+
+
+def make_adaptive_pom(**overrides):
+    config = default_system_config(scale=1024, cores=1)
+    overrides.setdefault("adaptive_threshold", True)
+    config = dataclasses.replace(
+        config, pom=dataclasses.replace(config.pom, **overrides)
+    )
+    stats = StatsRegistry()
+    return PomHmc(config, OsModel(config.memory), stats), config, stats
+
+
+def slow_line(hmc, index, offset=0):
+    return (hmc.fast_segments + index) * hmc.lines_per_segment + offset
+
+
+def drive_swap(hmc, index, now):
+    """Push one slow segment over the (current) threshold."""
+    for k in range(hmc.swap_threshold):
+        now = hmc.handle_request(now + 1, slow_line(hmc, index, k % 32), False, 1)
+    return now
+
+
+class TestAdaptation:
+    def test_starts_at_configured_threshold(self):
+        hmc, config, _ = make_adaptive_pom()
+        assert hmc.swap_threshold == config.pom.swap_threshold
+
+    def test_wasted_swaps_raise_threshold(self):
+        # Thrash one group with two competing slow members: every swap's
+        # displaced occupant earned ~0 post-swap hits -> all wasted.
+        hmc, config, stats = make_adaptive_pom(adaptive_benefit_hits=16)
+        group = hmc.fast_segments - 1
+        member_a = group            # slow index of first member
+        member_b = group + hmc.fast_segments  # second member, same group
+        now = 0
+        for _ in range(10):
+            for segment_index in (member_a, member_b):
+                for k in range(hmc.swap_threshold):
+                    now = hmc.handle_request(
+                        now + 1, slow_line(hmc, segment_index, k % 32), False, 1
+                    )
+            # Jump past a decay interval to trigger adaptation.
+            now += config.pom.counter_decay_interval_cycles
+        assert hmc.swap_threshold > config.pom.swap_threshold
+
+    def test_threshold_bounded_above(self):
+        hmc, config, _ = make_adaptive_pom(threshold_max=16)
+        hmc._epoch_wasted = 100
+        hmc._epoch_useful = 0
+        for _ in range(20):
+            hmc._adapt_threshold()
+            hmc._epoch_wasted = 100
+        assert hmc.swap_threshold <= 16
+
+    def test_threshold_bounded_below(self):
+        hmc, config, _ = make_adaptive_pom(threshold_min=6)
+        for _ in range(20):
+            hmc._epoch_useful = 100
+            hmc._epoch_wasted = 0
+            hmc._adapt_threshold()
+        assert hmc.swap_threshold >= 6
+
+    def test_useful_swaps_lower_threshold(self):
+        hmc, config, _ = make_adaptive_pom()
+        hmc._epoch_useful = 10
+        hmc._epoch_wasted = 1
+        hmc._adapt_threshold()
+        assert hmc.swap_threshold == config.pom.swap_threshold - 2
+
+    def test_small_samples_ignored(self):
+        hmc, config, _ = make_adaptive_pom()
+        hmc._epoch_useful = 1
+        hmc._epoch_wasted = 2
+        hmc._adapt_threshold()
+        assert hmc.swap_threshold == config.pom.swap_threshold
+
+    def test_disabled_keeps_threshold_fixed(self):
+        hmc, config, stats = make_adaptive_pom(adaptive_threshold=False)
+        now = 0
+        for _ in range(4):
+            now = drive_swap(hmc, hmc.fast_segments - 1, now)
+            now += config.pom.counter_decay_interval_cycles
+            hmc.handle_request(now, slow_line(hmc, 5), False, 1)
+        assert hmc.swap_threshold == config.pom.swap_threshold
+        assert stats.get("pom/threshold_adaptations") == 0

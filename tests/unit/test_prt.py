@@ -1,0 +1,150 @@
+"""Unit tests for the PRT and PRTc (repro.core.prt)."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.core.prt import PageRemapTable, PrtCache
+
+
+def make_prt(dram_pages=64, nvm_pages=512, ways=4):
+    return PageRemapTable(dram_pages, dram_pages + nvm_pages, ways)
+
+
+class TestGeometry:
+    def test_colour_count(self):
+        prt = make_prt(dram_pages=64, ways=4)
+        assert prt.num_colours == 16
+
+    def test_colour_of(self):
+        prt = make_prt()
+        assert prt.colour_of(0) == 0
+        assert prt.colour_of(17) == 1
+        assert prt.colour_of(16) == 0
+
+    def test_frames_of_colour(self):
+        prt = make_prt(dram_pages=64, ways=4)
+        frames = prt.dram_frames_of_colour(3)
+        assert frames == [3, 19, 35, 51]
+        for frame in frames:
+            assert prt.colour_of(frame) == 3
+            assert prt.is_dram(frame)
+
+    def test_nvm_pages_share_colours(self):
+        prt = make_prt(dram_pages=64, ways=4)
+        nvm_page = 64 + 16  # colour (64+16) % 16 == 0
+        assert prt.colour_of(nvm_page) == 0
+
+
+class TestInstallRemove:
+    def test_install_and_locate(self):
+        prt = make_prt()
+        nvm = 64  # colour 0
+        prt.install(nvm, 0)
+        assert prt.location_of(nvm) == 0
+        assert prt.location_of(0) == nvm
+
+    def test_involution(self):
+        prt = make_prt()
+        nvm = 64
+        prt.install(nvm, 0)
+        assert prt.location_of(prt.location_of(nvm)) == nvm
+
+    def test_unswapped_pages_at_home(self):
+        prt = make_prt()
+        assert prt.location_of(5) == 5
+        assert prt.location_of(100) == 100
+        assert not prt.is_swapped(5)
+
+    def test_remove_restores_home(self):
+        prt = make_prt()
+        nvm = 64
+        prt.install(nvm, 0)
+        freed = prt.remove(nvm)
+        assert freed == 0
+        assert prt.location_of(nvm) == nvm
+        assert prt.location_of(0) == 0
+
+    def test_colour_constraint_enforced(self):
+        prt = make_prt()
+        nvm = 64 + 1  # colour 1
+        with pytest.raises(SimulationError):
+            prt.install(nvm, 0)  # frame colour 0
+
+    def test_double_install_rejected(self):
+        prt = make_prt()
+        prt.install(64, 0)
+        with pytest.raises(SimulationError):
+            prt.install(64, 16)
+
+    def test_occupied_frame_rejected(self):
+        prt = make_prt()
+        prt.install(64, 0)
+        with pytest.raises(SimulationError):
+            prt.install(64 + 16, 0)
+
+    def test_install_requires_nvm_dram_pair(self):
+        prt = make_prt()
+        with pytest.raises(SimulationError):
+            prt.install(0, 16)  # both DRAM
+        with pytest.raises(SimulationError):
+            prt.install(64, 80)  # both NVM
+
+    def test_remove_unswapped_rejected(self):
+        prt = make_prt()
+        with pytest.raises(SimulationError):
+            prt.remove(64)
+
+    def test_queries(self):
+        prt = make_prt()
+        prt.install(64, 0)
+        assert prt.dram_frame_holding(64) == 0
+        assert prt.nvm_page_in_frame(0) == 64
+        assert prt.nvm_page_in_frame(16) is None
+        assert prt.pairs_of_colour(0) == [(64, 0)]
+        assert prt.active_pairs == 1
+
+    def test_full_colour_set(self):
+        prt = make_prt(dram_pages=64, ways=4)
+        for way, frame in enumerate(prt.dram_frames_of_colour(0)):
+            prt.install(64 + 16 * (way + 1), frame)
+        assert len(prt.pairs_of_colour(0)) == 4
+
+
+class TestPrtCache:
+    def test_requires_full_set(self):
+        with pytest.raises(ConfigError):
+            PrtCache(entries=2, ways=4, latency_cycles=1)
+
+    def test_miss_then_hit(self):
+        cache = PrtCache(16, 4, 1)
+        assert not cache.lookup(3)
+        cache.fill(3)
+        assert cache.lookup(3)
+
+    def test_capacity_and_lru(self):
+        cache = PrtCache(8, 4, 1)  # 2 colour sets
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)
+        evicted = cache.fill(2)
+        assert evicted == 1
+
+    def test_contains_non_destructive(self):
+        cache = PrtCache(8, 4, 1)
+        cache.fill(0)
+        hits_before = cache.hits
+        assert cache.contains(0)
+        assert cache.hits == hits_before
+
+    def test_hit_rate(self):
+        cache = PrtCache(8, 4, 1)
+        cache.lookup(0)
+        cache.fill(0)
+        cache.lookup(0)
+        assert cache.hit_rate == 0.5
+
+    def test_refill_no_eviction(self):
+        cache = PrtCache(8, 4, 1)
+        cache.fill(0)
+        assert cache.fill(0) is None
+        assert cache.occupancy == 1

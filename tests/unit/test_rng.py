@@ -1,0 +1,108 @@
+"""Unit tests for deterministic random streams (repro.common.rng)."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_name_same_stream(self):
+        a = DeterministicRng("x", 42)
+        b = DeterministicRng("x", 42)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_different_names_diverge(self):
+        a = DeterministicRng("x", 42)
+        b = DeterministicRng("y", 42)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng("x", 1)
+        b = DeterministicRng("x", 2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_derive_is_deterministic(self):
+        a = DeterministicRng("x", 7).derive("child")
+        b = DeterministicRng("x", 7).derive("child")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+    def test_derive_differs_from_parent(self):
+        parent = DeterministicRng("x", 7)
+        child = DeterministicRng("x", 7).derive("child")
+        assert [parent.randint(0, 10**9) for _ in range(5)] != [
+            child.randint(0, 10**9) for _ in range(5)
+        ]
+
+
+class TestDistributions:
+    def test_randint_bounds(self):
+        rng = DeterministicRng("bounds")
+        for _ in range(200):
+            assert 3 <= rng.randint(3, 9) <= 9
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRng("unit")
+        for _ in range(200):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_choice_members(self):
+        rng = DeterministicRng("choice")
+        seq = ["a", "b", "c"]
+        for _ in range(50):
+            assert rng.choice(seq) in seq
+
+    def test_sample_distinct(self):
+        rng = DeterministicRng("sample")
+        picked = rng.sample(range(100), 10)
+        assert len(set(picked)) == 10
+
+    def test_permutation_is_permutation(self):
+        rng = DeterministicRng("perm")
+        order = rng.permutation(50)
+        assert sorted(order) == list(range(50))
+
+    def test_zipf_bounds(self):
+        rng = DeterministicRng("zipf")
+        for _ in range(300):
+            assert 0 <= rng.zipf_index(17) < 17
+
+    def test_zipf_skews_low(self):
+        rng = DeterministicRng("zipfskew")
+        draws = [rng.zipf_index(1000, skew=0.9) for _ in range(2000)]
+        low = sum(1 for d in draws if d < 100)
+        assert low > len(draws) * 0.5
+
+    def test_zipf_rejects_empty(self):
+        rng = DeterministicRng("zipfbad")
+        with pytest.raises(ValueError):
+            rng.zipf_index(0)
+
+    def test_geometric_minimum_one(self):
+        rng = DeterministicRng("geo")
+        for _ in range(100):
+            assert rng.geometric(0.5) >= 1
+
+    def test_geometric_rejects_bad_p(self):
+        rng = DeterministicRng("geobad")
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_shuffle_preserves_members(self):
+        rng = DeterministicRng("shuffle")
+        values = list(range(30))
+        rng.shuffle(values)
+        assert sorted(values) == list(range(30))
+
+    def test_iter_randints_stream(self):
+        rng = DeterministicRng("iter")
+        stream = rng.iter_randints(1, 6)
+        draws = [next(stream) for _ in range(20)]
+        assert all(1 <= d <= 6 for d in draws)

@@ -1,0 +1,113 @@
+"""Unit tests for the experiment runner (repro.experiments.runner)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    CACHE_VERSION,
+    ExperimentRunner,
+    VARIANTS,
+    _run_one_for_pool,
+)
+
+
+def make_runner(tmp_path, **kwargs):
+    kwargs.setdefault("scale", 1024)
+    kwargs.setdefault("measure_ops", 400)
+    kwargs.setdefault("warmup_ops", 500)
+    kwargs.setdefault("workloads", ["lbmx4"])
+    return ExperimentRunner(cache_dir=tmp_path / "cache", **kwargs)
+
+
+class TestCacheKeys:
+    def test_key_includes_everything(self, tmp_path):
+        runner = make_runner(tmp_path)
+        key = runner._key("pageseer", "lbmx4", "nocorr")
+        for fragment in (
+            f"v{CACHE_VERSION}", "pageseer", "lbmx4", "nocorr",
+            "s1024", "m400", "w500", "seed0",
+        ):
+            assert fragment in key
+
+    def test_different_sizing_different_keys(self, tmp_path):
+        a = make_runner(tmp_path)
+        b = make_runner(tmp_path, measure_ops=401)
+        assert a._key("x", "y", "z") != b._key("x", "y", "z")
+
+    def test_corrupt_cache_entry_ignored(self, tmp_path):
+        runner = make_runner(tmp_path)
+        runner.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = runner._cache_path(runner._key("noswap", "lbmx4", "default"))
+        path.write_text("{not json")
+        metrics = runner.run("noswap", "lbmx4")  # recomputes cleanly
+        assert metrics.scheme == "noswap"
+
+
+class TestRunMany:
+    def test_dedup_and_results(self, tmp_path):
+        runner = make_runner(tmp_path)
+        requests = [("noswap", "lbmx4", "default")] * 3
+        results = runner.run_many(requests, jobs=1)
+        assert len(results) == 1
+
+    def test_serial_path_matches_run(self, tmp_path):
+        runner = make_runner(tmp_path)
+        results = runner.run_many([("noswap", "lbmx4", "default")], jobs=1)
+        direct = runner.run("noswap", "lbmx4")
+        assert results[("noswap", "lbmx4", "default")].ipc == direct.ipc
+
+    def test_cached_requests_skip_simulation(self, tmp_path, monkeypatch):
+        runner = make_runner(tmp_path)
+        runner.run("noswap", "lbmx4")  # populate
+
+        import repro.experiments.runner as runner_module
+
+        def boom(*args, **kwargs):
+            raise AssertionError("simulation should not run")
+
+        monkeypatch.setattr(runner_module, "build_system", boom)
+        results = runner.run_many([("noswap", "lbmx4", "default")], jobs=1)
+        assert ("noswap", "lbmx4", "default") in results
+
+    def test_pool_worker_standalone(self):
+        metrics = _run_one_for_pool(
+            ("noswap", "lbmx4", "default"), (1024, 200, 200, 0)
+        )
+        assert metrics.scheme == "noswap"
+        assert metrics.instructions > 0
+
+    def test_pool_worker_applies_variant(self):
+        metrics = _run_one_for_pool(
+            ("pageseer", "lbmx4", "nohints"), (1024, 400, 1500, 0)
+        )
+        assert metrics.swaps_mmu == 0
+
+
+class TestPrewarm:
+    def test_prewarm_covers_standard_matrix(self, tmp_path, monkeypatch):
+        runner = make_runner(tmp_path)
+        seen = []
+
+        def fake_run_many(requests, jobs=None):
+            seen.extend(requests)
+            return {}
+
+        monkeypatch.setattr(runner, "run_many", fake_run_many)
+        runner.prewarm()
+        variants = {request[2] for request in seen}
+        assert variants == {"default", "nobw", "nocorr", "nohints"}
+        schemes = {request[0] for request in seen}
+        assert schemes == {"pageseer", "pom", "mempod"}
+
+
+class TestVariantRegistry:
+    def test_builtin_variants_present(self):
+        for name in ("default", "nocorr", "nobw", "nohints"):
+            assert name in VARIANTS
+
+    def test_variants_are_pure(self):
+        from repro.common.config import default_system_config
+
+        config = default_system_config(scale=1024)
+        mutated = VARIANTS["nocorr"](config)
+        assert config.pageseer.correlation_enabled
+        assert not mutated.pageseer.correlation_enabled

@@ -1,0 +1,32 @@
+"""Unit tests for the static reference configs (repro.baselines.static)."""
+
+from repro.baselines.static import all_dram_config, all_nvm_config
+from repro.common.config import default_system_config
+
+
+class TestAllDram:
+    def test_nvm_timing_becomes_dram(self):
+        config = all_dram_config(default_system_config(scale=1024))
+        assert config.memory.nvm.t_rcd == config.memory.dram.t_rcd
+        assert config.memory.nvm.t_wr == config.memory.dram.t_wr
+
+    def test_capacity_unchanged(self):
+        base = default_system_config(scale=1024)
+        config = all_dram_config(base)
+        assert config.memory.nvm.capacity_bytes == base.memory.nvm.capacity_bytes
+
+    def test_channels_match(self):
+        config = all_dram_config(default_system_config(scale=1024))
+        assert config.memory.nvm.channels == config.memory.dram.channels
+
+
+class TestAllNvm:
+    def test_dram_timing_becomes_nvm(self):
+        config = all_nvm_config(default_system_config(scale=1024))
+        assert config.memory.dram.t_rcd == config.memory.nvm.t_rcd
+        assert config.memory.dram.t_wr == config.memory.nvm.t_wr
+
+    def test_dram_capacity_unchanged(self):
+        base = default_system_config(scale=1024)
+        config = all_nvm_config(base)
+        assert config.memory.dram.capacity_bytes == base.memory.dram.capacity_bytes

@@ -1,0 +1,74 @@
+"""Unit tests for the swap buffer pool (repro.mem.swap_buffer)."""
+
+import pytest
+
+from repro.common.stats import StatsRegistry
+from repro.mem.swap_buffer import SwapBufferPool
+
+
+@pytest.fixture
+def pool():
+    return SwapBufferPool(capacity=2, stats=StatsRegistry(), service_latency_cycles=10)
+
+
+class TestHold:
+    def test_hold_succeeds(self, pool):
+        assert pool.try_hold(1, available_from=0, release_at=100)
+
+    def test_capacity_enforced(self, pool):
+        assert pool.try_hold(1, 0, 100)
+        assert pool.try_hold(2, 0, 100)
+        assert not pool.try_hold(3, 0, 100)
+
+    def test_rehold_extends_window(self, pool):
+        pool.try_hold(1, 0, 100)
+        assert pool.try_hold(1, 50, 200)
+        assert pool.service(150, 1) is not None
+
+    def test_expired_entries_freed(self, pool):
+        pool.try_hold(1, 0, 10)
+        pool.try_hold(2, 0, 10)
+        assert pool.try_hold(3, 20, 100)
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            SwapBufferPool(0, StatsRegistry())
+
+
+class TestService:
+    def test_service_within_window(self, pool):
+        pool.try_hold(5, 10, 100)
+        assert pool.service(50, 5) == 60
+
+    def test_no_service_before_available(self, pool):
+        pool.try_hold(5, 10, 100)
+        assert pool.service(5, 5) is None
+
+    def test_no_service_after_release(self, pool):
+        pool.try_hold(5, 10, 100)
+        assert pool.service(100, 5) is None
+
+    def test_unknown_key(self, pool):
+        assert pool.service(50, 99) is None
+
+    def test_in_flight(self, pool):
+        pool.try_hold(5, 10, 100)
+        assert pool.in_flight(50, 5)
+        assert not pool.in_flight(150, 5)
+        assert not pool.in_flight(50, 6)
+
+
+class TestRelease:
+    def test_release_frees_slot(self, pool):
+        pool.try_hold(1, 0, 1000)
+        pool.try_hold(2, 0, 1000)
+        pool.release(1)
+        assert pool.try_hold(3, 0, 1000)
+
+    def test_release_absent_is_noop(self, pool):
+        pool.release(42)
+
+    def test_occupancy(self, pool):
+        assert pool.occupancy == 0
+        pool.try_hold(1, 0, 100)
+        assert pool.occupancy == 1

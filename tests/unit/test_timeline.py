@@ -1,0 +1,75 @@
+"""Unit tests for resource timelines (repro.common.timeline)."""
+
+import pytest
+
+from repro.common.timeline import BankedTimeline, Timeline
+
+
+class TestTimeline:
+    def test_idle_reserve_starts_now(self):
+        t = Timeline()
+        start, end = t.reserve(100, 10)
+        assert (start, end) == (100, 110)
+
+    def test_back_to_back_queues(self):
+        t = Timeline()
+        t.reserve(100, 10)
+        start, end = t.reserve(100, 10)
+        assert (start, end) == (110, 120)
+
+    def test_gap_is_respected(self):
+        t = Timeline()
+        t.reserve(0, 10)
+        start, _ = t.reserve(50, 5)
+        assert start == 50
+
+    def test_next_free(self):
+        t = Timeline()
+        t.reserve(0, 10)
+        assert t.next_free(5) == 10
+        assert t.next_free(20) == 20
+
+    def test_utilization(self):
+        t = Timeline()
+        t.reserve(0, 50)
+        assert t.utilization(100) == 0.5
+
+    def test_utilization_capped(self):
+        t = Timeline()
+        t.reserve(0, 500)
+        assert t.utilization(100) == 1.0
+
+    def test_utilization_zero_elapsed(self):
+        assert Timeline().utilization(0) == 0.0
+
+
+class TestBankedTimeline:
+    def test_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            BankedTimeline(0)
+
+    def test_len(self):
+        assert len(BankedTimeline(4)) == 4
+
+    def test_independent_banks(self):
+        banks = BankedTimeline(2)
+        banks.reserve(0, 0, 100)
+        start, _ = banks.reserve(1, 0, 10)
+        assert start == 0
+
+    def test_least_loaded(self):
+        banks = BankedTimeline(3)
+        banks.reserve(0, 0, 100)
+        banks.reserve(1, 0, 50)
+        assert banks.least_loaded(0) == 2
+
+    def test_least_loaded_after_reservations(self):
+        banks = BankedTimeline(2)
+        banks.reserve(0, 0, 10)
+        banks.reserve(1, 0, 100)
+        assert banks.least_loaded(0) == 0
+
+    def test_mean_utilization(self):
+        banks = BankedTimeline(2)
+        banks.reserve(0, 0, 100)
+        assert banks.utilization(100) == pytest.approx(0.5)

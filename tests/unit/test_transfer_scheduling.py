@@ -1,0 +1,81 @@
+"""Unit tests for the row-group transfer scheduler (device.transfer_page).
+
+Page transfers are scheduled row-group-at-a-time for speed; these tests
+pin the scheduler to the behaviour of the per-line path it replaced.
+"""
+
+import pytest
+
+from repro.common.config import dram_timing_table1, nvm_timing_table1
+from repro.common.stats import StatsRegistry
+from repro.mem.device import MemoryDevice
+
+
+def twin_devices(nvm=False):
+    config = nvm_timing_table1(4 * 2**20) if nvm else dram_timing_table1(4 * 2**20)
+    return (
+        MemoryDevice(config, StatsRegistry()),
+        MemoryDevice(config, StatsRegistry()),
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("nvm", [False, True])
+    @pytest.mark.parametrize("first,count", [(0, 64), (7, 64), (3, 17), (0, 1)])
+    def test_same_lines_moved(self, nvm, first, count):
+        grouped, per_line = twin_devices(nvm)
+        grouped.transfer_page(0, first, count, is_write=False)
+        for index in range(count):
+            per_line.access(0, first + index, False)
+        assert grouped.reads == per_line.reads == count
+
+    @pytest.mark.parametrize("nvm", [False, True])
+    def test_same_rows_opened(self, nvm):
+        grouped, per_line = twin_devices(nvm)
+        grouped.transfer_page(0, 0, 64, is_write=False)
+        for index in range(64):
+            per_line.access(0, index, False)
+        assert grouped._open_rows == per_line._open_rows
+
+    @pytest.mark.parametrize("nvm", [False, True])
+    def test_grouped_not_slower_than_per_line(self, nvm):
+        """Group scheduling pipelines bursts: never slower than per-line."""
+        grouped, per_line = twin_devices(nvm)
+        grouped_finish = grouped.transfer_page(0, 0, 64, is_write=False)
+        per_line_finish = 0
+        for index in range(64):
+            result = per_line.access(0, index, False)
+            per_line_finish = max(per_line_finish, result.finish)
+        assert grouped_finish <= per_line_finish
+
+    def test_bus_bound_lower_bound(self):
+        """A transfer can never beat the channel data-bus time."""
+        device, _ = twin_devices()
+        finish = device.transfer_page(0, 0, 64, is_write=False)
+        channels = device.config.channels
+        per_channel = 64 // channels
+        assert finish >= per_channel * device.config.line_transfer_cycles
+
+    def test_write_recovery_owed_after_transfer(self):
+        """A write transfer leaves the rows dirty: the next read pays t_WR."""
+        device, _ = twin_devices(nvm=True)
+        device.transfer_page(0, 0, 64, is_write=True)
+        result = device.access(100_000, 0, False)
+        base_hit = device.config.t_cas * 2 + device.config.line_transfer_cycles
+        assert result.finish - result.start == base_hit + device.config.write_recovery_cycles()
+
+
+class TestBulkPriorityInTransfers:
+    def test_bulk_transfer_yields_to_demand(self):
+        device, _ = twin_devices()
+        demand = device.access(0, 0, False)
+        finish = device.transfer_page(0, 0, 64, is_write=False, bulk=True)
+        assert finish >= demand.finish
+
+    def test_demand_transfer_priority(self):
+        """Demand-priority transfers preempt queued bulk work."""
+        device, _ = twin_devices()
+        device.transfer_page(0, 0, 64, is_write=False, bulk=True)
+        finish = device.transfer_page(0, 64, 64, is_write=False, bulk=False)
+        bulk_backlog = device.transfer_page(0, 128, 64, is_write=False, bulk=True)
+        assert finish <= bulk_backlog
