@@ -1,0 +1,175 @@
+"""The CheckManager: attaches the sanitizer to a live system.
+
+The manager is constructed by :class:`repro.sim.system.System` only when
+``config.check.level != "off"`` — at the default ``off`` level nothing is
+built, nothing is wrapped, and the hot path runs exactly the code it runs
+without the sanitizer (the zero-overhead guarantee the throughput tests
+pin down).
+
+When enabled, the manager
+
+* wraps ``hmc.handle_request`` with an observer that counts requests,
+  cross-checks each accessed page against the shadow oracle (level
+  ``full``), and runs a structural invariant sweep every
+  ``interval_ops`` requests;
+* subscribes to the PRT's install/remove events and the Swap Driver's
+  swap events, so event-count conservation and the oracle's replay are
+  driven by the model's own mutation stream;
+* raises :class:`repro.common.errors.CheckViolationError` on the first
+  violation (``fail_fast``), or collects violations and raises once at
+  :meth:`finalize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.addr import LINES_PER_PAGE
+from repro.common.config import CheckConfig
+from repro.common.errors import CheckViolationError
+from repro.check.invariants import InvariantChecker, Violation, build_checkers
+from repro.check.shadow import ShadowPageOracle
+
+
+@dataclass
+class CheckReport:
+    """What the sanitizer did during one run."""
+
+    level: str
+    accesses_observed: int = 0
+    sweeps: int = 0
+    checkers: List[str] = field(default_factory=list)
+    shadow_accesses_checked: int = 0
+    shadow_swaps_replayed: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+class CheckManager:
+    """Owns the checkers and the shadow oracle for one system."""
+
+    def __init__(self, config: CheckConfig):
+        self.config = config
+        self.checkers: List[InvariantChecker] = []
+        self.shadow: Optional[ShadowPageOracle] = None
+        self.system = None
+        self.accesses = 0
+        self.sweeps = 0
+        self.violations: List[Violation] = []
+        self._prt_installs = 0
+        self._prt_removes = 0
+        self._finalized = False
+
+    # -- wiring -------------------------------------------------------------
+    def attach(self, system) -> None:
+        """Bind to *system*: build checkers, subscribe events, wrap the HMC."""
+        self.system = system
+        self.checkers = build_checkers(system)
+        if system.scheme == "pageseer":
+            hmc = system.hmc
+            hmc.prt.on_event = self._on_prt_event
+            if self.config.shadow_enabled:
+                self.shadow = ShadowPageOracle(hmc.dram_pages, hmc.total_pages)
+                hmc.swap_driver.on_swap_event = self.shadow.on_swap
+        self._wrap_handle_request()
+
+    def _wrap_handle_request(self) -> None:
+        from repro.sim.hmc_base import RequestKind
+
+        hmc = self.system.hmc
+        inner = hmc.handle_request
+        interval = self.config.interval_ops
+        shadow = self.shadow
+        prt = getattr(hmc, "prt", None)
+
+        def checked_handle_request(
+            now, line_spa, is_write, pid, kind=RequestKind.DEMAND
+        ):
+            self.accesses += 1
+            if shadow is not None:
+                violation = shadow.verify_access(prt, line_spa // LINES_PER_PAGE)
+                if violation is not None:
+                    self._handle([violation])
+            if self.accesses % interval == 0:
+                self.run_invariants(now)
+            finish = inner(now, line_spa, is_write, pid, kind)
+            if shadow is not None and shadow.event_violations:
+                drained = list(shadow.event_violations)
+                shadow.event_violations.clear()
+                self._handle(drained)
+            return finish
+
+        hmc.handle_request = checked_handle_request
+        self._inner_handle_request = inner
+
+    def _on_prt_event(self, kind: str, nvm_ppn: int, dram_ppn: int) -> None:
+        if kind == "install":
+            self._prt_installs += 1
+        elif kind == "remove":
+            self._prt_removes += 1
+
+    # -- checking -----------------------------------------------------------
+    def run_invariants(self, now: int) -> None:
+        """One structural sweep over every registered checker."""
+        self.sweeps += 1
+        found: List[Violation] = []
+        for checker in self.checkers:
+            found.extend(checker.check(self.system, now))
+        found.extend(self._check_event_conservation())
+        if found:
+            self._handle(found)
+
+    def _check_event_conservation(self) -> List[Violation]:
+        """PRT event stream must balance against its active pair count."""
+        if self.system.scheme != "pageseer":
+            return []
+        expected = self._prt_installs - self._prt_removes
+        actual = self.system.hmc.prt.active_pairs
+        if actual == expected:
+            return []
+        return [Violation(
+            checker="prt-event-conservation",
+            message=f"PRT holds {actual} pairs but its event stream "
+                    f"accounts for {expected} "
+                    f"({self._prt_installs} installs - "
+                    f"{self._prt_removes} removes)",
+        )]
+
+    def finalize(self, now: int) -> None:
+        """End-of-run sweep plus the oracle's full-map comparison."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self.run_invariants(now)
+        if self.shadow is not None:
+            mismatches = self.shadow.verify_full(self.system.hmc.prt)
+            self.shadow.event_violations.clear()
+            if mismatches:
+                self._handle(mismatches)
+        if self.violations:
+            raise CheckViolationError(self.violations)
+
+    # -- reporting ----------------------------------------------------------
+    def _handle(self, violations: List[Violation]) -> None:
+        self.violations.extend(violations)
+        if self.config.fail_fast:
+            raise CheckViolationError(violations)
+
+    def report(self) -> CheckReport:
+        return CheckReport(
+            level=self.config.level,
+            accesses_observed=self.accesses,
+            sweeps=self.sweeps,
+            checkers=[checker.name for checker in self.checkers],
+            shadow_accesses_checked=(
+                self.shadow.accesses_checked if self.shadow else 0
+            ),
+            shadow_swaps_replayed=(
+                self.shadow.swaps_replayed if self.shadow else 0
+            ),
+            violations=list(self.violations),
+        )

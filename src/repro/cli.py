@@ -5,6 +5,7 @@ Commands:
 * ``run``             simulate one (scheme, workload) pair and print metrics
 * ``report``          regenerate every table/figure (cached)
 * ``energy``          run PageSeer and print the Table II energy report
+* ``golden``          verify (or ``--update``) the golden regression matrix
 * ``trace-record``    dump one core's access stream to a trace file
 * ``trace-run``       simulate a scheme over recorded trace files
 * ``list-workloads``  the 26 Table III workloads
@@ -17,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.common.config import CHECK_LEVELS, CheckConfig
 from repro.experiments import ExperimentRunner
 from repro.experiments.runner import VARIANTS
 from repro.sim.system import SCHEMES, build_system
@@ -33,6 +35,26 @@ def _add_sizing_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_check_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--check", action="store_true",
+                        help="run the simulation sanitizer at level 'full' "
+                             "(invariant sweeps + shadow reference model)")
+    parser.add_argument("--check-level", choices=CHECK_LEVELS, default=None,
+                        help="explicit sanitizer level (overrides --check)")
+    parser.add_argument("--check-interval", type=int, default=256,
+                        help="accesses between invariant sweeps")
+
+
+def _resolve_check(args: argparse.Namespace) -> Optional[CheckConfig]:
+    """Turn ``--check`` / ``--check-level`` into a CheckConfig (or None)."""
+    level = args.check_level
+    if level is None:
+        level = "full" if args.check else None
+    if level is None:
+        return None
+    return CheckConfig(level=level, interval_ops=args.check_interval)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     system = build_system(
@@ -41,6 +63,7 @@ def _command_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         config_mutator=VARIANTS[args.variant],
+        check=_resolve_check(args),
     )
     metrics = system.run(args.measure_ops, args.warmup_ops)
     print(f"{args.scheme} on {workload.name} "
@@ -56,6 +79,12 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"  swaps per k-instr   {metrics.swaps_per_kilo_instruction:.3f}")
     if metrics.prefetch_swaps:
         print(f"  prefetch accuracy   {metrics.prefetch_accuracy:.1%}")
+    if system.checker is not None:
+        report = system.checker.report()
+        print(f"  sanitizer           level={report.level} "
+              f"sweeps={report.sweeps} "
+              f"shadow-checks={report.shadow_accesses_checked} "
+              f"violations={len(report.violations)}")
     return 0
 
 
@@ -103,7 +132,35 @@ def _command_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_golden(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.check.golden import (
+        default_golden_dir,
+        update_goldens,
+        verify_goldens,
+    )
+
+    directory = Path(args.dir) if args.dir else default_golden_dir()
+    if args.update:
+        written = update_goldens(directory, verbose=True)
+        print(f"wrote {len(written)} golden file(s) to {directory}")
+        return 0
+    problems = verify_goldens(directory, verbose=True)
+    if problems:
+        print(f"{len(problems)} golden mismatch(es):")
+        for triple, messages in sorted(problems.items()):
+            print(f"  {'/'.join(triple)}:")
+            for message in messages:
+                print(f"    {message}")
+        return 1
+    print("all goldens match")
+    return 0
+
+
 def _command_trace_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
     from repro.common.config import default_system_config
     from repro.sim.system import System
     from repro.workloads.trace import trace_workload
@@ -112,6 +169,9 @@ def _command_trace_run(args: argparse.Namespace) -> int:
     config = default_system_config(
         scale=args.scale, cores=spec.cores, seed=args.seed
     )
+    check = _resolve_check(args)
+    if check is not None:
+        config = dataclasses.replace(config, check=check)
     system = System(config, args.scheme, spec, args.scale)
     metrics = system.run(args.measure_ops, args.warmup_ops)
     print(f"{args.scheme} over {spec.cores} trace(s)")
@@ -147,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--variant", default="default",
                             choices=sorted(VARIANTS))
     _add_sizing_arguments(run_parser)
+    _add_check_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
     report_parser = commands.add_parser(
@@ -163,6 +224,15 @@ def build_parser() -> argparse.ArgumentParser:
     energy_parser.add_argument("--workload", default="lbmx4")
     _add_sizing_arguments(energy_parser)
     energy_parser.set_defaults(handler=_command_energy)
+
+    golden_parser = commands.add_parser(
+        "golden", help="verify or regenerate the golden regression matrix"
+    )
+    golden_parser.add_argument("--update", action="store_true",
+                               help="re-run the matrix and rewrite the files")
+    golden_parser.add_argument("--dir", default=None,
+                               help="golden directory (default: tests/golden)")
+    golden_parser.set_defaults(handler=_command_golden)
 
     record_parser = commands.add_parser(
         "trace-record", help="dump one core's access stream to a file"
@@ -183,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_run_parser.add_argument("--scheme", default="pageseer",
                                   choices=sorted(SCHEMES))
     _add_sizing_arguments(trace_run_parser)
+    _add_check_arguments(trace_run_parser)
     trace_run_parser.set_defaults(handler=_command_trace_run)
 
     commands.add_parser(

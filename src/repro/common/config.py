@@ -374,6 +374,49 @@ class MemPodConfig:
         )
 
 
+#: Valid sanitizer levels, in increasing strictness/cost.
+CHECK_LEVELS = ("off", "invariants", "full")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """The simulation sanitizer (``repro.check``): what to verify at runtime.
+
+    * ``off`` — no checking at all; the hot path is left untouched (no
+      wrapper, no per-access callbacks).
+    * ``invariants`` — structural invariant sweeps (PRT bijectivity, frame
+      exclusivity, swap-buffer conservation, counter monotonicity, stats
+      sanity) every ``interval_ops`` controller requests and once at the
+      end of the run.
+    * ``full`` — ``invariants`` plus the shadow functional reference
+      model: a zero-timing oracle replays every swap event and every
+      access is cross-checked against the physical page it must resolve
+      to.
+    """
+
+    level: str = "off"
+    #: Controller requests between two invariant sweeps.
+    interval_ops: int = 256
+    #: Raise on the first violation (False: collect, raise at finalize).
+    fail_fast: bool = True
+
+    def __post_init__(self) -> None:
+        if self.level not in CHECK_LEVELS:
+            raise ConfigError(
+                f"unknown check level {self.level!r}; pick from {CHECK_LEVELS}"
+            )
+        if self.interval_ops <= 0:
+            raise ConfigError("check interval_ops must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.level != "off"
+
+    @property
+    def shadow_enabled(self) -> bool:
+        return self.level == "full"
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Everything needed to build one simulated system."""
@@ -409,6 +452,8 @@ class SystemConfig:
     #: When False, channel/bank contention is ignored (Section V-A mode).
     model_contention: bool = True
     seed: int = 0
+    #: Runtime sanitizer configuration (``repro.check``).
+    check: CheckConfig = field(default_factory=CheckConfig)
 
     def __post_init__(self) -> None:
         if self.cores <= 0:

@@ -15,3 +15,39 @@ class SimulationError(ReproError):
 
 class AllocationError(ReproError):
     """The OS model ran out of physical frames."""
+
+
+class CheckViolationError(SimulationError):
+    """The runtime sanitizer detected one or more invariant violations.
+
+    ``violations`` holds the :class:`repro.check.invariants.Violation`
+    objects; the message lists every one with its page/frame context.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = [str(v) for v in self.violations]
+        count = len(self.violations)
+        plural = "s" if count != 1 else ""
+        super().__init__(
+            f"{count} invariant violation{plural} detected:\n  " + "\n  ".join(lines)
+        )
+
+
+class SweepError(ReproError):
+    """One or more simulations of a parallel sweep failed.
+
+    ``failures`` is a list of ``((scheme, workload, variant), exception)``
+    pairs — every request that failed, not just the first.
+    """
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        names = ", ".join("/".join(request) for request, _ in self.failures)
+        causes = "\n  ".join(
+            f"{'/'.join(request)}: {type(exc).__name__}: {exc}"
+            for request, exc in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep request(s) failed ({names}):\n  {causes}"
+        )

@@ -9,7 +9,76 @@ which the experiment harness uses to separate warm-up from measurement.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable copy of a registry's full state at one instant.
+
+    Snapshots support exact warm-up separation: ``later.diff(earlier)``
+    returns the activity that happened strictly between the two snapshots
+    (counters, sums, and counts subtract exactly; maxima are not
+    subtractable, so a diff carries the *later* maxima).  Diffs compose:
+    ``c.diff(a) == c.diff(b).merged(b.diff(a))`` for any three snapshots
+    taken in order a, b, c.
+    """
+
+    counters: Mapping[str, float] = field(default_factory=dict)
+    sums: Mapping[str, float] = field(default_factory=dict)
+    counts: Mapping[str, int] = field(default_factory=dict)
+    maxima: Mapping[str, float] = field(default_factory=dict)
+
+    def mean(self, name: str, default: float = 0.0) -> float:
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return default
+        return self.sums.get(name, 0.0) / count
+
+    def maximum(self, name: str, default: float = 0.0) -> float:
+        return self.maxima.get(name, default)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def diff(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """The activity between *earlier* and this snapshot, exactly."""
+
+        def subtract(later: Mapping, early: Mapping) -> Dict:
+            out = {}
+            for name, value in later.items():
+                delta = value - early.get(name, 0)
+                if delta != 0:
+                    out[name] = delta
+            return out
+
+        return StatsSnapshot(
+            counters=subtract(self.counters, earlier.counters),
+            sums=subtract(self.sums, earlier.sums),
+            counts=subtract(self.counts, earlier.counts),
+            maxima=dict(self.maxima),
+        )
+
+    def merged(self, other: "StatsSnapshot") -> "StatsSnapshot":
+        """Combine two snapshots/diffs (sums add, maxima take the max)."""
+
+        def add(a: Mapping, b: Mapping) -> Dict:
+            out = dict(a)
+            for name, value in b.items():
+                out[name] = out.get(name, 0) + value
+            return out
+
+        maxima = dict(self.maxima)
+        for name, value in other.maxima.items():
+            if name not in maxima or value > maxima[name]:
+                maxima[name] = value
+        return StatsSnapshot(
+            counters=add(self.counters, other.counters),
+            sums=add(self.sums, other.sums),
+            counts=add(self.counts, other.counts),
+            maxima=maxima,
+        )
 
 
 class StatsRegistry:
@@ -67,6 +136,19 @@ class StatsRegistry:
     def snapshot(self) -> Mapping[str, float]:
         """Return a copy of all plain counters."""
         return dict(self._counters)
+
+    def snapshot_full(self) -> StatsSnapshot:
+        """Return an immutable copy of the complete registry state."""
+        return StatsSnapshot(
+            counters=dict(self._counters),
+            sums=dict(self._sums),
+            counts=dict(self._counts),
+            maxima=dict(self._maxima),
+        )
+
+    def since(self, earlier: StatsSnapshot) -> StatsSnapshot:
+        """The activity recorded since *earlier* was taken."""
+        return self.snapshot_full().diff(earlier)
 
     def reset(self) -> None:
         """Zero every counter and accumulator (used at end of warm-up)."""

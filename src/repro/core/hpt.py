@@ -15,7 +15,7 @@ entry whose counter reaches zero is removed.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigError
 
@@ -40,6 +40,28 @@ class HotPageTable:
         self._last_decay = 0
         self.reads = 0
         self.writes = 0
+        #: Optional check-event sink (``repro.check``): called as
+        #: ``on_event(kind, value)`` with ``("decay", epoch)`` after each
+        #: halving pass, and ``("evict", page)`` / ``("remove", page)``
+        #: when an entry leaves the table — the sanitizer needs these to
+        #: tell a legitimate re-insertion from a corrupted counter.
+        self.on_event: Optional[Callable[[str, int], None]] = None
+
+    @property
+    def epoch(self) -> int:
+        """How many decay intervals have been applied so far.
+
+        Counters are monotonically non-decreasing *within* one epoch
+        (miss increments only; removal deletes the entry outright), which
+        is exactly what the sanitizer's monotonicity checker verifies.
+        """
+        if self.decay_interval_cycles <= 0:
+            return 0
+        return self._last_decay // self.decay_interval_cycles
+
+    def counters(self) -> Dict[int, int]:
+        """A copy of the page -> counter map (checker introspection)."""
+        return dict(self._counters)
 
     def advance_time(self, now: int) -> None:
         """Apply any counter halvings that became due by *now*."""
@@ -48,6 +70,8 @@ class HotPageTable:
         while now - self._last_decay >= self.decay_interval_cycles:
             self._last_decay += self.decay_interval_cycles
             self._halve_all()
+            if self.on_event is not None:
+                self.on_event("decay", self.epoch)
 
     def _halve_all(self) -> None:
         dead = []
@@ -87,6 +111,8 @@ class HotPageTable:
                 coldest_page, coldest_count = page, count
         if coldest_page is not None:
             del self._counters[coldest_page]
+            if self.on_event is not None:
+                self.on_event("evict", coldest_page)
 
     def is_hot(self, page: int) -> bool:
         """True if the page is currently tracked (DRAM HPT lock check)."""
@@ -97,7 +123,8 @@ class HotPageTable:
 
     def remove(self, page: int) -> None:
         """Drop a page (e.g. after its swap has been initiated)."""
-        self._counters.pop(page, None)
+        if self._counters.pop(page, None) is not None and self.on_event is not None:
+            self.on_event("remove", page)
 
     def pages(self) -> List[int]:
         return list(self._counters)

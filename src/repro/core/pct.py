@@ -72,6 +72,10 @@ class PageCorrelationTable:
     def write(self, page: int, entry: PctEntry) -> None:
         self._entries[page] = entry
 
+    def entries(self) -> List[Tuple[int, PctEntry]]:
+        """All stored (page, entry) pairs (checker introspection)."""
+        return list(self._entries.items())
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -131,6 +135,10 @@ class PctCache:
             self._resident.move_to_end(page)
         if effective_change:
             self._changed[page] = True
+
+    def entries(self) -> List[Tuple[int, PctEntry]]:
+        """Resident (page, entry) pairs without disturbing LRU order."""
+        return list(self._resident.items())
 
     @property
     def hit_rate(self) -> float:
@@ -291,6 +299,10 @@ class FilterTable:
             del self._current_leader[pid]
         if self._previous_leader.get(pid) == victim.page:
             del self._previous_leader[pid]
+
+    def entries(self) -> List[FilterEntry]:
+        """The in-flight entries without disturbing LRU order."""
+        return list(self._entries.values())
 
     def drain(self) -> List[FilterEntry]:
         """Evict everything (end of run); caller writes the entries back."""

@@ -84,10 +84,21 @@ class SwapDriver:
         self.max_in_flight = max(1, min(config.swap_engines, buffers.capacity // 3))
         #: Frames' last swap time, for victim LRU among equals.
         self._frame_last_swap: Dict[int, int] = {}
+        #: The latest time lazy cleanup ran (see :meth:`_purge`).
+        self.last_purge_time = 0
         self.records: List[SwapRecord] = []
+        #: Optional check-event sink (``repro.check``): called as
+        #: ``on_swap_event(now, page_spa, frame, occupant, end)`` right
+        #: after a swap is committed to the PRT.  None in normal runs.
+        self.on_swap_event: Optional[Callable[[int, int, int, Optional[int], int], None]] = None
 
     # -- servicing requests that hit a swap in progress ------------------------
     def _purge(self, now: int) -> None:
+        # Per-core request times are not globally monotone, so remember the
+        # latest purge time: state about swaps ending before it may already
+        # be gone (the sanitizer needs this to avoid false orphans).
+        if now > self.last_purge_time:
+            self.last_purge_time = now
         finished = [page for page, end in self._active.items() if end <= now]
         for page in finished:
             del self._active[page]
@@ -233,6 +244,8 @@ class SwapDriver:
             optimized_slow=optimized,
         )
         self.records.append(record)
+        if self.on_swap_event is not None:
+            self.on_swap_event(now, page_spa, frame, occupant, end)
         self.stats.add("swap_driver/swaps")
         self.stats.add(f"swap_driver/swaps_{trigger}")
         if optimized:
@@ -308,6 +321,14 @@ class SwapDriver:
         return max(write_occ_home, write_frame, write_new_home), 3, 3
 
     # -- introspection ---------------------------------------------------------
+    def active_swaps(self) -> Dict[int, int]:
+        """``{page_spa: end_time}`` for pages in an in-flight swap."""
+        return dict(self._active)
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight_ends)
+
     @property
     def total_swaps(self) -> int:
         return len(self.records)

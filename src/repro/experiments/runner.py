@@ -17,7 +17,8 @@ import os
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.common.config import SystemConfig
+from repro.common.config import CheckConfig, SystemConfig
+from repro.common.errors import SweepError
 from repro.sim.metrics import RunMetrics
 from repro.sim.system import build_system
 from repro.workloads import all_workloads, workload_by_name
@@ -89,12 +90,20 @@ class ExperimentRunner:
         cache_dir: Optional[Path] = None,
         verbose: bool = False,
         workloads: Optional[List[str]] = None,
+        worker_check_level: str = "full",
     ):
         self.scale = scale
         self.measure_ops = measure_ops
         self.warmup_ops = warmup_ops
         self.seed = seed
         self.verbose = verbose
+        #: Sanitizer level for pool workers.  Sweep runs are where silent
+        #: model corruption would quietly poison every figure, and the
+        #: checking cost hides behind process-level parallelism — so the
+        #: worker path checks at "full" by default.  The serial paths stay
+        #: unchecked; the sanitizer is metrics-neutral, so cached results
+        #: agree regardless of which path produced them.
+        self.worker_check_level = worker_check_level
         self._workloads = list(workloads) if workloads is not None else None
         if cache_dir is None:
             env = os.environ.get("REPRO_CACHE_DIR")
@@ -183,6 +192,11 @@ class ExperimentRunner:
         stored in the cache by the parent.  ``jobs=None`` uses the CPU
         count; ``jobs=1`` degrades to the serial path (useful under
         debuggers).
+
+        A failing request does not abandon the sweep mid-flight: every
+        completed result is still cached, the remaining queue is cancelled
+        cleanly, and a :class:`repro.common.errors.SweepError` naming each
+        offending (scheme, workload, variant) is raised at the end.
         """
         requests = list(dict.fromkeys(requests))
         results: Dict[Tuple[str, str, str], RunMetrics] = {}
@@ -195,12 +209,21 @@ class ExperimentRunner:
                 pending.append(request)
         if not pending:
             return results
+        failures: List[Tuple[Tuple[str, str, str], BaseException]] = []
         if jobs == 1:
             for request in pending:
-                results[request] = self.run(*request)
+                try:
+                    results[request] = self.run(*request)
+                except Exception as exc:
+                    failures.append((request, exc))
+            if failures:
+                raise SweepError(failures)
             return results
 
-        sizing = (self.scale, self.measure_ops, self.warmup_ops, self.seed)
+        sizing = (
+            self.scale, self.measure_ops, self.warmup_ops, self.seed,
+            self.worker_check_level,
+        )
         with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
                 pool.submit(_run_one_for_pool, request, sizing): request
@@ -208,11 +231,23 @@ class ExperimentRunner:
             }
             for future in concurrent.futures.as_completed(futures):
                 request = futures[future]
-                metrics = future.result()
+                try:
+                    metrics = future.result()
+                except concurrent.futures.CancelledError:
+                    continue
+                except Exception as exc:
+                    failures.append((request, exc))
+                    # Stop launching queued work; already-running futures
+                    # finish (and are harvested) so their results cache.
+                    for other in futures:
+                        other.cancel()
+                    continue
                 self._store(self._key(*request), metrics)
                 results[request] = metrics
                 if self.verbose:
                     print(f"[runner] finished {'/'.join(request)}")
+        if failures:
+            raise SweepError(failures)
         return results
 
     def prewarm(self, jobs: Optional[int] = None) -> None:
@@ -234,21 +269,23 @@ class ExperimentRunner:
 
 
 def _run_one_for_pool(
-    request: Tuple[str, str, str], sizing: Tuple[int, int, int, int]
+    request: Tuple[str, str, str], sizing: Tuple[int, int, int, int, str]
 ) -> RunMetrics:
-    """Process-pool worker: one simulation, no cache access."""
+    """Process-pool worker: one simulation with the sanitizer attached."""
     scheme, workload_name, variant = request
-    scale, measure_ops, warmup_ops, seed = sizing
+    scale, measure_ops, warmup_ops, seed, check_level = sizing
     # Import inside the worker so forked/spawned processes initialise
     # their own module state (notably dynamically-registered variants).
     from repro.experiments import ablation_partial, dram_capacity, sensitivity  # noqa: F401
 
+    check = CheckConfig(level=check_level) if check_level != "off" else None
     system = build_system(
         scheme,
         workload_by_name(workload_name),
         scale=scale,
         seed=seed,
         config_mutator=VARIANTS[variant],
+        check=check,
     )
     metrics = system.run(measure_ops, warmup_ops)
     return dataclasses.replace(metrics, raw={})

@@ -87,6 +87,17 @@ class SwapBufferPool:
         entry = self._entries.get(key)
         return entry is not None and entry.available_from <= now < entry.release_at
 
+    def held_windows(self) -> Dict[int, tuple]:
+        """``{key: (available_from, release_at)}`` for every held buffer.
+
+        Checker introspection: expired entries are included until the next
+        allocation expires them, so callers filter by their own ``now``.
+        """
+        return {
+            key: (entry.available_from, entry.release_at)
+            for key, entry in self._entries.items()
+        }
+
     @property
     def occupancy(self) -> int:
         return len(self._entries)

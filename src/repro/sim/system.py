@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Type
 from repro.baselines.cameo import CameoHmc
 from repro.baselines.mempod import MemPodHmc
 from repro.baselines.pom import PomHmc
-from repro.common.config import SystemConfig
+from repro.common.config import CheckConfig, SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.stats import StatsRegistry
 from repro.cache.hierarchy import CacheHierarchy
@@ -53,6 +53,14 @@ class System:
         self.hierarchy = CacheHierarchy(config, self.stats)
         self.cores: List[Core] = []
         self._build_cores()
+        #: The runtime sanitizer (``repro.check``), or None at level "off".
+        #: None means *nothing* was wrapped: the hot path is untouched.
+        self.checker = None
+        if config.check.enabled:
+            from repro.check import CheckManager
+
+            self.checker = CheckManager(config.check)
+            self.checker.attach(self)
 
     def _build_cores(self) -> None:
         use_hints = self.scheme == "pageseer"
@@ -123,6 +131,8 @@ class System:
         self.run_ops(measure_ops)
         end_time = max(core.now for core in self.cores)
         self.hmc.finalize(end_time)
+        if self.checker is not None:
+            self.checker.finalize(end_time)
 
         instructions = [
             core.instructions - base for core, base in zip(self.cores, baseline_instr)
@@ -142,12 +152,17 @@ def build_system(
     seed: int = 0,
     model_contention: bool = True,
     config_mutator: Optional[Callable[[SystemConfig], SystemConfig]] = None,
+    check: Optional[CheckConfig] = None,
 ) -> System:
     """Build a ready-to-run system for one scheme and one workload.
 
     ``config_mutator`` lets callers adjust the scaled config (ablations:
     disable correlation, disable the bandwidth heuristic, ...).
+    ``check`` overrides the sanitizer configuration after the mutator ran
+    (convenience for the CLI's ``--check`` flags and for tests).
     """
+    import dataclasses
+
     from repro.common.config import default_system_config
 
     config = default_system_config(
@@ -158,6 +173,8 @@ def build_system(
     )
     if config_mutator is not None:
         config = config_mutator(config)
+    if check is not None:
+        config = dataclasses.replace(config, check=check)
 
     # Fail early with a clear message if the workload cannot fit: data
     # pages plus page tables plus controller metadata must fit the scaled

@@ -118,6 +118,16 @@ class OsModel:
 
     # -- accounting ----------------------------------------------------------
     @property
+    def metadata_pages(self) -> List[int]:
+        """DRAM pages reserved for controller metadata (PRT/PCT regions)."""
+        return list(self._reserved_metadata_pages)
+
+    @property
+    def protected_frames(self) -> frozenset:
+        """Every frame holding page tables or controller metadata."""
+        return frozenset(self._protected_frames)
+
+    @property
     def dram_frames_used(self) -> int:
         return self._next_dram_frame
 

@@ -138,3 +138,15 @@ class PageTable:
 
         visit(self.root)
         return pages
+
+    def data_frames(self) -> List[int]:
+        """Return the PPNs of every mapped data page (for the sanitizer)."""
+        frames: List[int] = []
+
+        def visit(node: _TableNode) -> None:
+            frames.extend(node.leaf_entries.values())
+            for child in node.children.values():
+                visit(child)
+
+        visit(self.root)
+        return frames

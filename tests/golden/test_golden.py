@@ -1,0 +1,84 @@
+"""Golden regression tests: recompute the pinned matrix and diff it.
+
+Each ``tests/golden/*.json`` pins the full RunMetrics (minus ``raw``) of
+one small (scheme, workload, variant) run.  A failure here means the
+model's behaviour drifted; the assertion message is the field-by-field
+metrics diff.  After an *intentional* model change, regenerate with::
+
+    PYTHONPATH=src python -m repro golden --update
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.golden import (
+    compare_payloads,
+    golden_filename,
+    golden_matrix,
+    load_golden,
+    payload_digest,
+    verify_golden,
+)
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+class TestGoldenMatrix:
+    def test_every_matrix_entry_is_pinned(self):
+        missing = [
+            golden_filename(*triple)
+            for triple in golden_matrix()
+            if not (GOLDEN_DIR / golden_filename(*triple)).exists()
+        ]
+        assert not missing, (
+            f"unpinned golden entries {missing}; run "
+            f"`PYTHONPATH=src python -m repro golden --update`"
+        )
+
+    @pytest.mark.parametrize(
+        "scheme,workload,variant", golden_matrix(),
+        ids=lambda value: value if isinstance(value, str) else None,
+    )
+    def test_run_matches_golden(self, scheme, workload, variant):
+        diffs = verify_golden(GOLDEN_DIR, scheme, workload, variant)
+        assert not diffs, (
+            f"golden drift in {scheme}/{workload}/{variant} "
+            f"(if intentional, regenerate with "
+            f"`PYTHONPATH=src python -m repro golden --update`):\n  "
+            + "\n  ".join(diffs)
+        )
+
+
+class TestGoldenFiles:
+    def test_digests_match_payloads(self):
+        """Pinned digest must equal the digest of the pinned metrics —
+        catches hand-edited golden files without running a simulation."""
+        for triple in golden_matrix():
+            document = load_golden(GOLDEN_DIR, *triple)
+            assert document is not None
+            assert document["digest"] == payload_digest(document["metrics"]), (
+                f"{golden_filename(*triple)} was edited by hand"
+            )
+
+    def test_mismatch_reports_metric_diff_not_just_hash(self):
+        document = load_golden(GOLDEN_DIR, "pageseer", "lbmx4", "default")
+        tampered = dict(document["metrics"])
+        tampered["swaps_total"] = tampered["swaps_total"] + 5
+        tampered["ipc"] = tampered["ipc"] * 2
+        diffs = compare_payloads(document["metrics"], tampered)
+        assert len(diffs) == 2
+        assert any("swaps_total" in d and "expected" in d for d in diffs)
+        assert any("ipc" in d for d in diffs)
+
+    def test_missing_golden_mentions_update_command(self, tmp_path):
+        diffs = verify_golden(tmp_path, "pageseer", "lbmx4", "default")
+        assert diffs and "golden --update" in diffs[0]
+
+    def test_golden_files_record_their_sizing(self):
+        for triple in golden_matrix():
+            document = load_golden(GOLDEN_DIR, *triple)
+            assert set(document["sizing"]) == {
+                "scale", "measure_ops", "warmup_ops", "seed"
+            }

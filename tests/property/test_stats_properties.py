@@ -1,0 +1,144 @@
+"""Property-based tests for StatsRegistry snapshot/diff round-trips.
+
+The experiment harness relies on snapshot algebra for exact warm-up
+separation, so these pin the laws the implementation promises:
+
+* ``later.diff(earlier)`` composes: ``c.diff(a) == c.diff(b).merged(b.diff(a))``
+* maxima and means survive snapshotting unchanged
+* warm-up separation is exact — a diff over the measured window equals a
+  fresh registry fed only the measured-window operations
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.stats import StatsRegistry, StatsSnapshot
+
+# Counter increments in the simulator are positive (events happen; they
+# don't un-happen), which is what makes "drop zero deltas" in diff() safe.
+names = st.sampled_from(
+    ["hmc/reads", "hmc/writes", "swap/total", "cache/l2/hits", "prt/hits"]
+)
+add_op = st.tuples(st.just("add"), names, st.integers(1, 1_000))
+observe_op = st.tuples(st.just("observe"), names, st.integers(0, 10_000))
+ops = st.lists(st.one_of(add_op, observe_op), max_size=120)
+
+
+def apply_ops(registry, op_list):
+    for kind, name, value in op_list:
+        if kind == "add":
+            registry.add(name, value)
+        else:
+            registry.observe(name, value)
+
+
+class TestSnapshotAlgebra:
+    @given(seg1=ops, seg2=ops, seg3=ops)
+    @settings(max_examples=200, deadline=None)
+    def test_diff_composes(self, seg1, seg2, seg3):
+        """c.diff(a) == c.diff(b).merged(b.diff(a)) for ordered snapshots."""
+        registry = StatsRegistry()
+        apply_ops(registry, seg1)
+        a = registry.snapshot_full()
+        apply_ops(registry, seg2)
+        b = registry.snapshot_full()
+        apply_ops(registry, seg3)
+        c = registry.snapshot_full()
+        assert c.diff(a) == c.diff(b).merged(b.diff(a))
+
+    @given(op_list=ops)
+    @settings(max_examples=200, deadline=None)
+    def test_self_diff_is_empty(self, op_list):
+        registry = StatsRegistry()
+        apply_ops(registry, op_list)
+        snap = registry.snapshot_full()
+        zero = snap.diff(snap)
+        assert not zero.counters and not zero.sums and not zero.counts
+
+    @given(op_list=ops)
+    @settings(max_examples=200, deadline=None)
+    def test_maxima_and_means_survive_snapshot(self, op_list):
+        """A snapshot answers every statistical query like the live registry."""
+        registry = StatsRegistry()
+        apply_ops(registry, op_list)
+        snap = registry.snapshot_full()
+        for name in registry.names():
+            assert snap.get(name) == registry.get(name)
+            assert snap.maximum(name) == registry.maximum(name)
+            assert snap.mean(name) == registry.mean(name)
+            assert snap.counts.get(name, 0) == registry.count(name)
+
+    @given(op_list=ops)
+    @settings(max_examples=200, deadline=None)
+    def test_snapshot_is_immutable_copy(self, op_list):
+        """Later registry activity must not leak into an older snapshot."""
+        registry = StatsRegistry()
+        apply_ops(registry, op_list)
+        snap = registry.snapshot_full()
+        frozen = StatsSnapshot(
+            counters=dict(snap.counters),
+            sums=dict(snap.sums),
+            counts=dict(snap.counts),
+            maxima=dict(snap.maxima),
+        )
+        registry.add("hmc/reads", 17)
+        registry.observe("swap/total", 99_999)
+        assert snap == frozen
+
+
+class TestWarmupSeparation:
+    @given(warmup=ops, measured=ops)
+    @settings(max_examples=200, deadline=None)
+    def test_separation_exact(self, warmup, measured):
+        """since(warm-up snapshot) == a registry fed only the measured ops."""
+        registry = StatsRegistry()
+        apply_ops(registry, warmup)
+        boundary = registry.snapshot_full()
+        apply_ops(registry, measured)
+        window = registry.since(boundary)
+
+        clean = StatsRegistry()
+        apply_ops(clean, measured)
+        expected = clean.snapshot_full()
+
+        # diff() drops zero deltas; observe(name, 0) leaves a literal 0.0
+        # entry in a fresh registry.  Equal-as-numbers is the contract.
+        def same(got, want):
+            return all(
+                got.get(k, 0) == want.get(k, 0) for k in set(got) | set(want)
+            )
+
+        assert same(window.counters, expected.counters)
+        assert same(window.sums, expected.sums)
+        assert same(window.counts, expected.counts)
+
+    @given(warmup=ops, measured=ops)
+    @settings(max_examples=100, deadline=None)
+    def test_diff_carries_later_maxima(self, warmup, measured):
+        """Maxima are not subtractable; a diff reports the later snapshot's."""
+        registry = StatsRegistry()
+        apply_ops(registry, warmup)
+        boundary = registry.snapshot_full()
+        apply_ops(registry, measured)
+        window = registry.since(boundary)
+        assert dict(window.maxima) == dict(registry.snapshot_full().maxima)
+
+    @given(warmup=ops, measured=ops)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_reassembles_whole_run(self, warmup, measured):
+        """warm-up snapshot merged with the window diff == the full run."""
+        registry = StatsRegistry()
+        apply_ops(registry, warmup)
+        boundary = registry.snapshot_full()
+        apply_ops(registry, measured)
+        full = registry.snapshot_full()
+        reassembled = boundary.merged(full.diff(boundary))
+
+        def same(got, want):
+            return all(
+                got.get(k, 0) == want.get(k, 0) for k in set(got) | set(want)
+            )
+
+        assert same(reassembled.counters, full.counters)
+        assert same(reassembled.sums, full.sums)
+        assert same(reassembled.counts, full.counts)
+        assert reassembled.maxima == full.maxima

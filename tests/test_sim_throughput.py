@@ -1,0 +1,54 @@
+"""Hot-path guard: the sanitizer at level "off" must cost nothing.
+
+The zero-overhead contract is structural, not statistical: at the default
+``off`` level no CheckManager is built and ``handle_request`` is the
+plain class method — no per-access Python callback exists to pay for.
+The timing bound is deliberately generous (CI machines vary wildly); the
+structural assertions are the real guard.
+"""
+
+import time
+
+from repro.common.config import CheckConfig
+from repro.sim.system import build_system
+from repro.workloads import workload_by_name
+
+
+def make(check=None):
+    return build_system(
+        "pageseer", workload_by_name("lbmx4"), scale=1024, check=check
+    )
+
+
+class TestZeroOverheadOff:
+    def test_no_checker_constructed(self):
+        system = make()
+        assert system.checker is None
+
+    def test_handle_request_is_unwrapped(self):
+        """No instance-level wrapper: the hot path dispatches straight to
+        the class method, exactly as before the sanitizer existed."""
+        system = make()
+        assert "handle_request" not in vars(system.hmc)
+        assert system.hmc.handle_request.__func__ is type(
+            system.hmc
+        ).handle_request
+
+    def test_enabled_level_does_wrap(self):
+        """Sanity check of the guard itself: when checking is on, the
+        wrapper *is* installed — so the off-level assertions above would
+        catch a regression that left it installed unconditionally."""
+        system = make(check=CheckConfig(level="invariants"))
+        assert system.checker is not None
+        assert "handle_request" in vars(system.hmc)
+
+
+class TestThroughputBound:
+    def test_unchecked_run_stays_fast(self):
+        """A small unchecked run finishes well inside a generous bound
+        (~0.3 s on 2024 hardware; the bound allows a 50x slower CI box)."""
+        system = make()
+        start = time.perf_counter()
+        system.run(400, 400)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 15.0, f"unchecked small run took {elapsed:.1f}s"

@@ -1,0 +1,215 @@
+"""Unit tests for the simulation sanitizer (repro.check)."""
+
+import pytest
+
+from repro.check import (
+    CheckManager,
+    PrtBijectivityChecker,
+    ShadowPageOracle,
+    StatsSanityChecker,
+    Violation,
+    build_checkers,
+)
+from repro.common.config import CheckConfig
+from repro.common.errors import CheckViolationError, ConfigError
+from repro.sim.system import build_system
+from repro.workloads import workload_by_name
+
+
+def checked_system(scheme="pageseer", level="full", interval=64, fail_fast=True):
+    return build_system(
+        scheme,
+        workload_by_name("lbmx4"),
+        scale=1024,
+        check=CheckConfig(level=level, interval_ops=interval, fail_fast=fail_fast),
+    )
+
+
+def system_now(system):
+    return max(core.clock for core in system.cores)
+
+
+class TestCheckConfig:
+    def test_default_is_off(self):
+        config = CheckConfig()
+        assert config.level == "off"
+        assert not config.enabled
+        assert not config.shadow_enabled
+
+    def test_levels(self):
+        assert CheckConfig(level="invariants").enabled
+        assert not CheckConfig(level="invariants").shadow_enabled
+        assert CheckConfig(level="full").shadow_enabled
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckConfig(level="paranoid")
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            CheckConfig(level="full", interval_ops=0)
+
+
+class TestViolation:
+    def test_str_names_checker_page_and_frame(self):
+        violation = Violation(
+            checker="prt-bijectivity", message="broken", page=42, frame=7
+        )
+        text = str(violation)
+        assert "prt-bijectivity" in text
+        assert "broken" in text
+        assert "page=42" in text
+        assert "frame=7" in text
+
+    def test_error_aggregates_violations(self):
+        error = CheckViolationError([
+            Violation(checker="a", message="first"),
+            Violation(checker="b", message="second"),
+        ])
+        assert len(error.violations) == 2
+        assert "2 invariant violations" in str(error)
+        assert "first" in str(error) and "second" in str(error)
+
+
+class TestAttachment:
+    def test_off_level_builds_nothing(self):
+        system = build_system("pageseer", workload_by_name("lbmx4"), scale=1024)
+        assert system.checker is None
+        # No instance wrapper: handle_request resolves to the class method.
+        assert "handle_request" not in vars(system.hmc)
+
+    def test_enabled_level_wraps_instance(self):
+        system = checked_system(level="invariants")
+        assert system.checker is not None
+        assert "handle_request" in vars(system.hmc)
+        assert system.checker.shadow is None
+
+    def test_full_level_adds_shadow_for_pageseer(self):
+        system = checked_system(level="full")
+        assert system.checker.shadow is not None
+        assert system.hmc.swap_driver.on_swap_event is not None
+
+    def test_scheme_specific_checkers(self):
+        pageseer = {c.name for c in build_checkers(checked_system("pageseer"))}
+        pom = {c.name for c in build_checkers(checked_system("pom"))}
+        assert "prt-bijectivity" in pageseer
+        assert "prt-bijectivity" not in pom
+        assert "frame-exclusivity" in pageseer and "frame-exclusivity" in pom
+        assert "stats-sanity" in pageseer and "stats-sanity" in pom
+
+
+class TestPrtBijectivity:
+    def test_clean_after_real_run(self):
+        system = checked_system()
+        system.run_ops(300)
+        assert PrtBijectivityChecker().check(system, system_now(system)) == []
+
+    def test_forward_without_reverse_flagged(self):
+        system = checked_system(level="invariants")
+        system.run_ops(200)
+        prt = system.hmc.prt
+        nvm = prt.dram_pages + prt.num_colours * 3 + 1
+        frame = prt.dram_frames_of_colour(prt.colour_of(nvm))[0]
+        prt._corrupt_for_test(nvm, frame)
+        violations = PrtBijectivityChecker().check(system, system_now(system))
+        assert violations
+        assert any(v.page == nvm and v.frame == frame for v in violations)
+
+
+class TestStatsSanity:
+    def test_clean_registry_passes(self, tiny_system):
+        tiny_system.run_ops(100)
+        checker = StatsSanityChecker()
+        assert checker.check(tiny_system, system_now(tiny_system)) == []
+
+    def test_negative_counter_flagged(self, tiny_system):
+        tiny_system.stats._counters["hmc/bogus"] = -3.0
+        checker = StatsSanityChecker()
+        violations = checker.check(tiny_system, system_now(tiny_system))
+        assert any("hmc/bogus" in v.message for v in violations)
+
+
+class FakePrt:
+    """Minimal PRT stand-in for oracle unit tests."""
+
+    def __init__(self, mapping):
+        self._mapping = dict(mapping)
+
+    def location_of(self, page):
+        if page in self._mapping:
+            return self._mapping[page]
+        inverse = {v: k for k, v in self._mapping.items()}
+        return inverse.get(page, page)
+
+    def entries(self):
+        return list(self._mapping.items())
+
+
+class TestShadowOracle:
+    def test_swap_maps_both_directions(self):
+        oracle = ShadowPageOracle(dram_pages=8, total_pages=32)
+        oracle.on_swap(100, 20, 3, None, 150)
+        assert oracle.expected_location(20) == 3
+        assert oracle.expected_location(3) == 20
+        assert oracle.expected_location(21) == 21  # untouched NVM page
+        assert oracle.expected_location(4) == 4    # untouched DRAM frame
+        assert not oracle.event_violations
+
+    def test_occupant_returns_home(self):
+        oracle = ShadowPageOracle(dram_pages=8, total_pages=32)
+        oracle.on_swap(100, 20, 3, None, 150)
+        oracle.on_swap(200, 21, 3, 20, 250)  # 21 evicts 20 from frame 3
+        assert oracle.expected_location(20) == 20
+        assert oracle.expected_location(21) == 3
+        assert not oracle.event_violations
+
+    def test_unknown_occupant_flagged(self):
+        oracle = ShadowPageOracle(dram_pages=8, total_pages=32)
+        oracle.on_swap(100, 21, 3, 20, 150)  # oracle never saw 20 arrive
+        assert any(v.page == 20 for v in oracle.event_violations)
+
+    def test_double_install_flagged(self):
+        oracle = ShadowPageOracle(dram_pages=8, total_pages=32)
+        oracle.on_swap(100, 20, 3, None, 150)
+        oracle.on_swap(200, 20, 5, None, 250)
+        assert any(v.page == 20 for v in oracle.event_violations)
+
+    def test_verify_access_catches_divergence(self):
+        oracle = ShadowPageOracle(dram_pages=8, total_pages=32)
+        oracle.on_swap(100, 20, 3, None, 150)
+        good = FakePrt({20: 3})
+        bad = FakePrt({})  # lost the remap entirely
+        assert oracle.verify_access(good, 20) is None
+        violation = oracle.verify_access(bad, 20)
+        assert violation is not None and violation.page == 20
+
+    def test_verify_full_reports_both_directions(self):
+        oracle = ShadowPageOracle(dram_pages=8, total_pages=32)
+        oracle.on_swap(100, 20, 3, None, 150)
+        missing = oracle.verify_full(FakePrt({}))
+        assert any(v.page == 20 and v.frame == 3 for v in missing)
+        extra = oracle.verify_full(FakePrt({20: 3, 22: 5}))
+        assert any(v.page == 22 for v in extra)
+
+
+class TestManager:
+    def test_collect_mode_defers_to_finalize(self):
+        manager = CheckManager(CheckConfig(level="invariants", fail_fast=False))
+        manager.violations.append(
+            Violation(checker="test", message="stashed")
+        )
+        system = build_system("noswap", workload_by_name("lbmx4"), scale=1024)
+        manager.attach(system)
+        with pytest.raises(CheckViolationError) as excinfo:
+            manager.finalize(0)
+        assert any(v.message == "stashed" for v in excinfo.value.violations)
+
+    def test_report_counts_activity(self):
+        system = checked_system(level="full", interval=32)
+        system.run_ops(200)
+        report = system.checker.report()
+        assert report.clean
+        assert report.accesses_observed > 0
+        assert report.sweeps >= 1
+        assert report.shadow_accesses_checked > 0
+        assert "prt-bijectivity" in report.checkers

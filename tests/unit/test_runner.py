@@ -70,16 +70,78 @@ class TestRunMany:
 
     def test_pool_worker_standalone(self):
         metrics = _run_one_for_pool(
-            ("noswap", "lbmx4", "default"), (1024, 200, 200, 0)
+            ("noswap", "lbmx4", "default"), (1024, 200, 200, 0, "off")
         )
         assert metrics.scheme == "noswap"
         assert metrics.instructions > 0
 
     def test_pool_worker_applies_variant(self):
         metrics = _run_one_for_pool(
-            ("pageseer", "lbmx4", "nohints"), (1024, 400, 1500, 0)
+            ("pageseer", "lbmx4", "nohints"), (1024, 400, 1500, 0, "off")
         )
         assert metrics.swaps_mmu == 0
+
+    def test_pool_worker_runs_sanitizer(self):
+        """The worker path checks at level full by default, and checking
+        must not change the metrics it returns."""
+        plain = _run_one_for_pool(
+            ("pageseer", "lbmx4", "default"), (1024, 300, 300, 0, "off")
+        )
+        checked = _run_one_for_pool(
+            ("pageseer", "lbmx4", "default"), (1024, 300, 300, 0, "full")
+        )
+        from repro.experiments.runner import _METRIC_FIELDS
+
+        for name in _METRIC_FIELDS:
+            assert getattr(plain, name) == getattr(checked, name)
+
+
+class TestSweepFailures:
+    def inject_failing_variant(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        def explode(config):
+            raise RuntimeError("injected variant failure")
+
+        monkeypatch.setitem(runner_module.VARIANTS, "explode", explode)
+
+    def test_serial_sweep_collects_and_names_failures(self, tmp_path, monkeypatch):
+        from repro.common.errors import SweepError
+
+        self.inject_failing_variant(monkeypatch)
+        runner = make_runner(tmp_path)
+        requests = [
+            ("noswap", "lbmx4", "default"),
+            ("noswap", "lbmx4", "explode"),
+        ]
+        with pytest.raises(SweepError) as excinfo:
+            runner.run_many(requests, jobs=1)
+        error = excinfo.value
+        assert [request for request, _ in error.failures] == [
+            ("noswap", "lbmx4", "explode")
+        ]
+        assert "noswap/lbmx4/explode" in str(error)
+        assert "injected variant failure" in str(error)
+        # the healthy request still completed and was cached
+        assert runner._load(runner._key("noswap", "lbmx4", "default")) is not None
+
+    def test_parallel_sweep_collects_and_names_failures(self, tmp_path, monkeypatch):
+        from repro.common.errors import SweepError
+
+        self.inject_failing_variant(monkeypatch)
+        runner = make_runner(tmp_path, measure_ops=200, warmup_ops=200)
+        requests = [
+            ("noswap", "lbmx4", "default"),
+            ("noswap", "lbmx4", "explode"),
+        ]
+        with pytest.raises(SweepError) as excinfo:
+            runner.run_many(requests, jobs=2)
+        assert [request for request, _ in excinfo.value.failures] == [
+            ("noswap", "lbmx4", "explode")
+        ]
+        assert "injected variant failure" in str(excinfo.value)
+        # the healthy request was harvested and cached despite the failure
+        assert runner._load(runner._key("noswap", "lbmx4", "default")) is not None
 
 
 class TestPrewarm:
