@@ -15,7 +15,6 @@ parts sum approximately to the whole.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 
 @dataclass(frozen=True)

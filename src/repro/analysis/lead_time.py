@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.addr import LINES_PER_PAGE
 

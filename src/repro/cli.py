@@ -6,6 +6,7 @@ Commands:
 * ``report``          regenerate every table/figure (cached)
 * ``energy``          run PageSeer and print the Table II energy report
 * ``golden``          verify (or ``--update``) the golden regression matrix
+* ``lint``            static correctness linter (see docs/LINTING.md)
 * ``trace-record``    dump one core's access stream to a trace file
 * ``trace-run``       simulate a scheme over recorded trace files
 * ``list-workloads``  the 26 Table III workloads
@@ -233,6 +234,14 @@ def build_parser() -> argparse.ArgumentParser:
     golden_parser.add_argument("--dir", default=None,
                                help="golden directory (default: tests/golden)")
     golden_parser.set_defaults(handler=_command_golden)
+
+    lint_parser = commands.add_parser(
+        "lint", help="AST-based simulator correctness linter"
+    )
+    from repro.lint.cli import add_lint_arguments, command_lint
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(handler=command_lint)
 
     record_parser = commands.add_parser(
         "trace-record", help="dump one core's access stream to a file"

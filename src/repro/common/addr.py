@@ -11,6 +11,14 @@ from __future__ import annotations
 
 from typing import NamedTuple
 
+#: Unit aliases checked by the RL004 lint rule (see docs/LINTING.md).
+#: ``Bytes`` marks sizes/capacities; ``PhysAddr`` marks byte addresses in
+#: the flat DRAM+NVM physical space.  Both are plain ``int`` at run time —
+#: the aliases exist so signatures state their unit and the linter can
+#: flag arithmetic that mixes units.
+Bytes = int
+PhysAddr = int
+
 CACHE_LINE_BYTES = 64
 PAGE_BYTES = 4096
 LINES_PER_PAGE = PAGE_BYTES // CACHE_LINE_BYTES

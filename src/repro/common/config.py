@@ -18,9 +18,10 @@ unchanged.  See DESIGN.md Section 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
+from repro.common.addr import Bytes
 from repro.common.errors import ConfigError
+from repro.common.timeline import Cycles
 
 #: CPU cycles (2 GHz) per memory cycle (1 GHz), Table I.
 CYCLES_PER_MEMORY_CYCLE = 2
@@ -43,7 +44,7 @@ class MemoryTimingConfig:
     """
 
     name: str
-    capacity_bytes: int
+    capacity_bytes: Bytes
     channels: int
     ranks_per_channel: int
     banks_per_rank: int
@@ -74,12 +75,12 @@ class MemoryTimingConfig:
         return self.ranks_per_channel * self.banks_per_rank
 
     @property
-    def line_transfer_cycles(self) -> int:
+    def line_transfer_cycles(self) -> Cycles:
         """CPU cycles the data bus is busy moving one 64 B line."""
         mem_cycles = max(1, 64 // self.bus_bytes_per_cycle)
         return mem_cycles * CYCLES_PER_MEMORY_CYCLE
 
-    def read_latency_cycles(self, row_hit: bool, row_conflict: bool) -> int:
+    def read_latency_cycles(self, row_hit: bool, row_conflict: bool) -> Cycles:
         """CPU cycles from command issue to first data for a read."""
         cycles = self.t_cas
         if not row_hit:
@@ -88,7 +89,7 @@ class MemoryTimingConfig:
                 cycles += self.t_rp
         return cycles * CYCLES_PER_MEMORY_CYCLE
 
-    def write_recovery_cycles(self) -> int:
+    def write_recovery_cycles(self) -> Cycles:
         """Extra CPU cycles a bank stays busy after a write (t_WR)."""
         return self.t_wr * CYCLES_PER_MEMORY_CYCLE
 

@@ -30,6 +30,18 @@ TRIGGER_MMU = "mmu"
 TRIGGER_PCT = "pct"
 TRIGGER_REGULAR = "regular"
 
+#: Literal stats-key tables per trigger (auditable by the RL002 lint rule).
+_REQUEST_KEYS = {
+    TRIGGER_MMU: "swap_driver/requests_mmu",
+    TRIGGER_PCT: "swap_driver/requests_pct",
+    TRIGGER_REGULAR: "swap_driver/requests_regular",
+}
+_SWAP_KEYS = {
+    TRIGGER_MMU: "swap_driver/swaps_mmu",
+    TRIGGER_PCT: "swap_driver/swaps_pct",
+    TRIGGER_REGULAR: "swap_driver/swaps_regular",
+}
+
 
 @dataclass(frozen=True)
 class SwapRecord:
@@ -141,7 +153,7 @@ class SwapDriver:
         individually, because Figure 11 studies the bandwidth heuristic.
         """
         self._purge(now)
-        self.stats.add(f"swap_driver/requests_{trigger}")
+        self.stats.add(_REQUEST_KEYS[trigger])
 
         if self.prt.is_dram(page_spa):
             # A home-DRAM page: either already fast, or displaced by an
@@ -247,7 +259,7 @@ class SwapDriver:
         if self.on_swap_event is not None:
             self.on_swap_event(now, page_spa, frame, occupant, end)
         self.stats.add("swap_driver/swaps")
-        self.stats.add(f"swap_driver/swaps_{trigger}")
+        self.stats.add(_SWAP_KEYS[trigger])
         if optimized:
             self.stats.add("swap_driver/optimized_slow_swaps")
         self.stats.observe("swap_driver/swap_duration", end - now)

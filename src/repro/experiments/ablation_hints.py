@@ -9,7 +9,7 @@ throughout Section V but does not plot directly.
 
 from __future__ import annotations
 
-from repro.experiments.figures import FigureResult, arithmetic_mean, geometric_mean
+from repro.experiments.figures import FigureResult, geometric_mean
 from repro.experiments.runner import ExperimentRunner
 
 

@@ -215,6 +215,7 @@ class ExperimentRunner:
                 try:
                     results[request] = self.run(*request)
                 except Exception as exc:
+                    _annotate_failure(exc, request)
                     failures.append((request, exc))
             if failures:
                 raise SweepError(failures)
@@ -224,7 +225,8 @@ class ExperimentRunner:
             self.scale, self.measure_ops, self.warmup_ops, self.seed,
             self.worker_check_level,
         )
-        with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+        try:
             futures = {
                 pool.submit(_run_one_for_pool, request, sizing): request
                 for request in pending
@@ -236,6 +238,7 @@ class ExperimentRunner:
                 except concurrent.futures.CancelledError:
                     continue
                 except Exception as exc:
+                    _annotate_failure(exc, request)
                     failures.append((request, exc))
                     # Stop launching queued work; already-running futures
                     # finish (and are harvested) so their results cache.
@@ -246,6 +249,15 @@ class ExperimentRunner:
                 results[request] = metrics
                 if self.verbose:
                     print(f"[runner] finished {'/'.join(request)}")
+        except KeyboardInterrupt:
+            # Ctrl-C must interrupt the sweep promptly: drop the queued
+            # work and re-raise without joining the running workers (a
+            # plain `with` block would block here until every in-flight
+            # simulation finished).
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)
         if failures:
             raise SweepError(failures)
         return results
@@ -266,6 +278,20 @@ class ExperimentRunner:
         if self._workloads is not None:
             return list(self._workloads)
         return [spec.name for spec in all_workloads()]
+
+
+def _annotate_failure(exc: BaseException, request: Tuple[str, str, str]) -> None:
+    """Stamp the failing (scheme, workload, variant) onto the traceback.
+
+    Pool workers re-raise in the parent with the remote traceback attached
+    but without saying *which* sweep request died; the note makes every
+    rendered traceback self-identifying.  ``add_note`` appeared in 3.11;
+    older interpreters still get the names via SweepError's message.
+    """
+    note = f"while simulating {'/'.join(request)}"
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        add_note(note)
 
 
 def _run_one_for_pool(

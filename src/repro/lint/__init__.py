@@ -1,0 +1,45 @@
+"""``repro.lint`` — the AST-based simulator correctness linter.
+
+The runtime sanitizer (``repro.check``) catches invariant violations that a
+particular run happens to exercise; this package catches whole classes of
+reproducibility bugs statically, across *all* code paths, at zero simulation
+cost:
+
+* **RL001 determinism** — unseeded randomness and wall-clock reads inside
+  the simulation core (use :class:`repro.common.rng.DeterministicRng`),
+  ``id()``-keyed dictionaries, and unordered ``set`` iteration.
+* **RL002 stats discipline** — dynamic stats keys on hot paths, typo'd
+  (near-duplicate) keys, keys read but never recorded, and keys recorded
+  but never consumed by the metrics/analysis/golden layers.
+* **RL003 config liveness** — dead configuration knobs (dataclass fields
+  nobody reads) and reads of fields no config class declares.
+* **RL004 unit hygiene** — arithmetic mixing ``Cycles``-annotated
+  quantities with byte quantities or bare float literals in timing code.
+
+Use it as ``python -m repro lint [--format text|json]``; see
+``docs/LINTING.md`` for the rule catalogue, the ``# repro-lint:
+disable=RULE`` suppression syntax, and the baseline workflow.
+"""
+
+from repro.lint.baseline import Baseline, DEFAULT_BASELINE_PATH
+from repro.lint.engine import (
+    Finding,
+    LintEngine,
+    LintReport,
+    Rule,
+    Severity,
+    all_rules,
+    lint_paths,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_PATH",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "lint_paths",
+]

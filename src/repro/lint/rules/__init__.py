@@ -1,0 +1,5 @@
+"""Rule registry: importing this package registers every built-in rule."""
+
+from repro.lint.rules import config_liveness, determinism, stats_keys, units
+
+__all__ = ["determinism", "stats_keys", "config_liveness", "units"]

@@ -1,0 +1,147 @@
+"""RL004 — unit hygiene: cycles are not bytes are not addresses.
+
+The timing model mixes three integer-valued quantities that must never
+meet in the same ``+``/``-``: **cycles** (CPU clock ticks), **bytes**
+(capacities, transfer sizes), and **physical addresses**.  The aliases
+``Cycles``/``Bytes`` (``repro.common.timeline``) and ``PhysAddr``
+(``repro.common.addr``) make the intent visible in signatures; this rule
+makes it checkable.
+
+Within any function, the rule tracks parameters and locals annotated with
+one of the aliases and flags:
+
+* ``+``/``-`` between a ``Cycles`` quantity and a ``Bytes`` quantity
+  (adding a capacity to a timestamp is always a bug) — error;
+* ``+``/``-``/``*`` between a ``Cycles``/``PhysAddr`` quantity and a bare
+  ``float`` literal (cycle counts and addresses are integral; a float
+  factor silently turns exact timestamps into rounding-sensitive ones) —
+  warning;
+* ``+``/``-``/``*`` between a ``PhysAddr`` and a ``Cycles`` quantity —
+  error.  (``PhysAddr + Bytes`` stays legal: that is address arithmetic.)
+
+The analysis is annotation-driven and local: unannotated code emits
+nothing, so the rule can be adopted incrementally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from repro.lint.engine import (
+    ProjectContext,
+    Rule,
+    Severity,
+    SourceFile,
+    register_rule,
+)
+
+#: The unit aliases the rule understands.
+UNIT_NAMES = ("Cycles", "Bytes", "PhysAddr")
+
+#: Sentinel unit for bare float literals.
+_FLOAT = "float"
+
+_ADDITIVE = (ast.Add, ast.Sub)
+_SCALING = (ast.Add, ast.Sub, ast.Mult)
+
+
+def _annotation_unit(annotation: Optional[ast.AST]) -> Optional[str]:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name) and annotation.id in UNIT_NAMES:
+        return annotation.id
+    if isinstance(annotation, ast.Attribute) and annotation.attr in UNIT_NAMES:
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and annotation.value in UNIT_NAMES:
+        return str(annotation.value)
+    return None
+
+
+@register_rule
+class UnitHygieneRule(Rule):
+    """RL004: annotated-unit arithmetic checks in timing code."""
+
+    rule_id = "RL004"
+    name = "unit-hygiene"
+    default_severity = Severity.ERROR
+
+    def collect(self, source: SourceFile, ctx: ProjectContext) -> None:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(node, source, ctx)
+
+    # -- per-function analysis --------------------------------------------
+    def _check_function(self, func, source: SourceFile, ctx: ProjectContext) -> None:
+        env: Dict[str, str] = {}
+        args = func.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            unit = _annotation_unit(arg.annotation)
+            if unit is not None:
+                env[arg.arg] = unit
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                unit = _annotation_unit(node.annotation)
+                if unit is not None:
+                    env[node.target.id] = unit
+        if not env:
+            return
+        for node in ast.walk(func):
+            if isinstance(node, ast.BinOp):
+                self._check_binop(node, env, source, ctx)
+
+    def _unit_of(self, expr: ast.AST, env: Dict[str, str]) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Constant):
+            return _FLOAT if isinstance(expr.value, float) else None
+        if isinstance(expr, ast.UnaryOp):
+            return self._unit_of(expr.operand, env)
+        if isinstance(expr, ast.BinOp):
+            left = self._unit_of(expr.left, env)
+            right = self._unit_of(expr.right, env)
+            if isinstance(expr.op, ast.Div):
+                # A ratio of two annotated quantities is dimensionless.
+                return None
+            for unit in UNIT_NAMES:
+                if left == unit or right == unit:
+                    return unit
+            if left == _FLOAT or right == _FLOAT:
+                return _FLOAT
+        return None
+
+    def _check_binop(
+        self, node: ast.BinOp, env: Dict[str, str], source, ctx
+    ) -> None:
+        left = self._unit_of(node.left, env)
+        right = self._unit_of(node.right, env)
+        if left is None or right is None or left == right:
+            return
+        units = {left, right}
+        if isinstance(node.op, _ADDITIVE) and units == {"Cycles", "Bytes"}:
+            ctx.emit(
+                self, source, node,
+                "arithmetic mixes a Cycles quantity with a Bytes quantity: "
+                "adding a size to a timestamp is meaningless — convert via "
+                "the device's bytes-per-cycle rate first",
+            )
+        elif isinstance(node.op, _SCALING) and units == {"Cycles", "PhysAddr"}:
+            ctx.emit(
+                self, source, node,
+                "arithmetic mixes a PhysAddr with a Cycles quantity: "
+                "addresses and timestamps live in different spaces",
+            )
+        elif (
+            isinstance(node.op, _SCALING)
+            and _FLOAT in units
+            and units & {"Cycles", "PhysAddr"}
+        ):
+            quantity = (units & {"Cycles", "PhysAddr"}).pop()
+            ctx.emit(
+                self, source, node,
+                f"float literal in {quantity} arithmetic: {quantity} values "
+                "are exact integers; a float factor makes timestamps "
+                "rounding-sensitive — scale with integer arithmetic "
+                "(e.g. `value * 3 // 2`) instead",
+                severity=Severity.WARNING,
+            )

@@ -25,19 +25,20 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.addr import CACHE_LINE_BYTES
 from repro.common.config import CYCLES_PER_MEMORY_CYCLE, MemoryTimingConfig
 from repro.common.stats import StatsRegistry
+from repro.common.timeline import Cycles
 
 
 @dataclass(frozen=True)
 class AccessResult:
     """Outcome of one device access, all times in CPU cycles."""
 
-    start: int
-    finish: int
+    start: Cycles
+    finish: Cycles
     row_hit: bool
-    queue_delay: int
+    queue_delay: Cycles
 
     @property
-    def latency(self) -> int:
+    def latency(self) -> Cycles:
         return self.finish - self.start + self.queue_delay
 
 
@@ -51,7 +52,9 @@ class _Resource:
         self.any_busy_until = 0
         self.total_busy = 0
 
-    def reserve(self, now: int, duration: int, bulk: bool, preempt_cap: int) -> int:
+    def reserve(
+        self, now: Cycles, duration: Cycles, bulk: bool, preempt_cap: Cycles
+    ) -> Cycles:
         """Grant ``[start, start+duration)``; returns the start time.
 
         Demand work waits for earlier demand work in full, but waits for
@@ -132,7 +135,7 @@ class MemoryDevice:
 
     # -- the access path -----------------------------------------------------
     def access(
-        self, now: int, line_number: int, is_write: bool, bulk: bool = False
+        self, now: Cycles, line_number: int, is_write: bool, bulk: bool = False
     ) -> AccessResult:
         """Perform one 64 B access; returns start/finish in CPU cycles."""
         channel, bank, row = self.map_line(line_number)
@@ -174,9 +177,9 @@ class MemoryDevice:
         return AccessResult(start, finish, row_hit, queue_delay)
 
     def transfer_page(
-        self, now: int, first_line: int, line_count: int, is_write: bool,
+        self, now: Cycles, first_line: int, line_count: int, is_write: bool,
         bulk: bool = False,
-    ) -> int:
+    ) -> Cycles:
         """Stream *line_count* consecutive lines; returns the finish time.
 
         Used by the swap machinery: a 4 KB page move is 64 line transfers
@@ -248,7 +251,7 @@ class MemoryDevice:
             return 0.0
         return sum(b.utilization(elapsed) for b in self._buses) / len(self._buses)
 
-    def earliest_bus_free(self, now: int) -> int:
+    def earliest_bus_free(self, now: Cycles) -> Cycles:
         """Earliest time any channel data bus is free."""
         return min(b.next_free(now) for b in self._buses)
 

@@ -41,6 +41,10 @@ class SwapBufferPool:
         self.stats = stats
         self.service_latency_cycles = service_latency_cycles
         self._prefix = stats_prefix
+        # Stats keys precomputed once so the hot paths never build strings.
+        self._key_allocation_failures = stats_prefix + "/allocation_failures"
+        self._key_allocations = stats_prefix + "/allocations"
+        self._key_serviced = stats_prefix + "/serviced"
         self._entries: Dict[int, _BufferEntry] = {}
 
     def _expire(self, now: int) -> None:
@@ -61,10 +65,10 @@ class SwapBufferPool:
             entry.release_at = max(entry.release_at, release_at)
             return True
         if len(self._entries) >= self.capacity:
-            self.stats.add(f"{self._prefix}/allocation_failures")
+            self.stats.add(self._key_allocation_failures)
             return False
         self._entries[key] = _BufferEntry(key, available_from, release_at)
-        self.stats.add(f"{self._prefix}/allocations")
+        self.stats.add(self._key_allocations)
         return True
 
     def service(self, now: int, key: int) -> Optional[int]:
@@ -75,7 +79,7 @@ class SwapBufferPool:
         entry = self._entries.get(key)
         if entry is None or not (entry.available_from <= now < entry.release_at):
             return None
-        self.stats.add(f"{self._prefix}/serviced")
+        self.stats.add(self._key_serviced)
         return now + self.service_latency_cycles
 
     def release(self, key: int) -> None:

@@ -12,7 +12,7 @@ Figure 14 relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.common.addr import line_of, page_of, page_offset
 from repro.common.config import SystemConfig

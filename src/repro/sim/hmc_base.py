@@ -34,6 +34,20 @@ class RequestKind(enum.Enum):
     PTE = "pte"
 
 
+#: Literal stats-key tables: these run once per serviced request, and the
+#: closed key set keeps the namespace auditable by the RL002 lint rule.
+_SERVICED_KEYS = {
+    "dram": "hmc/serviced_dram",
+    "nvm": "hmc/serviced_nvm",
+    "buffer": "hmc/serviced_buffer",
+}
+_REQUEST_KIND_KEYS = {
+    RequestKind.DEMAND: "hmc/requests_demand",
+    RequestKind.WRITEBACK: "hmc/requests_writeback",
+    RequestKind.PTE: "hmc/requests_pte",
+}
+
+
 class HmcBase:
     """Common machinery for all memory-controller schemes."""
 
@@ -116,8 +130,8 @@ class HmcBase:
         self._total_serviced += 1
         if serviced_from == "dram":
             self._dram_serviced += 1
-        self.stats.add(f"hmc/serviced_{serviced_from}")
-        self.stats.add(f"hmc/requests_{kind.value}")
+        self.stats.add(_SERVICED_KEYS[serviced_from])
+        self.stats.add(_REQUEST_KIND_KEYS[kind])
         if kind is not RequestKind.WRITEBACK:
             # AMMAT covers processor-visible requests; background
             # write-backs drain asynchronously and would distort it.

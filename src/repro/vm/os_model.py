@@ -17,7 +17,7 @@ two things:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.common.config import HybridMemoryConfig

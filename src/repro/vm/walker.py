@@ -26,6 +26,13 @@ from repro.vm.page_table import PageTable
 #: PWC-covered levels: PGD, PUD, PMD entry contents (never the PTE).
 _PWC_LEVELS = WALK_LEVELS - 1
 
+#: Literal stats-key table per PWC hit level (auditable by the RL002 rule).
+_PWC_HIT_KEYS = (
+    "walk/pwc_hits_level0",
+    "walk/pwc_hits_level1",
+    "walk/pwc_hits_level2",
+)
+
 
 @dataclass(frozen=True)
 class WalkResult:
@@ -138,7 +145,7 @@ class PageWalker:
         time = now + self.pwc_latency_cycles
         start_level = self.pwc.deepest_hit(pid, vpn) + 1
         if start_level > 0:
-            self.stats.add(f"walk/pwc_hits_level{start_level - 1}")
+            self.stats.add(_PWC_HIT_KEYS[start_level - 1])
 
         pte_reached_memory = False
         levels_fetched = 0

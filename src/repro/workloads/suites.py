@@ -9,7 +9,7 @@ CORAL, and 6 mixes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.workloads.base import BenchmarkPart, WorkloadSpec, mix_workload, unique_workload
 

@@ -11,7 +11,7 @@ appear with controllable intensity.  All randomness flows from the passed
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from repro.common.rng import DeterministicRng

@@ -1,0 +1,162 @@
+"""RL003: dead config knobs and undeclared-field reads."""
+
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+from repro.lint.rules.config_liveness import ConfigLivenessRule
+
+CONFIG = """\
+from dataclasses import dataclass
+
+
+@dataclass
+class PageSeerConfig:
+    hot_threshold: int = 18
+    unused_knob: int = 5
+
+
+@dataclass
+class SystemConfig:
+    pageseer: "PageSeerConfig" = None
+
+    @property
+    def summary(self):
+        return self.pageseer
+"""
+
+
+def run(tmp_path: Path, files: dict):
+    for relpath, text in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return lint_paths(["."], root=tmp_path, rules=[ConfigLivenessRule()])
+
+
+def messages(report):
+    return [f.message for f in report.findings]
+
+
+class TestDeadKnobs:
+    def test_never_read_field_flagged(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": "def f(config):\n    return config.pageseer.hot_threshold\n",
+            },
+        )
+        flagged = [m for m in messages(report) if "dead config knob" in m]
+        assert ["PageSeerConfig.unused_knob" in m for m in flagged] == [True]
+
+    def test_read_anywhere_keeps_knob_alive(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": (
+                    "def f(config):\n"
+                    "    return config.pageseer.hot_threshold + config.pageseer.unused_knob\n"
+                ),
+            },
+        )
+        assert not any("dead config knob" in m for m in messages(report))
+
+    def test_properties_and_methods_are_not_knobs(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": (
+                    "def f(config):\n"
+                    "    return config.pageseer.hot_threshold, config.pageseer.unused_knob\n"
+                ),
+            },
+        )
+        assert not any("summary" in m for m in messages(report))
+
+
+class TestUndeclaredReads:
+    def test_typo_field_read_flagged(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": (
+                    "def f(config):\n"
+                    "    _ = config.pageseer.unused_knob\n"
+                    "    return config.pageseer.hot_treshold\n"
+                ),
+            },
+        )
+        flagged = [m for m in messages(report) if "undeclared field" in m]
+        assert flagged and "PageSeerConfig.hot_treshold" in flagged[0]
+
+    def test_annotated_parameter_is_typed_receiver(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": (
+                    "from common.config import PageSeerConfig\n"
+                    "def f(ps: PageSeerConfig):\n"
+                    "    _ = ps.unused_knob\n"
+                    "    return ps.missing_field\n"
+                ),
+            },
+        )
+        assert any("PageSeerConfig.missing_field" in m for m in messages(report))
+
+    def test_self_attribute_alias_chain_resolves(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": (
+                    "class Driver:\n"
+                    "    def __init__(self, config):\n"
+                    "        self.ps = config.pageseer\n"
+                    "    def tick(self):\n"
+                    "        _ = self.ps.unused_knob\n"
+                    "        return self.ps.not_a_field\n"
+                ),
+            },
+        )
+        assert any("PageSeerConfig.not_a_field" in m for m in messages(report))
+
+    def test_declared_reads_are_clean(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": (
+                    "def f(config):\n"
+                    "    _ = config.pageseer.unused_knob\n"
+                    "    return config.pageseer.hot_threshold, config.summary\n"
+                ),
+            },
+        )
+        assert not any("undeclared field" in m for m in messages(report))
+
+    def test_untyped_receivers_are_ignored(self, tmp_path):
+        report = run(
+            tmp_path,
+            {
+                "common/config.py": CONFIG,
+                "sim/model.py": (
+                    "def f(config, other):\n"
+                    "    _ = config.pageseer.unused_knob\n"
+                    "    return other.anything_at_all\n"
+                ),
+            },
+        )
+        assert not any("anything_at_all" in m for m in messages(report))
+
+
+class TestRepoWithoutConfigFile:
+    def test_no_config_file_means_no_findings(self, tmp_path):
+        report = run(
+            tmp_path,
+            {"sim/model.py": "def f(config):\n    return config.whatever\n"},
+        )
+        assert report.findings == []

@@ -1,0 +1,113 @@
+"""RL004: unit-hygiene arithmetic checks on annotated quantities."""
+
+from pathlib import Path
+
+from repro.lint.engine import Severity, lint_paths
+from repro.lint.rules.units import UnitHygieneRule
+
+
+def findings_for(tmp_path: Path, body: str, relpath: str = "mem/device.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(body)
+    report = lint_paths(["."], root=tmp_path, rules=[UnitHygieneRule()])
+    return report.findings
+
+
+class TestCyclesVersusBytes:
+    def test_adding_bytes_to_cycles_is_an_error(self, tmp_path):
+        text = (
+            "def f(now: Cycles, size: Bytes):\n"
+            "    return now + size\n"
+        )
+        (finding,) = findings_for(tmp_path, text)
+        assert finding.severity == Severity.ERROR
+        assert "Cycles" in finding.message and "Bytes" in finding.message
+
+    def test_subtraction_also_flagged(self, tmp_path):
+        text = "def f(now: Cycles, size: Bytes):\n    return now - size\n"
+        assert findings_for(tmp_path, text)
+
+    def test_nested_expression_units_propagate(self, tmp_path):
+        text = (
+            "def f(start: Cycles, extra: Cycles, size: Bytes):\n"
+            "    return (start + extra) + size\n"
+        )
+        assert findings_for(tmp_path, text)
+
+    def test_multiplying_cycles_by_bytes_is_tolerated(self, tmp_path):
+        # Cycles-per-byte rates make this product legitimate.
+        text = "def f(per: Cycles, size: Bytes):\n    return per * size\n"
+        assert findings_for(tmp_path, text) == []
+
+    def test_same_unit_arithmetic_is_clean(self, tmp_path):
+        text = (
+            "def f(start: Cycles, duration: Cycles):\n"
+            "    end: Cycles = start + duration\n"
+            "    return end\n"
+        )
+        assert findings_for(tmp_path, text) == []
+
+
+class TestAddressesVersusCycles:
+    def test_address_plus_cycles_is_an_error(self, tmp_path):
+        text = "def f(addr: PhysAddr, now: Cycles):\n    return addr + now\n"
+        (finding,) = findings_for(tmp_path, text)
+        assert finding.severity == Severity.ERROR
+
+    def test_address_plus_bytes_is_address_arithmetic(self, tmp_path):
+        text = "def f(addr: PhysAddr, size: Bytes):\n    return addr + size\n"
+        assert findings_for(tmp_path, text) == []
+
+
+class TestFloatLiterals:
+    def test_float_literal_times_cycles_is_a_warning(self, tmp_path):
+        text = "def f(latency: Cycles):\n    return latency * 1.5\n"
+        (finding,) = findings_for(tmp_path, text)
+        assert finding.severity == Severity.WARNING
+        assert "float literal" in finding.message
+
+    def test_float_literal_plus_physaddr_flagged(self, tmp_path):
+        text = "def f(addr: PhysAddr):\n    return addr + 0.5\n"
+        assert findings_for(tmp_path, text)
+
+    def test_integer_literal_is_clean(self, tmp_path):
+        text = "def f(latency: Cycles):\n    return latency * 3 // 2\n"
+        assert findings_for(tmp_path, text) == []
+
+    def test_float_literal_with_bytes_is_tolerated(self, tmp_path):
+        # Sizes may be scaled by ratios (utilisation, fractions of capacity).
+        text = "def f(size: Bytes):\n    return size * 0.95\n"
+        assert findings_for(tmp_path, text) == []
+
+    def test_division_produces_dimensionless_value(self, tmp_path):
+        text = (
+            "def f(busy: Cycles, elapsed: Cycles):\n"
+            "    share = busy / elapsed\n"
+            "    return share * 1.5\n"
+        )
+        assert findings_for(tmp_path, text) == []
+
+
+class TestAdoption:
+    def test_unannotated_code_emits_nothing(self, tmp_path):
+        text = "def f(now, size):\n    return now + size\n"
+        assert findings_for(tmp_path, text) == []
+
+    def test_annassign_locals_participate(self, tmp_path):
+        text = (
+            "def f(size: Bytes):\n"
+            "    now: Cycles = 0\n"
+            "    return now + size\n"
+        )
+        assert findings_for(tmp_path, text)
+
+    def test_rule_applies_outside_sim_packages_too(self, tmp_path):
+        text = "def f(now: Cycles, size: Bytes):\n    return now + size\n"
+        assert findings_for(tmp_path, text, relpath="analysis/tool.py")
+
+    def test_real_aliases_are_runtime_transparent(self):
+        from repro.common.addr import Bytes, PhysAddr
+        from repro.common.timeline import Cycles
+
+        assert Cycles is int and Bytes is int and PhysAddr is int
