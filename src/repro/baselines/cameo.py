@@ -21,6 +21,7 @@ from typing import Dict
 
 from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from repro.common.config import SystemConfig
+from repro.common.errors import FaultError
 from repro.common.stats import StatsRegistry
 from repro.sim.hmc_base import HmcBase, RequestKind
 from repro.vm.os_model import OsModel
@@ -84,7 +85,7 @@ class CameoHmc(HmcBase):
             self._remap_fill(line_spa)
 
         slot = self._slot(line_spa)
-        result = self.memory.access(
+        result = self.mem_access(
             t, slot, is_write, bulk=kind is RequestKind.WRITEBACK
         )
         finish = result.finish
@@ -106,12 +107,18 @@ class CameoHmc(HmcBase):
             return
         member_slot = self._slot(line)
 
-        # Fast swap of two 64 B blocks: 2 line reads + 2 line writes.
-        read_fast = self.memory.access(now, fast_slot, False, bulk=True).finish
-        read_slow = self.memory.access(now, member_slot, False, bulk=True).finish
-        ready = max(read_fast, read_slow)
-        self.memory.access(ready, fast_slot, True, bulk=True)
-        self.memory.access(ready, member_slot, True, bulk=True)
+        # Fast swap of two 64 B blocks: 2 line reads + 2 line writes.  The
+        # remap maps are only exchanged after all four accesses succeed, so
+        # an injected fault aborts the swap with no state to roll back.
+        try:
+            read_fast = self.memory.access(now, fast_slot, False, bulk=True).finish
+            read_slow = self.memory.access(now, member_slot, False, bulk=True).finish
+            ready = max(read_fast, read_slow)
+            self.memory.access(ready, fast_slot, True, bulk=True)
+            self.memory.access(ready, member_slot, True, bulk=True)
+        except FaultError:
+            self.stats.add("cameo/aborted_swaps")
+            return
 
         self._slot_of[line] = fast_slot
         self._member_in[fast_slot] = line

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from repro.common.config import SystemConfig
+from repro.common.errors import FaultError
 from repro.common.stats import StatsRegistry
 from repro.sim.hmc_base import HmcBase, RequestKind
 from repro.vm.os_model import OsModel
@@ -184,7 +185,7 @@ class MemPodHmc(HmcBase):
         actual_line = slot * self.lines_per_segment + (
             line_spa % self.lines_per_segment
         )
-        result = self.memory.access(
+        result = self.mem_access(
             t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
         )
         finish = result.finish
@@ -235,19 +236,25 @@ class MemPodHmc(HmcBase):
 
     def _swap_segments(self, now: int, pod: _Pod, member: int, fast_slot: int) -> None:
         member_slot = pod.slot(member)
-        read_fast = self.memory.transfer_segment(
-            now, fast_slot * self.lines_per_segment, self.lines_per_segment, False
-        )
-        read_slow = self.memory.transfer_segment(
-            now, member_slot * self.lines_per_segment, self.lines_per_segment, False
-        )
-        ready = max(read_fast, read_slow)
-        write_fast = self.memory.transfer_segment(
-            ready, fast_slot * self.lines_per_segment, self.lines_per_segment, True
-        )
-        write_slow = self.memory.transfer_segment(
-            ready, member_slot * self.lines_per_segment, self.lines_per_segment, True
-        )
+        # A fault mid-migration aborts cleanly: the pod's remap maps are
+        # only exchanged after all four transfers landed.
+        try:
+            read_fast = self.memory.transfer_segment(
+                now, fast_slot * self.lines_per_segment, self.lines_per_segment, False
+            )
+            read_slow = self.memory.transfer_segment(
+                now, member_slot * self.lines_per_segment, self.lines_per_segment, False
+            )
+            ready = max(read_fast, read_slow)
+            write_fast = self.memory.transfer_segment(
+                ready, fast_slot * self.lines_per_segment, self.lines_per_segment, True
+            )
+            write_slow = self.memory.transfer_segment(
+                ready, member_slot * self.lines_per_segment, self.lines_per_segment, True
+            )
+        except FaultError:
+            self.stats.add("mempod/aborted_migrations")
+            return
         end = max(write_fast, write_slow)
 
         occupant = pod.exchange(member, fast_slot)

@@ -23,6 +23,7 @@ from typing import Dict
 
 from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from repro.common.config import SystemConfig
+from repro.common.errors import FaultError
 from repro.common.stats import StatsRegistry
 from repro.sim.hmc_base import HmcBase, RequestKind
 from repro.vm.os_model import OsModel
@@ -115,7 +116,7 @@ class PomHmc(HmcBase):
         actual_line = slot * self.lines_per_segment + (
             line_spa % self.lines_per_segment
         )
-        result = self.memory.access(
+        result = self.mem_access(
             t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
         )
         finish = result.finish
@@ -188,20 +189,26 @@ class PomHmc(HmcBase):
             return
         member_slot = self._slot(segment)
 
-        # Fast swap: 2 segment reads + 2 segment writes.
-        read_fast = self.memory.transfer_segment(
-            now, fast_slot * self.lines_per_segment, self.lines_per_segment, False
-        )
-        read_slow = self.memory.transfer_segment(
-            now, member_slot * self.lines_per_segment, self.lines_per_segment, False
-        )
-        ready = max(read_fast, read_slow)
-        write_fast = self.memory.transfer_segment(
-            ready, fast_slot * self.lines_per_segment, self.lines_per_segment, True
-        )
-        write_slow = self.memory.transfer_segment(
-            ready, member_slot * self.lines_per_segment, self.lines_per_segment, True
-        )
+        # Fast swap: 2 segment reads + 2 segment writes.  A fault mid-swap
+        # aborts cleanly — no remap state was touched yet, so PoM simply
+        # keeps serving the segment from its old slot.
+        try:
+            read_fast = self.memory.transfer_segment(
+                now, fast_slot * self.lines_per_segment, self.lines_per_segment, False
+            )
+            read_slow = self.memory.transfer_segment(
+                now, member_slot * self.lines_per_segment, self.lines_per_segment, False
+            )
+            ready = max(read_fast, read_slow)
+            write_fast = self.memory.transfer_segment(
+                ready, fast_slot * self.lines_per_segment, self.lines_per_segment, True
+            )
+            write_slow = self.memory.transfer_segment(
+                ready, member_slot * self.lines_per_segment, self.lines_per_segment, True
+            )
+        except FaultError:
+            self.stats.add("pom/aborted_swaps")
+            return
         end = max(write_fast, write_slow)
 
         self._slot_of[segment] = fast_slot

@@ -23,6 +23,9 @@ rest on:
   epoch, and every PCT/PCTc/Filter counter stays inside its 6-bit range.
 * **Stats sanity** — no counter or observation count is negative, every
   value is finite, and means never exceed maxima.
+* **Quarantine integrity** (fault injection only) — every frame retired
+  after an uncorrectable error is a valid NVM page, the retired set only
+  grows, and every page the injector knows is bad has been quarantined.
 """
 
 from __future__ import annotations
@@ -349,6 +352,52 @@ class StatsSanityChecker(InvariantChecker):
         return out
 
 
+class QuarantineChecker(InvariantChecker):
+    """Frame quarantine (``repro.faults``) stays coherent with the injector.
+
+    Quarantine is monotone — a frame retired after an uncorrectable error
+    never returns to service — and complete: every NVM page the injector's
+    sticky bad-page set contains must have been quarantined by the
+    recovery hook the first time a read of it was serviced.
+    """
+
+    name = "quarantine"
+
+    def __init__(self) -> None:
+        self._previously_quarantined: set = set()
+
+    def check(self, system, now: int) -> List[Violation]:
+        os_model = system.os_model
+        memory = system.config.memory
+        out: List[Violation] = []
+
+        quarantined = set(os_model.quarantined_frames)
+        for frame in quarantined:
+            if not (0 <= frame < memory.total_pages):
+                out.append(self._violation(
+                    "quarantined frame outside physical memory", frame=frame))
+            elif not memory.is_nvm_page(frame):
+                out.append(self._violation(
+                    "quarantined frame is not an NVM page (only NVM frames "
+                    "suffer uncorrectable errors)", frame=frame))
+        lost = self._previously_quarantined - quarantined
+        for frame in sorted(lost):
+            out.append(self._violation(
+                "frame left quarantine (retirement must be permanent)",
+                frame=frame))
+        self._previously_quarantined = quarantined
+
+        injector = getattr(system.hmc, "fault_injector", None)
+        if injector is not None:
+            for local_page in injector.bad_pages:
+                spa_page = memory.dram_pages + local_page
+                if spa_page not in quarantined:
+                    out.append(self._violation(
+                        "injector knows this NVM page is bad but it was "
+                        "never quarantined", page=spa_page))
+        return out
+
+
 def build_checkers(system) -> List[InvariantChecker]:
     """The checkers that apply to *system*'s scheme."""
     checkers: List[InvariantChecker] = [
@@ -361,4 +410,6 @@ def build_checkers(system) -> List[InvariantChecker]:
             SwapConservationChecker(),
             CounterMonotonicityChecker(system),
         ])
+        if system.config.faults.enabled:
+            checkers.append(QuarantineChecker())
     return checkers

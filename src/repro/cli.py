@@ -19,9 +19,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.common.config import CHECK_LEVELS, CheckConfig
+from repro.common.config import CHECK_LEVELS, CheckConfig, FaultConfig
 from repro.experiments import ExperimentRunner
 from repro.experiments.runner import VARIANTS
+from repro.faults import FAULT_PROFILES, resolve_profile
 from repro.sim.system import SCHEMES, build_system
 from repro.workloads import all_workloads, workload_by_name
 
@@ -56,6 +57,18 @@ def _resolve_check(args: argparse.Namespace) -> Optional[CheckConfig]:
     return CheckConfig(level=level, interval_ops=args.check_interval)
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--faults", choices=sorted(FAULT_PROFILES), default="off",
+                        help="fault-injection profile (see docs/FAULTS.md)")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the deterministic fault RNG streams")
+
+
+def _resolve_faults(args: argparse.Namespace) -> Optional[FaultConfig]:
+    """Turn ``--faults`` / ``--fault-seed`` into a FaultConfig (or None)."""
+    return resolve_profile(args.faults, fault_seed=args.fault_seed)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     system = build_system(
@@ -65,6 +78,7 @@ def _command_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         config_mutator=VARIANTS[args.variant],
         check=_resolve_check(args),
+        faults=_resolve_faults(args),
     )
     metrics = system.run(args.measure_ops, args.warmup_ops)
     print(f"{args.scheme} on {workload.name} "
@@ -86,6 +100,12 @@ def _command_run(args: argparse.Namespace) -> int:
               f"sweeps={report.sweeps} "
               f"shadow-checks={report.shadow_accesses_checked} "
               f"violations={len(report.violations)}")
+    if system.config.faults.enabled:
+        print(f"  faults              injected={metrics.faults_injected} "
+              f"retries={metrics.fault_retries} "
+              f"swap-aborts={metrics.swap_aborts} "
+              f"quarantined={metrics.quarantined_pages} "
+              f"degraded={metrics.degraded_services}")
     return 0
 
 
@@ -173,6 +193,9 @@ def _command_trace_run(args: argparse.Namespace) -> int:
     check = _resolve_check(args)
     if check is not None:
         config = dataclasses.replace(config, check=check)
+    faults = _resolve_faults(args)
+    if faults is not None:
+        config = dataclasses.replace(config, faults=faults)
     system = System(config, args.scheme, spec, args.scale)
     metrics = system.run(args.measure_ops, args.warmup_ops)
     print(f"{args.scheme} over {spec.cores} trace(s)")
@@ -209,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=sorted(VARIANTS))
     _add_sizing_arguments(run_parser)
     _add_check_arguments(run_parser)
+    _add_fault_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
     report_parser = commands.add_parser(
@@ -263,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   choices=sorted(SCHEMES))
     _add_sizing_arguments(trace_run_parser)
     _add_check_arguments(trace_run_parser)
+    _add_fault_arguments(trace_run_parser)
     trace_run_parser.set_defaults(handler=_command_trace_run)
 
     commands.add_parser(

@@ -419,6 +419,65 @@ class CheckConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault injection (``repro.faults``): what breaks, and how
+    the recovery machinery responds.
+
+    All rates are per-event probabilities drawn from named
+    :class:`repro.common.rng.DeterministicRng` streams seeded by
+    ``fault_seed``, so a given (config, workload, seed) triple always
+    injects the identical fault schedule.  With ``enabled`` False the
+    injector is never constructed and the simulator's hot path is untouched.
+    """
+
+    enabled: bool = False
+    #: Seed for every fault-schedule RNG stream (independent of the
+    #: simulation seed so fault schedules can be varied per run).
+    fault_seed: int = 0
+    # -- device-layer fault rates -----------------------------------------
+    #: Probability that a demand read of a (previously good) NVM page hits a
+    #: fresh uncorrectable error.  Once a page goes bad it stays bad.
+    nvm_uncorrectable_rate: float = 0.0
+    #: Probability that any single device access faults transiently.
+    transient_rate: float = 0.0
+    #: Probability that a bulk page/segment transfer dies mid-flight.
+    transfer_fault_rate: float = 0.0
+    # -- recovery knobs -----------------------------------------------------
+    #: Bounded retry budget for transient faults (per access / per swap).
+    max_retries: int = 3
+    #: Base backoff added to the retry issue time; doubles per attempt.
+    retry_backoff_cycles: Cycles = 200
+    #: Latency of a degraded service (ECC heroics / firmware-level rebuild)
+    #: when retries are exhausted or a read is uncorrectable.
+    recovery_read_cycles: Cycles = 2000
+    # -- infrastructure-layer (sweep runner) fault rates --------------------
+    #: Probability a sweep worker crashes before simulating its request.
+    worker_crash_rate: float = 0.0
+    #: Probability a sweep worker stalls for ``worker_stall_seconds``.
+    worker_stall_rate: float = 0.0
+    worker_stall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, rate in (
+            ("nvm_uncorrectable_rate", self.nvm_uncorrectable_rate),
+            ("transient_rate", self.transient_rate),
+            ("transfer_fault_rate", self.transfer_fault_rate),
+            ("worker_crash_rate", self.worker_crash_rate),
+            ("worker_stall_rate", self.worker_stall_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{label} must be within [0, 1], got {rate}")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.retry_backoff_cycles <= 0:
+            raise ConfigError("retry_backoff_cycles must be positive")
+        if self.recovery_read_cycles <= 0:
+            raise ConfigError("recovery_read_cycles must be positive")
+        if self.worker_stall_seconds < 0:
+            raise ConfigError("worker_stall_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Everything needed to build one simulated system."""
 
@@ -455,6 +514,8 @@ class SystemConfig:
     seed: int = 0
     #: Runtime sanitizer configuration (``repro.check``).
     check: CheckConfig = field(default_factory=CheckConfig)
+    #: Fault injection + recovery configuration (``repro.faults``).
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
         if self.cores <= 0:

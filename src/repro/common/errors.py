@@ -34,18 +34,66 @@ class CheckViolationError(SimulationError):
         )
 
 
+class FaultError(SimulationError):
+    """An injected fault fired at a specific point of the simulated machine.
+
+    ``device`` names the memory device ("dram"/"nvm") or infrastructure
+    component that faulted, ``line`` is the physical cache-line number being
+    accessed (or ``None`` for non-memory faults) and ``cycle`` the simulated
+    cycle at which the fault fired.
+    """
+
+    def __init__(self, message, *, device=None, line=None, cycle=None):
+        self.device = device
+        self.line = line
+        self.cycle = cycle
+        site = []
+        if device is not None:
+            site.append(f"device={device}")
+        if line is not None:
+            site.append(f"line={line}")
+        if cycle is not None:
+            site.append(f"cycle={cycle}")
+        suffix = f" [{', '.join(site)}]" if site else ""
+        super().__init__(f"{message}{suffix}")
+
+
+class TransientFaultError(FaultError):
+    """A transient device fault: the access may succeed if retried later."""
+
+
+class UnrecoverableFaultError(FaultError):
+    """A permanent fault (e.g. an NVM uncorrectable read): retrying the same
+    access can never succeed; recovery must remap or degrade instead."""
+
+
+class WorkerFaultError(FaultError):
+    """An injected infrastructure fault: a sweep worker crashed or stalled."""
+
+
 class SweepError(ReproError):
     """One or more simulations of a parallel sweep failed.
 
     ``failures`` is a list of ``((scheme, workload, variant), exception)``
-    pairs — every request that failed, not just the first.
+    pairs — every request that failed, not just the first.  ``attempts``
+    optionally maps each failed request to the number of attempts made, so
+    the message distinguishes exhausted-retries failures from requests that
+    failed on their first (and only) attempt.
     """
 
-    def __init__(self, failures):
+    def __init__(self, failures, attempts=None):
         self.failures = list(failures)
+        self.attempts = dict(attempts) if attempts else {}
         names = ", ".join("/".join(request) for request, _ in self.failures)
+
+        def _suffix(request):
+            tries = self.attempts.get(request, 1)
+            if tries > 1:
+                return f" (failed on all {tries} attempts, retries exhausted)"
+            return " (failed on first attempt, not retried)"
+
         causes = "\n  ".join(
-            f"{'/'.join(request)}: {type(exc).__name__}: {exc}"
+            f"{'/'.join(request)}: {type(exc).__name__}: {exc}{_suffix(request)}"
             for request, exc in self.failures
         )
         super().__init__(

@@ -76,7 +76,12 @@ class PageSeerHmc(HmcBase):
             on_swap_out=self._on_swap_out,
             is_frozen=self._frozen_pages.__contains__,
             hot_lines=self._hot_lines_of,
+            faults=config.faults if config.faults.enabled else None,
+            injector=self.fault_injector,
+            is_quarantined=os_model.is_quarantined,
         )
+        if self.fault_recovery is not None:
+            self.fault_recovery.on_uncorrectable = self._on_uncorrectable
         self.mmu_driver = MmuDriver(
             ps.mmu_driver_pte_lines, self._fetch_pte_line, stats
         )
@@ -143,7 +148,7 @@ class PageSeerHmc(HmcBase):
         else:
             location = self.prt.location_of(page)
             actual_line = location * LINES_PER_PAGE + line_offset
-            result = self.memory.access(
+            result = self.mem_access(
                 t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
             )
             finish = result.finish
@@ -164,8 +169,13 @@ class PageSeerHmc(HmcBase):
         if resident_dram:
             self.dram_hpt.record_miss(now, page)
         elif self.nvm_hpt.record_miss(now, page):
+            # The HPT probe that notices the threshold crossing costs its
+            # Table II access latency before the Swap Driver sees it.
             started = self.swap_driver.request_swap(
-                now, page, TRIGGER_REGULAR, self.dram_service_share
+                now + self.ps.hpt_latency_cycles,
+                page,
+                TRIGGER_REGULAR,
+                self.dram_service_share,
             )
             if started:
                 self.nvm_hpt.remove(page)
@@ -177,8 +187,12 @@ class PageSeerHmc(HmcBase):
         for trigger in triggers:
             if trigger.is_follower and not self.ps.correlation_enabled:
                 continue
+            # Filter-detected triggers pay the Filter's access latency.
             self.swap_driver.request_swap(
-                now, trigger.page, TRIGGER_PCT, self.dram_service_share
+                now + self.ps.filter_latency_cycles,
+                trigger.page,
+                TRIGGER_PCT,
+                self.dram_service_share,
             )
 
     # -- PCT plumbing --------------------------------------------------------------
@@ -258,11 +272,40 @@ class PageSeerHmc(HmcBase):
         page = line_spa // LINES_PER_PAGE
         location = self.prt.location_of(page)
         actual_line = location * LINES_PER_PAGE + (line_spa % LINES_PER_PAGE)
-        result = self.memory.access(now, actual_line, False)
+        result = self.mem_access(now, actual_line, False)
         serviced = "dram" if location < self.dram_pages else "nvm"
         self.account_service(now, result.finish, page, serviced, RequestKind.PTE)
         self.stats.add("mmu_driver/fetches")
         return result.finish
+
+    # -- fault recovery: quarantine + rescue (repro.faults) -----------------------------
+    def _on_uncorrectable(self, now: int, line_spa: int) -> None:
+        """An uncorrectable NVM read: quarantine the location, rescue data.
+
+        *line_spa* is the post-remap physical line the request resolved to,
+        so its page is the failed NVM *location*.  Two cases:
+
+        * the location holds its own home data (unswapped) — rescue-swap it
+          into DRAM, where the rescued copy is pinned (the victim selector
+          never evicts a quarantined occupant back to its failed home);
+        * the location holds a swapped-out DRAM frame's data — the pair is
+          pinned by the quarantine and every later read of that data is
+          served degraded; we cannot park data back on a failed frame.
+
+        A failed rescue (engines busy, colour locked) is retried on the
+        next uncorrectable read of the same page.
+        """
+        page = line_spa // LINES_PER_PAGE
+        if not self.config.memory.is_nvm_page(page):
+            return
+        if self.os_model.quarantine_frame(page):
+            self.stats.add("faults/quarantined_pages")
+        if self.prt.dram_frame_holding(page) is not None:
+            return
+        if self.swap_driver.rescue_swap(now, page):
+            self.stats.add("faults/rescue_swaps")
+        else:
+            self.stats.add("faults/rescue_failures")
 
     # -- prefetch-accuracy bookkeeping (Figure 9) --------------------------------------
     def _on_swap_in(self, page: int, trigger: str, now: int) -> None:
@@ -295,11 +338,11 @@ class PageSeerHmc(HmcBase):
     ) -> int:
         """Serve a not-yet-moved line from home and pull it into the frame."""
         home_line = page * LINES_PER_PAGE + line_offset
-        result = self.memory.access(now, home_line, is_write)
+        result = self.mem_access(now, home_line, is_write)
         frame = self.prt.dram_frame_holding(page)
         if frame is not None:
-            self.memory.access(result.finish, frame * LINES_PER_PAGE + line_offset,
-                               True, bulk=True)
+            self.mem_access(result.finish, frame * LINES_PER_PAGE + line_offset,
+                            True, bulk=True)
         residue = self.swap_driver.partial_residue.get(page, 0)
         residue &= ~(1 << line_offset)
         if residue:

@@ -18,28 +18,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.common.config import PageSeerConfig
+from repro.common.config import FaultConfig, PageSeerConfig
+from repro.common.errors import FaultError, UnrecoverableFaultError
 from repro.common.stats import StatsRegistry
 from repro.core.hpt import HotPageTable
 from repro.core.prt import PageRemapTable
 from repro.mem.main_memory import MainMemory
 from repro.mem.swap_buffer import SwapBufferPool
 
-#: Swap trigger labels (Figure 10's categories).
+#: Swap trigger labels (Figure 10's categories, plus fault rescue).
 TRIGGER_MMU = "mmu"
 TRIGGER_PCT = "pct"
 TRIGGER_REGULAR = "regular"
+TRIGGER_RESCUE = "rescue"
 
 #: Literal stats-key tables per trigger (auditable by the RL002 lint rule).
 _REQUEST_KEYS = {
     TRIGGER_MMU: "swap_driver/requests_mmu",
     TRIGGER_PCT: "swap_driver/requests_pct",
     TRIGGER_REGULAR: "swap_driver/requests_regular",
+    TRIGGER_RESCUE: "swap_driver/requests_rescue",
 }
 _SWAP_KEYS = {
     TRIGGER_MMU: "swap_driver/swaps_mmu",
     TRIGGER_PCT: "swap_driver/swaps_pct",
     TRIGGER_REGULAR: "swap_driver/swaps_regular",
+    TRIGGER_RESCUE: "swap_driver/swaps_rescue",
 }
 
 
@@ -73,6 +77,9 @@ class SwapDriver:
         on_swap_out: Optional[Callable[[int, int], None]] = None,
         is_frozen: Optional[Callable[[int], bool]] = None,
         hot_lines: Optional[Callable[[int], int]] = None,
+        faults: Optional[FaultConfig] = None,
+        injector=None,
+        is_quarantined: Optional[Callable[[int], bool]] = None,
     ):
         self.config = config
         self.memory = memory
@@ -85,6 +92,12 @@ class SwapDriver:
         self._on_swap_out = on_swap_out
         self._is_frozen = is_frozen or (lambda page: False)
         self._hot_lines = hot_lines
+        #: Fault recovery knobs + the injector to suppress during rescues;
+        #: both None in normal runs (no injector means no FaultError can
+        #: escape a transfer, so the except paths below are dead code then).
+        self._faults = faults
+        self._injector = injector
+        self._is_quarantined = is_quarantined or (lambda page: False)
         #: SILC-FM extension: per swapped-in page, bitmask of lines whose
         #: data was NOT moved (it still lives at the page's home location
         #: and migrates lazily on first touch).
@@ -170,6 +183,11 @@ class SwapDriver:
             # DMA in progress for this page (Section III-E): no swaps.
             self.stats.add("swap_driver/declined_frozen")
             return False
+        if self._is_quarantined(page_spa):
+            # A failed NVM page: only rescue_swap may move it (with fault
+            # injection suppressed); a regular swap would have to read it.
+            self.stats.add("swap_driver/declined_quarantined")
+            return False
         if len(self._in_flight_ends) >= self.max_in_flight:
             self.stats.add("swap_driver/declined_engines_busy")
             return False
@@ -185,8 +203,35 @@ class SwapDriver:
             self.stats.add("swap_driver/declined_locked")
             return False
 
-        self._execute(now, page_spa, frame, trigger)
-        return True
+        return self._execute(now, page_spa, frame, trigger)
+
+    def rescue_swap(self, now: int, page_spa: int) -> bool:
+        """Pull a quarantined NVM page's data into DRAM (fault recovery).
+
+        Runs with fault injection suppressed — this is the controller's
+        firmware-level ECC rebuild, which re-reads with heroics rather than
+        tripping over the very error it is recovering from — and skips the
+        bandwidth heuristic, because correctness beats throughput here.
+        Structural safety checks (frozen pages, engine limits, colour
+        locks) still apply; False means the rescue must be retried later.
+        """
+        self._purge(now)
+        self.stats.add(_REQUEST_KEYS[TRIGGER_RESCUE])
+        if self.prt.is_dram(page_spa):
+            return False
+        if self.prt.dram_frame_holding(page_spa) is not None:
+            return False
+        if page_spa in self._active or self._is_frozen(page_spa):
+            return False
+        if len(self._in_flight_ends) >= self.max_in_flight:
+            return False
+        frame = self._choose_victim_frame(now, page_spa)
+        if frame is None:
+            return False
+        if self._injector is not None:
+            with self._injector.suppressed():
+                return self._execute(now, page_spa, frame, TRIGGER_RESCUE)
+        return self._execute(now, page_spa, frame, TRIGGER_RESCUE)
 
     def _choose_victim_frame(self, now: int, page_spa: int) -> Optional[int]:
         """Pick a DRAM frame of the page's colour, honouring HPT locks."""
@@ -206,6 +251,10 @@ class SwapDriver:
                 continue
             if occupant_spa in self._active:
                 continue
+            # A rescued page is pinned in DRAM: evicting it would write its
+            # data back to its quarantined (failed) home location.
+            if self._is_quarantined(occupant_spa):
+                continue
             # Prefer frames still holding (cold) home data, then the frame
             # whose last swap is oldest.
             key = (0 if occupant is None else 1, self._frame_last_swap.get(frame, -1))
@@ -215,41 +264,69 @@ class SwapDriver:
         return best_frame
 
     # -- executing swaps ---------------------------------------------------------------
-    def _execute(self, now: int, page_spa: int, frame: int, trigger: str) -> None:
+    def _execute(self, now: int, page_spa: int, frame: int, trigger: str) -> bool:
+        """Run the transfers, then commit; returns False on an aborted swap.
+
+        The transfer phase touches only device timing state, so a
+        mid-transfer fault aborts the swap with **no** rollback needed: the
+        PRT, residue map, buffers, in-flight windows, and every counter are
+        mutated only after all reads and writes succeeded (the commit
+        point).  Transient transfer faults are retried with backoff up to
+        the configured budget; an uncorrectable read aborts immediately —
+        the demand path will quarantine and rescue that page instead.
+        """
         incoming_lines, residue_mask = self._incoming_line_budget(page_spa)
         occupant = self.prt.nvm_page_in_frame(frame)
-        if occupant is None:
-            end, reads, writes = self._simple_swap(
-                now, page_spa, frame, incoming_lines
-            )
-            optimized = False
-            involved = [page_spa, frame]
-        else:
-            end, reads, writes = self._optimized_slow_swap(
-                now, page_spa, frame, occupant, incoming_lines
-            )
-            optimized = True
-            involved = [page_spa, frame, occupant]
+        attempt = 0
+        start = now
+        while True:
+            try:
+                if occupant is None:
+                    end, reads, writes = self._simple_swap(
+                        start, page_spa, frame, incoming_lines
+                    )
+                    optimized = False
+                    involved = [page_spa, frame]
+                else:
+                    end, reads, writes = self._optimized_slow_swap(
+                        start, page_spa, frame, occupant, incoming_lines
+                    )
+                    optimized = True
+                    involved = [page_spa, frame, occupant]
+                break
+            except UnrecoverableFaultError:
+                self.stats.add("swap_driver/aborted_swaps")
+                return False
+            except FaultError:
+                if self._faults is None or attempt >= self._faults.max_retries:
+                    self.stats.add("swap_driver/aborted_swaps")
+                    return False
+                self.stats.add("swap_driver/swap_retries")
+                start += self._faults.retry_backoff_cycles << attempt
+                attempt += 1
+
+        # -- commit point: all transfers landed ---------------------------
+        if occupant is not None:
             self.prt.remove(occupant)
             self.partial_residue.pop(occupant, None)
             if self._on_swap_out is not None:
-                self._on_swap_out(occupant, now)
+                self._on_swap_out(occupant, start)
         if residue_mask:
             self.partial_residue[page_spa] = residue_mask
             self.stats.add("swap_driver/partial_swaps")
         self.prt.install(page_spa, frame)
-        self._frame_last_swap[frame] = now
+        self._frame_last_swap[frame] = start
 
         self._in_flight_ends.append(end)
         for page in involved:
             self._active[page] = end
-            self.buffers.try_hold(page, now, end)
+            self.buffers.try_hold(page, start, end)
 
         record = SwapRecord(
             page=page_spa,
             dram_frame=frame,
             trigger=trigger,
-            start=now,
+            start=start,
             end=end,
             reads=reads,
             writes=writes,
@@ -257,14 +334,15 @@ class SwapDriver:
         )
         self.records.append(record)
         if self.on_swap_event is not None:
-            self.on_swap_event(now, page_spa, frame, occupant, end)
+            self.on_swap_event(start, page_spa, frame, occupant, end)
         self.stats.add("swap_driver/swaps")
         self.stats.add(_SWAP_KEYS[trigger])
         if optimized:
             self.stats.add("swap_driver/optimized_slow_swaps")
-        self.stats.observe("swap_driver/swap_duration", end - now)
+        self.stats.observe("swap_driver/swap_duration", end - start)
         if self._on_swap_in is not None:
-            self._on_swap_in(page_spa, trigger, now)
+            self._on_swap_in(page_spa, trigger, start)
+        return True
 
     def _incoming_line_budget(self, page_spa: int) -> tuple:
         """How many of the incoming page's 64 lines to move, plus residue.
@@ -346,7 +424,12 @@ class SwapDriver:
         return len(self.records)
 
     def swaps_by_trigger(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {TRIGGER_MMU: 0, TRIGGER_PCT: 0, TRIGGER_REGULAR: 0}
+        counts: Dict[str, int] = {
+            TRIGGER_MMU: 0,
+            TRIGGER_PCT: 0,
+            TRIGGER_REGULAR: 0,
+            TRIGGER_RESCUE: 0,
+        }
         for record in self.records:
             counts[record.trigger] = counts.get(record.trigger, 0) + 1
         return counts

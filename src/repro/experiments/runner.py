@@ -6,25 +6,40 @@ variant and Section V-C a no-correlation variant.  The runner executes
 each distinct (scheme, workload, variant, sizing) combination once and
 caches the resulting metrics as JSON keyed by every input that affects
 the outcome, including a cache version bumped on model changes.
+
+The sweep path degrades gracefully rather than abandoning work
+(``docs/FAULTS.md``): cache writes are atomic, torn or stale cache files
+are treated as misses, failed or overdue pool workers are retried with
+exponential backoff, and every completed result is salvaged even when
+the sweep as a whole raises :class:`repro.common.errors.SweepError`.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import hashlib
 import json
 import os
+import time
+import warnings
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.common.config import CheckConfig, SystemConfig
-from repro.common.errors import SweepError
+from repro.common.config import CheckConfig, FaultConfig, SystemConfig
+from repro.common.errors import FaultError, SweepError, WorkerFaultError
+from repro.common.rng import DeterministicRng
 from repro.sim.metrics import RunMetrics
 from repro.sim.system import build_system
 from repro.workloads import all_workloads, workload_by_name
 
 #: Bump when a simulator change invalidates cached results.
-CACHE_VERSION = 2
+CACHE_VERSION = 3
+
+#: First retry waits this long; attempt ``n`` waits ``base << n`` seconds.
+#: Kept tiny: the backoff is for scheduling fairness (and testability),
+#: not for placating a remote service.
+_BACKOFF_BASE_SECONDS = 0.01
 
 DEFAULT_SCALE = 512
 #: The warm-up must cover the longest workload's first full sweep
@@ -91,12 +106,27 @@ class ExperimentRunner:
         verbose: bool = False,
         workloads: Optional[List[str]] = None,
         worker_check_level: str = "full",
+        faults: Optional[FaultConfig] = None,
+        request_timeout: Optional[float] = None,
+        max_attempts: int = 3,
     ):
         self.scale = scale
         self.measure_ops = measure_ops
         self.warmup_ops = warmup_ops
         self.seed = seed
         self.verbose = verbose
+        #: Fault-injection configuration threaded into every simulation
+        #: (device faults) and into the sweep workers themselves (crash /
+        #: stall injection).  None or ``enabled=False`` costs nothing.
+        self.faults = faults
+        #: Wall-clock seconds a pool worker may take before its request is
+        #: retried on a fresh worker (None: no timeout).  Running futures
+        #: cannot be interrupted, so an overdue worker keeps running — if
+        #: it finishes after all, its result is still salvaged.
+        self.request_timeout = request_timeout
+        #: Total tries per request for *retryable* failures (injected
+        #: worker faults and timeouts); genuine simulator bugs fail fast.
+        self.max_attempts = max(1, max_attempts)
         #: Sanitizer level for pool workers.  Sweep runs are where silent
         #: model corruption would quietly poison every figure, and the
         #: checking cost hides behind process-level parallelism — so the
@@ -116,7 +146,7 @@ class ExperimentRunner:
         return (
             f"v{CACHE_VERSION}_{scheme}_{workload}_{variant}"
             f"_s{self.scale}_m{self.measure_ops}_w{self.warmup_ops}"
-            f"_seed{self.seed}"
+            f"_seed{self.seed}{_fault_signature(self.faults)}"
         )
 
     def _cache_path(self, key: str) -> Path:
@@ -130,9 +160,18 @@ class ExperimentRunner:
             return None
         try:
             payload = json.loads(path.read_text())
-        except (json.JSONDecodeError, OSError):
+            metrics = RunMetrics(raw={}, **{k: payload[k] for k in _METRIC_FIELDS})
+        except (json.JSONDecodeError, OSError, KeyError, TypeError) as exc:
+            # A torn write from a killed process, a file from an older
+            # metrics schema, or plain corruption: all are recoverable by
+            # re-simulating, so warn and treat the entry as a miss.
+            warnings.warn(
+                f"unreadable cache entry {path.name} "
+                f"({type(exc).__name__}: {exc}); treating as a cache miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
-        metrics = RunMetrics(raw={}, **{k: payload[k] for k in _METRIC_FIELDS})
         self._memory[key] = metrics
         return metrics
 
@@ -140,7 +179,16 @@ class ExperimentRunner:
         self._memory[key] = metrics
         payload = {name: getattr(metrics, name) for name in _METRIC_FIELDS}
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._cache_path(key).write_text(json.dumps(payload))
+        path = self._cache_path(key)
+        # Write-then-rename so a crash mid-write can never leave a torn
+        # JSON file behind; os.replace is atomic on POSIX and Windows.
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            temp.write_text(json.dumps(payload))
+            os.replace(temp, path)
+        finally:
+            if temp.exists():
+                temp.unlink()
 
     # -- execution --------------------------------------------------------------
     def run(
@@ -159,6 +207,7 @@ class ExperimentRunner:
             scale=self.scale,
             seed=self.seed,
             config_mutator=VARIANTS[variant],
+            faults=self.faults,
         )
         metrics = system.run(self.measure_ops, self.warmup_ops)
         self._store(key, metrics)
@@ -193,10 +242,18 @@ class ExperimentRunner:
         count; ``jobs=1`` degrades to the serial path (useful under
         debuggers).
 
-        A failing request does not abandon the sweep mid-flight: every
-        completed result is still cached, the remaining queue is cancelled
-        cleanly, and a :class:`repro.common.errors.SweepError` naming each
-        offending (scheme, workload, variant) is raised at the end.
+        Resilience: a request whose worker fails with an infrastructure
+        fault (:class:`repro.common.errors.FaultError`) or overruns
+        ``request_timeout`` is retried with exponential backoff up to
+        ``max_attempts`` total tries.  Running futures cannot be
+        interrupted, so a timed-out worker keeps running in the
+        background; if it produces a result after all, that result is
+        salvaged.  A *non-retryable* failure (a genuine simulator bug)
+        cancels the queued-but-unstarted work, but already-running
+        simulations still finish and cache.  Either way every completed
+        result is cached before the closing
+        :class:`repro.common.errors.SweepError` names each offending
+        (scheme, workload, variant) and how many attempts it got.
         """
         requests = list(dict.fromkeys(requests))
         results: Dict[Tuple[str, str, str], RunMetrics] = {}
@@ -210,15 +267,28 @@ class ExperimentRunner:
         if not pending:
             return results
         failures: List[Tuple[Tuple[str, str, str], BaseException]] = []
+        attempts: Dict[Tuple[str, str, str], int] = {}
         if jobs == 1:
             for request in pending:
-                try:
-                    results[request] = self.run(*request)
-                except Exception as exc:
-                    _annotate_failure(exc, request)
-                    failures.append((request, exc))
+                attempt = 0
+                while True:
+                    attempts[request] = attempt + 1
+                    try:
+                        _inject_worker_fault(self.faults, request, attempt)
+                        results[request] = self.run(*request)
+                        break
+                    except Exception as exc:
+                        if (
+                            not _retryable(exc)
+                            or attempt + 1 >= self.max_attempts
+                        ):
+                            _annotate_failure(exc, request)
+                            failures.append((request, exc))
+                            break
+                        time.sleep(_BACKOFF_BASE_SECONDS * (1 << attempt))
+                        attempt += 1
             if failures:
-                raise SweepError(failures)
+                raise SweepError(failures, attempts=attempts)
             return results
 
         sizing = (
@@ -226,29 +296,106 @@ class ExperimentRunner:
             self.worker_check_level,
         )
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+        #: future -> (request, 0-based attempt); overdue futures stay here
+        #: (they cannot be interrupted) but leave ``deadlines``.
+        futures: Dict[concurrent.futures.Future, Tuple[Tuple[str, str, str], int]] = {}
+        deadlines: Dict[concurrent.futures.Future, float] = {}
+        resolved: set = set()
+        abandoned = False
+
+        def submit(request: Tuple[str, str, str], attempt: int) -> None:
+            attempts[request] = attempt + 1
+            future = pool.submit(
+                _run_one_for_pool, request, sizing, self.faults, attempt
+            )
+            futures[future] = (request, attempt)
+            if self.request_timeout is not None:
+                deadlines[future] = time.monotonic() + self.request_timeout
+
+        def harvest(request: Tuple[str, str, str], metrics: RunMetrics) -> None:
+            self._store(self._key(*request), metrics)
+            results[request] = metrics
+            if self.verbose:
+                print(f"[runner] finished {'/'.join(request)}")
+
         try:
-            futures = {
-                pool.submit(_run_one_for_pool, request, sizing): request
-                for request in pending
-            }
-            for future in concurrent.futures.as_completed(futures):
-                request = futures[future]
-                try:
-                    metrics = future.result()
-                except concurrent.futures.CancelledError:
-                    continue
-                except Exception as exc:
-                    _annotate_failure(exc, request)
-                    failures.append((request, exc))
-                    # Stop launching queued work; already-running futures
-                    # finish (and are harvested) so their results cache.
-                    for other in futures:
-                        other.cancel()
-                    continue
-                self._store(self._key(*request), metrics)
-                results[request] = metrics
-                if self.verbose:
-                    print(f"[runner] finished {'/'.join(request)}")
+            for request in pending:
+                submit(request, 0)
+            while futures:
+                wait_timeout = None
+                if deadlines:
+                    wait_timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
+                done, _ = concurrent.futures.wait(
+                    set(futures),
+                    timeout=wait_timeout,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    request, attempt = futures.pop(future)
+                    deadlines.pop(future, None)
+                    if request in resolved:
+                        # A timed-out attempt that landed after its
+                        # replacement was scheduled: salvage the result if
+                        # the request still lacks one.
+                        if request not in results:
+                            try:
+                                metrics = future.result()
+                            except Exception:
+                                continue
+                            harvest(request, metrics)
+                            failures[:] = [
+                                pair for pair in failures if pair[0] != request
+                            ]
+                        continue
+                    try:
+                        metrics = future.result()
+                    except concurrent.futures.CancelledError:
+                        resolved.add(request)
+                        continue
+                    except Exception as exc:
+                        if (
+                            _retryable(exc)
+                            and attempt + 1 < self.max_attempts
+                            and not abandoned
+                        ):
+                            time.sleep(_BACKOFF_BASE_SECONDS * (1 << attempt))
+                            submit(request, attempt + 1)
+                            continue
+                        _annotate_failure(exc, request)
+                        failures.append((request, exc))
+                        resolved.add(request)
+                        if not _retryable(exc):
+                            # A genuine bug: stop launching queued work;
+                            # already-running futures finish (and are
+                            # harvested) so their results cache.
+                            abandoned = True
+                            for other in futures:
+                                other.cancel()
+                        continue
+                    resolved.add(request)
+                    harvest(request, metrics)
+                if deadlines:
+                    now = time.monotonic()
+                    for future, (request, attempt) in list(futures.items()):
+                        limit = deadlines.get(future)
+                        if limit is None or now < limit:
+                            continue
+                        del deadlines[future]
+                        if request in resolved:
+                            continue
+                        if attempt + 1 < self.max_attempts and not abandoned:
+                            submit(request, attempt + 1)
+                        else:
+                            exc: BaseException = WorkerFaultError(
+                                f"no result within {self.request_timeout:.1f}s "
+                                f"(attempt {attempt + 1})",
+                                device="worker",
+                            )
+                            _annotate_failure(exc, request)
+                            failures.append((request, exc))
+                            resolved.add(request)
         except KeyboardInterrupt:
             # Ctrl-C must interrupt the sweep promptly: drop the queued
             # work and re-raise without joining the running workers (a
@@ -259,7 +406,7 @@ class ExperimentRunner:
         else:
             pool.shutdown(wait=True)
         if failures:
-            raise SweepError(failures)
+            raise SweepError(failures, attempts=attempts)
         return results
 
     def prewarm(self, jobs: Optional[int] = None) -> None:
@@ -294,8 +441,75 @@ def _annotate_failure(exc: BaseException, request: Tuple[str, str, str]) -> None
         add_note(note)
 
 
+def _retryable(exc: BaseException) -> bool:
+    """Whether a sweep failure is worth a fresh attempt.
+
+    Injected faults (worker crashes, stalls promoted to timeouts) are
+    transient infrastructure conditions; anything else is a genuine
+    simulator bug that would fail identically on every retry.
+    """
+    return isinstance(exc, FaultError)
+
+
+def _fault_signature(faults: Optional[FaultConfig]) -> str:
+    """Cache-key suffix for the fault fields that change simulation output.
+
+    The worker crash/stall knobs steer *which attempt* produces a result,
+    never the result itself (simulations are deterministic in their
+    inputs), so they are deliberately left out of the signature.
+    """
+    if faults is None or not faults.enabled:
+        return ""
+    material = repr((
+        faults.fault_seed,
+        faults.nvm_uncorrectable_rate,
+        faults.transient_rate,
+        faults.transfer_fault_rate,
+        faults.max_retries,
+        faults.retry_backoff_cycles,
+        faults.recovery_read_cycles,
+    ))
+    digest = hashlib.sha256(material.encode()).hexdigest()[:12]
+    return f"_faults{digest}"
+
+
+def _inject_worker_fault(
+    faults: Optional[FaultConfig],
+    request: Tuple[str, str, str],
+    attempt: int,
+) -> None:
+    """Simulated infrastructure trouble: stall and/or crash this worker.
+
+    Deterministic per (request, attempt): the RNG stream name includes the
+    attempt number, so a crashed request's retry draws fresh numbers and
+    can succeed — while re-running the whole sweep reproduces the exact
+    same crash/stall schedule.
+    """
+    if faults is None or not faults.enabled:
+        return
+    if faults.worker_crash_rate <= 0.0 and faults.worker_stall_rate <= 0.0:
+        return
+    stream = f"fault/worker/{'/'.join(request)}/attempt{attempt}"
+    rng = DeterministicRng(stream, faults.fault_seed)
+    if (
+        faults.worker_stall_rate > 0.0
+        and rng.random() < faults.worker_stall_rate
+    ):
+        time.sleep(faults.worker_stall_seconds)
+    if (
+        faults.worker_crash_rate > 0.0
+        and rng.random() < faults.worker_crash_rate
+    ):
+        raise WorkerFaultError(
+            f"simulated worker crash (attempt {attempt + 1})", device="worker"
+        )
+
+
 def _run_one_for_pool(
-    request: Tuple[str, str, str], sizing: Tuple[int, int, int, int, str]
+    request: Tuple[str, str, str],
+    sizing: Tuple[int, int, int, int, str],
+    faults: Optional[FaultConfig] = None,
+    attempt: int = 0,
 ) -> RunMetrics:
     """Process-pool worker: one simulation with the sanitizer attached."""
     scheme, workload_name, variant = request
@@ -304,6 +518,7 @@ def _run_one_for_pool(
     # their own module state (notably dynamically-registered variants).
     from repro.experiments import ablation_partial, dram_capacity, sensitivity  # noqa: F401
 
+    _inject_worker_fault(faults, request, attempt)
     check = CheckConfig(level=check_level) if check_level != "off" else None
     system = build_system(
         scheme,
@@ -312,6 +527,7 @@ def _run_one_for_pool(
         seed=seed,
         config_mutator=VARIANTS[variant],
         check=check,
+        faults=faults,
     )
     metrics = system.run(measure_ops, warmup_ops)
     return dataclasses.replace(metrics, raw={})

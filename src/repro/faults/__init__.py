@@ -1,0 +1,30 @@
+"""Deterministic fault injection and graceful degradation (ISSUE 3).
+
+The package has three parts:
+
+* :mod:`repro.faults.injector` — the :class:`FaultInjector`, which decides
+  *when* something breaks.  Every decision is drawn from a named
+  :class:`repro.common.rng.DeterministicRng` stream seeded by
+  ``FaultConfig.fault_seed``, so a fault schedule is a pure function of the
+  configuration and the (deterministic) access sequence.
+* :mod:`repro.faults.recovery` — the :class:`FaultRecovery` wrapper the HMC
+  places around :class:`repro.mem.main_memory.MainMemory`: bounded
+  retry-with-backoff for transient faults and degraded (slow but correct)
+  service when retries are exhausted or a read is uncorrectable.
+* :mod:`repro.faults.profiles` — named :class:`FaultConfig` presets exposed
+  on the CLI as ``--faults <profile>``.
+
+With ``FaultConfig.enabled`` False none of this is constructed and the
+simulator's hot path is byte-identical to a build without the package.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import FAULT_PROFILES, resolve_profile
+from repro.faults.recovery import FaultRecovery
+
+__all__ = [
+    "FaultInjector",
+    "FaultRecovery",
+    "FAULT_PROFILES",
+    "resolve_profile",
+]

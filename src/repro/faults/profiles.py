@@ -1,0 +1,54 @@
+"""Named fault profiles, exposed on the CLI as ``--faults <profile>``.
+
+Rates are chosen so that even ``storm`` leaves a scaled run able to make
+progress: the point is to exercise every recovery path (retry, abort,
+quarantine, rescue, degraded service, worker retry/salvage), not to stop
+the simulated machine.  All profiles keep ``fault_seed`` at 0; the CLI's
+``--fault-seed`` rebinds it per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.common.config import FaultConfig
+from repro.common.errors import ConfigError
+
+FAULT_PROFILES = {
+    # Explicitly requesting "off" is the same as not passing --faults.
+    "off": FaultConfig(),
+    # Occasional transient device glitches: retry/backoff territory.
+    "transient": FaultConfig(
+        enabled=True,
+        transient_rate=0.002,
+        transfer_fault_rate=0.02,
+    ),
+    # NVM wear-out: sticky uncorrectable reads, quarantine + rescue swaps.
+    "uncorrectable": FaultConfig(
+        enabled=True,
+        nvm_uncorrectable_rate=0.0005,
+    ),
+    # Everything at once, plus flaky sweep workers.
+    "storm": FaultConfig(
+        enabled=True,
+        nvm_uncorrectable_rate=0.0005,
+        transient_rate=0.005,
+        transfer_fault_rate=0.05,
+        worker_crash_rate=0.4,
+        worker_stall_rate=0.2,
+        worker_stall_seconds=0.05,
+    ),
+}
+
+
+def resolve_profile(name: str, fault_seed: int = 0) -> Optional[FaultConfig]:
+    """Return the named profile rebased on *fault_seed*; None for "off"."""
+    try:
+        profile = FAULT_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PROFILES))
+        raise ConfigError(f"unknown fault profile {name!r}; pick from {known}")
+    if not profile.enabled:
+        return None
+    return replace(profile, fault_seed=fault_seed)

@@ -1,0 +1,91 @@
+"""Retry-with-backoff and degraded service around :class:`MainMemory`.
+
+The HMC routes every demand line access through a :class:`FaultRecovery`
+(see :meth:`repro.sim.hmc_base.HmcBase.mem_access`).  Transient faults are
+retried with exponential backoff — each retry re-issues the access
+``retry_backoff_cycles * 2^attempt`` cycles later, which is how injected
+"device stalls" inflate latency.  When the retry budget is exhausted, or
+the read is uncorrectable, the request is *degraded* instead of dropped:
+it completes after ``recovery_read_cycles`` (modelling firmware-level ECC
+heroics / a rebuild from redundancy), so the simulated program always makes
+progress and page-conservation invariants never see a lost access.
+
+Uncorrectable reads additionally call the ``on_uncorrectable`` hook, which
+PageSeer uses to quarantine the failed NVM frame and rescue-swap its data
+into DRAM (see ``repro.core.hmc``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.config import FaultConfig
+from repro.common.errors import TransientFaultError, UnrecoverableFaultError
+from repro.common.stats import StatsRegistry
+from repro.common.timeline import Cycles
+from repro.faults.injector import FaultInjector
+from repro.mem.device import AccessResult
+from repro.mem.main_memory import MainMemory
+
+
+class FaultRecovery:
+    """Bounded retry + degraded-service policy for demand line accesses."""
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        injector: FaultInjector,
+        memory: MainMemory,
+        stats: StatsRegistry,
+    ):
+        self.config = config
+        self.injector = injector
+        self.memory = memory
+        self.stats = stats
+        #: Hook called as ``on_uncorrectable(now, line_spa)`` when a demand
+        #: read hits an uncorrectable error, *before* the degraded result is
+        #: returned.  PageSeer installs its quarantine+rescue handler here.
+        self.on_uncorrectable: Optional[Callable[[Cycles, int], None]] = None
+
+    def access(
+        self, now: Cycles, line_spa: int, is_write: bool, bulk: bool = False
+    ) -> AccessResult:
+        """Access one line, absorbing any injected fault.
+
+        Never raises: the worst case is a degraded (slow) completion.
+        """
+        attempt = 0
+        issue = now
+        while True:
+            try:
+                result = self.memory.access(issue, line_spa, is_write, bulk)
+                if attempt:
+                    # The caller's request has been waiting since `now`;
+                    # report the full interval, not just the last attempt.
+                    result = AccessResult(
+                        start=now,
+                        finish=result.finish,
+                        row_hit=result.row_hit,
+                        queue_delay=result.queue_delay,
+                    )
+                return result
+            except TransientFaultError:
+                if attempt >= self.config.max_retries:
+                    self.stats.add("faults/retries_exhausted")
+                    return self._degraded(now, issue)
+                backoff = self.config.retry_backoff_cycles << attempt
+                self.stats.add("faults/retries")
+                self.stats.add("faults/retry_backoff_cycles", backoff)
+                issue += backoff
+                attempt += 1
+            except UnrecoverableFaultError:
+                self.stats.add("faults/uncorrectable_services")
+                if self.on_uncorrectable is not None:
+                    self.on_uncorrectable(issue, line_spa)
+                return self._degraded(now, issue)
+
+    def _degraded(self, start: Cycles, issue: Cycles) -> AccessResult:
+        """Complete the access slowly but correctly (ECC heroics)."""
+        self.stats.add("faults/degraded_services")
+        finish = issue + self.config.recovery_read_cycles
+        return AccessResult(start=start, finish=finish, row_hit=False, queue_delay=0)

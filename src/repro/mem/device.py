@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.addr import CACHE_LINE_BYTES
 from repro.common.config import CYCLES_PER_MEMORY_CYCLE, MemoryTimingConfig
+from repro.common.errors import TransientFaultError
 from repro.common.stats import StatsRegistry
 from repro.common.timeline import Cycles
 
@@ -115,6 +116,9 @@ class MemoryDevice:
         self.row_hits = 0
         self.queue_delay_total = 0
         self.service_time_total = 0
+        #: Armed by ``MainMemory.attach_injector`` when fault injection is
+        #: enabled; None in normal runs, so the hot path pays one branch.
+        self.injector = None
         #: Demand preempts queued bulk after one in-flight line.
         self.preempt_cap_cycles = (
             config.t_rp + config.t_rcd + config.t_cas
@@ -138,6 +142,10 @@ class MemoryDevice:
         self, now: Cycles, line_number: int, is_write: bool, bulk: bool = False
     ) -> AccessResult:
         """Perform one 64 B access; returns start/finish in CPU cycles."""
+        if self.injector is not None:
+            # May raise Transient/UnrecoverableFaultError before any bank or
+            # row state is touched, so an aborted access leaves no trace.
+            self.injector.check_access(self.config.name, now, line_number, is_write)
         channel, bank, row = self.map_line(line_number)
         open_row = self._open_rows.get(bank)
         row_hit = open_row == row
@@ -193,6 +201,12 @@ class MemoryDevice:
         both how devices behave and ~4x fewer reservations than per-line
         scheduling.
         """
+        abort_after = None
+        if self.injector is not None:
+            abort_after = self.injector.check_transfer(
+                self.config.name, now, first_line, line_count, is_write
+            )
+        lines_done = 0
         finish = now
         burst = self.config.line_transfer_cycles
         cap = self.preempt_cap_cycles
@@ -206,6 +220,15 @@ class MemoryDevice:
                 continue
             index = 0
             while index < len(channel_lines):
+                if abort_after is not None and lines_done >= abort_after:
+                    # The partial work above already occupied banks/buses —
+                    # that wasted service time is the cost of the fault.
+                    raise TransientFaultError(
+                        "bulk transfer died mid-flight",
+                        device=self.config.name,
+                        line=channel_lines[index],
+                        cycle=now,
+                    )
                 _, bank, row = self.map_line(channel_lines[index])
                 group = 1
                 while index + group < len(channel_lines):
@@ -242,6 +265,15 @@ class MemoryDevice:
                     self.row_hits += group
                 self.service_time_total += occupancy
                 index += group
+                lines_done += group
+        if abort_after is not None:
+            # Backstop: the drawn budget fell inside the final row group.
+            raise TransientFaultError(
+                "bulk transfer died mid-flight",
+                device=self.config.name,
+                line=last_line - 1,
+                cycle=now,
+            )
         return finish
 
     # -- introspection -------------------------------------------------------

@@ -31,6 +31,11 @@ class MainMemory:
         self.nvm = MemoryDevice(config.nvm, stats, model_contention)
         self._dram_lines = config.dram_pages * LINES_PER_PAGE
 
+    def attach_injector(self, injector) -> None:
+        """Arm fault injection (``repro.faults``) on both devices."""
+        self.dram.injector = injector
+        self.nvm.injector = injector
+
     def is_dram_line(self, line_number: int) -> bool:
         """True if the physical line lies in the DRAM address range."""
         return line_number < self._dram_lines

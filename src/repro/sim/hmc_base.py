@@ -22,6 +22,9 @@ from typing import Optional
 from repro.common.addr import LINES_PER_PAGE
 from repro.common.config import SystemConfig
 from repro.common.stats import StatsRegistry
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import FaultRecovery
+from repro.mem.device import AccessResult
 from repro.mem.main_memory import MainMemory
 from repro.vm.os_model import OsModel
 
@@ -58,6 +61,15 @@ class HmcBase:
         self.os_model = os_model
         self.stats = stats
         self.memory = MainMemory(config.memory, stats, config.model_contention)
+        #: Fault recovery (``repro.faults``): None unless injection is on,
+        #: so the no-faults request path is exactly one branch wider.
+        self.fault_recovery: Optional[FaultRecovery] = None
+        if config.faults.enabled:
+            injector = FaultInjector(config.faults, stats)
+            self.memory.attach_injector(injector)
+            self.fault_recovery = FaultRecovery(
+                config.faults, injector, self.memory, stats
+            )
         self.dram_pages = config.memory.dram_pages
         self.total_pages = config.memory.total_pages
         self._dram_serviced = 0
@@ -79,9 +91,30 @@ class HmcBase:
         if not self._metadata_lines:
             raise RuntimeError("reserve_metadata was never called")
         line = self._metadata_lines[key % len(self._metadata_lines)]
-        result = self.memory.access(now, line, is_write)
+        result = self.mem_access(now, line, is_write)
         self.stats.add("hmc/metadata_accesses")
         return result.finish
+
+    # -- the fault-aware access path --------------------------------------------
+    def mem_access(
+        self, now: int, line_spa: int, is_write: bool, bulk: bool = False
+    ) -> AccessResult:
+        """Access one line, absorbing injected faults when injection is on.
+
+        Every scheme's demand/PTE/metadata line accesses go through here.
+        With faults disabled this is a direct device access; with faults
+        enabled the :class:`FaultRecovery` wrapper retries transient faults
+        with exponential backoff and degrades (never drops) the rest, so
+        callers always get a finish time back.
+        """
+        if self.fault_recovery is None:
+            return self.memory.access(now, line_spa, is_write, bulk)
+        return self.fault_recovery.access(now, line_spa, is_write, bulk)
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The armed injector, or None in normal runs."""
+        return None if self.fault_recovery is None else self.fault_recovery.injector
 
     # -- the request interface (schemes override handle_request) ---------------
     def handle_request(
@@ -185,7 +218,7 @@ class NoSwapHmc(HmcBase):
         kind: RequestKind = RequestKind.DEMAND,
     ) -> int:
         page_spa = line_spa // LINES_PER_PAGE
-        result = self.memory.access(
+        result = self.mem_access(
             now, line_spa, is_write, bulk=kind is RequestKind.WRITEBACK
         )
         serviced = "dram" if self.home_is_dram(page_spa) else "nvm"

@@ -43,6 +43,13 @@ class RunMetrics:
     #: Remap-table stall time (Figure 13).
     remap_wait_cycles: float
     remap_misses: int
+    #: Fault injection & graceful degradation (``repro.faults``); all zero
+    #: when injection is off.
+    faults_injected: int = 0
+    fault_retries: int = 0
+    swap_aborts: int = 0
+    quarantined_pages: int = 0
+    degraded_services: int = 0
     raw: Dict[str, float] = field(default_factory=dict, repr=False)
 
     # -- derived quantities ----------------------------------------------------
@@ -145,6 +152,24 @@ def collect_metrics(
     driver = getattr(system.hmc, "mmu_driver", None)
     mmu_driver_hit_rate = driver.intercept_hit_rate if driver is not None else 0.0
 
+    faults_injected = int(
+        stats.get("faults/transient_dram")
+        + stats.get("faults/transient_nvm")
+        + stats.get("faults/transfer_dram")
+        + stats.get("faults/transfer_nvm")
+        + stats.get("faults/uncorrectable_reads")
+    )
+    fault_retries = int(
+        stats.get("faults/retries") + stats.get("swap_driver/swap_retries")
+    )
+    swap_aborts = int(
+        stats.get("swap_driver/aborted_swaps")
+        + stats.get("pom/aborted_swaps")
+        + stats.get("mempod/aborted_migrations")
+        + stats.get("cameo/aborted_swaps")
+    )
+    degraded_services = int(stats.get("faults/degraded_services"))
+
     return RunMetrics(
         scheme=scheme,
         workload=system.workload.name,
@@ -170,5 +195,10 @@ def collect_metrics(
         mmu_driver_hit_rate=mmu_driver_hit_rate,
         remap_wait_cycles=stats.get("hmc/remap_wait_cycles"),
         remap_misses=int(stats.get("hmc/remap_misses")),
+        faults_injected=faults_injected,
+        fault_retries=fault_retries,
+        swap_aborts=swap_aborts,
+        quarantined_pages=int(stats.get("faults/quarantined_pages")),
+        degraded_services=degraded_services,
         raw=stats.as_dict(),
     )

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Optional, Type
 from repro.baselines.cameo import CameoHmc
 from repro.baselines.mempod import MemPodHmc
 from repro.baselines.pom import PomHmc
-from repro.common.config import CheckConfig, SystemConfig
+from repro.common.config import CheckConfig, FaultConfig, SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.stats import StatsRegistry
 from repro.cache.hierarchy import CacheHierarchy
@@ -153,13 +153,15 @@ def build_system(
     model_contention: bool = True,
     config_mutator: Optional[Callable[[SystemConfig], SystemConfig]] = None,
     check: Optional[CheckConfig] = None,
+    faults: Optional[FaultConfig] = None,
 ) -> System:
     """Build a ready-to-run system for one scheme and one workload.
 
     ``config_mutator`` lets callers adjust the scaled config (ablations:
     disable correlation, disable the bandwidth heuristic, ...).
     ``check`` overrides the sanitizer configuration after the mutator ran
-    (convenience for the CLI's ``--check`` flags and for tests).
+    (convenience for the CLI's ``--check`` flags and for tests), and
+    ``faults`` does the same for fault injection (``--faults``).
     """
     import dataclasses
 
@@ -175,6 +177,8 @@ def build_system(
         config = config_mutator(config)
     if check is not None:
         config = dataclasses.replace(config, check=check)
+    if faults is not None:
+        config = dataclasses.replace(config, faults=faults)
 
     # Fail early with a clear message if the workload cannot fit: data
     # pages plus page tables plus controller metadata must fit the scaled

@@ -51,6 +51,10 @@ class OsModel:
         )
         self._reserved_metadata_pages: List[int] = []
         self._protected_frames: set = set()
+        #: Frames retired after uncorrectable errors (``repro.faults``);
+        #: maps frame -> order of quarantine, so introspection stays
+        #: deterministic.
+        self._quarantined_frames: Dict[int, int] = {}
 
     # -- raw frame allocation ---------------------------------------------
     def _take_dram_frame(self) -> int:
@@ -87,6 +91,28 @@ class OsModel:
         page tables, and the PRT/PCT regions belong to the controller.
         """
         return ppn in self._protected_frames
+
+    # -- frame quarantine (fault recovery) ----------------------------------
+    def quarantine_frame(self, ppn: int) -> bool:
+        """Retire a failed physical frame; True if it was newly retired.
+
+        Quarantined frames are never chosen as swap victims and their
+        swapped-in rescues are pinned in DRAM (see
+        ``repro.core.swap_driver``).  The bump-pointer allocators never
+        reuse frames, so no allocation path needs to consult this set.
+        """
+        if ppn in self._quarantined_frames:
+            return False
+        self._quarantined_frames[ppn] = len(self._quarantined_frames)
+        return True
+
+    def is_quarantined(self, ppn: int) -> bool:
+        return ppn in self._quarantined_frames
+
+    @property
+    def quarantined_frames(self) -> List[int]:
+        """Retired frames, in quarantine order (checker introspection)."""
+        return sorted(self._quarantined_frames, key=self._quarantined_frames.get)
 
     def allocate_data_frame(self, vpn: int) -> int:
         """First-touch allocation of a data frame, interleaved DRAM:NVM."""

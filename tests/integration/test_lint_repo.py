@@ -43,7 +43,9 @@ def test_json_format_is_parseable_and_consistent():
 
 def test_baseline_entries_all_carry_justifications():
     document = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
-    assert document["findings"], "baseline exists so it should pin something"
+    # The baseline may legitimately be empty (every grandfathered finding
+    # has been fixed); any entry that remains needs a real justification.
+    assert document["version"] == 1
     for entry in document["findings"]:
         assert entry["comment"], f"baseline entry {entry['fingerprint']} needs a comment"
         assert "TODO" not in entry["comment"]

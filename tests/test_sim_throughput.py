@@ -43,6 +43,29 @@ class TestZeroOverheadOff:
         assert "handle_request" in vars(system.hmc)
 
 
+class TestZeroOverheadFaultsOff:
+    """The same structural contract for fault injection (repro.faults)."""
+
+    def test_no_recovery_or_injector_constructed(self):
+        system = make()
+        assert system.hmc.fault_recovery is None
+        assert system.hmc.fault_injector is None
+        assert system.hmc.memory.dram.injector is None
+        assert system.hmc.memory.nvm.injector is None
+
+    def test_enabled_faults_do_attach(self):
+        """Sanity check of the guard: with injection on, the devices carry
+        an injector and the HMC routes accesses through FaultRecovery."""
+        from repro.common.config import FaultConfig
+
+        system = build_system(
+            "pageseer", workload_by_name("lbmx4"), scale=1024,
+            faults=FaultConfig(enabled=True, transient_rate=0.01),
+        )
+        assert system.hmc.fault_recovery is not None
+        assert system.hmc.memory.nvm.injector is system.hmc.fault_injector
+
+
 class TestThroughputBound:
     def test_unchecked_run_stays_fast(self):
         """A small unchecked run finishes well inside a generous bound

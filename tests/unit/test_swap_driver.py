@@ -16,6 +16,7 @@ from repro.core.swap_driver import (
     TRIGGER_MMU,
     TRIGGER_PCT,
     TRIGGER_REGULAR,
+    TRIGGER_RESCUE,
 )
 from repro.mem.main_memory import MainMemory
 from repro.mem.swap_buffer import SwapBufferPool
@@ -209,7 +210,12 @@ class TestAccounting:
         end = h.driver.records[-1].end
         h.driver.request_swap(end + 1, h.nvm_page(2), TRIGGER_REGULAR, 0.0)
         counts = h.driver.swaps_by_trigger()
-        assert counts == {TRIGGER_MMU: 1, TRIGGER_PCT: 1, TRIGGER_REGULAR: 1}
+        assert counts == {
+            TRIGGER_MMU: 1,
+            TRIGGER_PCT: 1,
+            TRIGGER_REGULAR: 1,
+            TRIGGER_RESCUE: 0,
+        }
         assert h.driver.total_swaps == 3
 
     def test_swap_duration_positive(self):
