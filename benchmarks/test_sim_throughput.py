@@ -2,27 +2,45 @@
 
 These time the simulator itself — operations per second through the full
 TLB/cache/HMC/memory stack — so performance regressions in the model are
-visible in the benchmark history.
+visible in the benchmark history.  ``OPS`` is sized so the measured window
+dominates ``build_system`` cost (construction is ~2-3 ms; 6000 ops per
+core run ~50-200 ms depending on the scheme).
+
+Alongside the timing, the determinism tests assert that back-to-back runs
+of the benchmark configuration produce bit-identical stats digests — the
+optimization work (heap scheduler, bound stats handles, ``__slots__``
+records) must never trade reproducibility for speed.
 """
 
 import pytest
 
-from repro.sim.system import build_system
+from repro.bench import stats_digest
+from repro.sim.system import SCHEMES, build_system
 from repro.workloads import workload_by_name
 
-OPS = 1500
+OPS = 6000
+ALL_SCHEMES = sorted(SCHEMES)
 
 
-@pytest.mark.parametrize("scheme", ["noswap", "pageseer"])
+def run_slice(scheme, ops=OPS):
+    system = build_system(scheme, workload_by_name("milcx4"), scale=1024)
+    system.run_ops(ops)
+    return system
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
 def test_simulation_throughput(benchmark, scheme):
-    def run_slice():
-        system = build_system(scheme, workload_by_name("milcx4"), scale=1024)
-        system.run_ops(OPS)
-        return system
-
-    system = benchmark.pedantic(run_slice, iterations=1, rounds=3)
+    system = benchmark.pedantic(run_slice, args=(scheme,), iterations=1, rounds=3)
     total_ops = sum(core.ops_executed for core in system.cores)
     assert total_ops == OPS * len(system.cores)
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_throughput_run_is_deterministic(scheme):
+    """Two back-to-back benchmark runs must agree bit-for-bit."""
+    first = stats_digest(run_slice(scheme, ops=1000))
+    second = stats_digest(run_slice(scheme, ops=1000))
+    assert first == second
 
 
 def test_device_access_throughput(benchmark):

@@ -3,18 +3,30 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.config import CacheConfig
 
 
-@dataclass(frozen=True)
 class EvictedLine:
-    """A line pushed out of a cache level by a fill."""
+    """A line pushed out of a cache level by a fill (``__slots__`` class)."""
 
-    line_number: int
-    dirty: bool
+    __slots__ = ("line_number", "dirty")
+
+    def __init__(self, line_number: int, dirty: bool):
+        self.line_number = line_number
+        self.dirty = dirty
+
+    def __repr__(self) -> str:
+        return f"EvictedLine(line_number={self.line_number}, dirty={self.dirty})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EvictedLine):
+            return NotImplemented
+        return self.line_number == other.line_number and self.dirty == other.dirty
+
+    def __hash__(self) -> int:
+        return hash((self.line_number, self.dirty))
 
 
 class SetAssociativeCache:
@@ -37,10 +49,12 @@ class SetAssociativeCache:
     def _locate(self, line_number: int) -> tuple:
         return line_number % self.num_sets, line_number // self.num_sets
 
+    # repro-hot
     def lookup(self, line_number: int, is_write: bool = False) -> bool:
         """Probe the cache; on a hit, update LRU (and dirty on writes)."""
-        set_index, tag = self._locate(line_number)
-        entries = self._sets[set_index]
+        num_sets = self.num_sets
+        entries = self._sets[line_number % num_sets]
+        tag = line_number // num_sets
         if tag not in entries:
             return False
         entries.move_to_end(tag)
@@ -53,9 +67,12 @@ class SetAssociativeCache:
         set_index, tag = self._locate(line_number)
         return tag in self._sets[set_index]
 
+    # repro-hot
     def fill(self, line_number: int, dirty: bool = False) -> Optional[EvictedLine]:
         """Install a line, returning the victim (if any) for write-back."""
-        set_index, tag = self._locate(line_number)
+        num_sets = self.num_sets
+        set_index = line_number % num_sets
+        tag = line_number // num_sets
         entries = self._sets[set_index]
         if tag in entries:
             entries.move_to_end(tag)

@@ -6,6 +6,7 @@ Commands:
 * ``report``          regenerate every table/figure (cached)
 * ``energy``          run PageSeer and print the Table II energy report
 * ``golden``          verify (or ``--update``) the golden regression matrix
+* ``bench``           throughput benchmark grid (see docs/PERFORMANCE.md)
 * ``lint``            static correctness linter (see docs/LINTING.md)
 * ``trace-record``    dump one core's access stream to a trace file
 * ``trace-run``       simulate a scheme over recorded trace files
@@ -258,6 +259,14 @@ def build_parser() -> argparse.ArgumentParser:
     golden_parser.add_argument("--dir", default=None,
                                help="golden directory (default: tests/golden)")
     golden_parser.set_defaults(handler=_command_golden)
+
+    bench_parser = commands.add_parser(
+        "bench", help="scheme×workload throughput benchmark"
+    )
+    from repro.bench import add_bench_arguments, command_bench
+
+    add_bench_arguments(bench_parser)
+    bench_parser.set_defaults(handler=command_bench)
 
     lint_parser = commands.add_parser(
         "lint", help="AST-based simulator correctness linter"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Callable, Dict, Iterable, Mapping
 
 
 @dataclass(frozen=True)
@@ -98,6 +98,44 @@ class StatsRegistry:
     def get(self, name: str, default: float = 0.0) -> float:
         """Return the value of counter *name* (``default`` if never touched)."""
         return self._counters.get(name, default)
+
+    # -- bound handles (hot-path record sites) -----------------------------
+    def counter(self, name: str) -> Callable[..., None]:
+        """Return a bound increment callable for counter *name*.
+
+        Hot-path components resolve their keys once at construction time
+        and call the handle per event, replacing a method dispatch plus a
+        string hash with one closure call.  Handles stay valid across
+        :meth:`reset`: they capture the backing dict, which ``reset``
+        clears in place rather than replacing.
+        """
+        counters = self._counters
+
+        def increment(amount: float = 1.0) -> None:
+            counters[name] += amount
+
+        increment.counter_name = name  # type: ignore[attr-defined]
+        return increment
+
+    def observer(self, name: str) -> Callable[[float], None]:
+        """Return a bound record callable for accumulator *name*.
+
+        The handle is the hot-path equivalent of :meth:`observe`, with the
+        same reset semantics as :meth:`counter` handles.
+        """
+        sums = self._sums
+        counts = self._counts
+        maxima = self._maxima
+
+        def observe(value: float) -> None:
+            sums[name] += value
+            counts[name] += 1
+            previous = maxima.get(name)
+            if previous is None or value > previous:
+                maxima[name] = value
+
+        observe.observer_name = name  # type: ignore[attr-defined]
+        return observe
 
     # -- value accumulators (for averages) --------------------------------
     def observe(self, name: str, value: float) -> None:

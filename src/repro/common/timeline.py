@@ -75,12 +75,24 @@ class BankedTimeline:
         """Reserve bank *index*; see :meth:`Timeline.reserve`."""
         return self._timelines[index].reserve(now, duration)
 
+    # repro-hot
     def least_loaded(self, now: Cycles) -> int:
-        """Return the index of the bank that frees up earliest."""
+        """Return the index of the bank that frees up earliest.
+
+        Scans in index order but stops at the first bank already free at
+        *now*: no later bank can be free any earlier, and the full scan
+        returns the first index achieving the minimum — so the early exit
+        picks exactly the same bank.
+        """
+        timelines = self._timelines
+        best_time = timelines[0].next_free(now)
+        if best_time <= now:
+            return 0
         best_index = 0
-        best_time = self._timelines[0].next_free(now)
-        for index in range(1, len(self._timelines)):
-            free_at = self._timelines[index].next_free(now)
+        for index in range(1, len(timelines)):
+            free_at = timelines[index].next_free(now)
+            if free_at <= now:
+                return index
             if free_at < best_time:
                 best_time = free_at
                 best_index = index

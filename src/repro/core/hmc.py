@@ -99,6 +99,14 @@ class PageSeerHmc(HmcBase):
         #: input); only maintained when partial swaps are enabled.
         self._line_usage: Dict[int, int] = {}
 
+        # Hot-path invariants hoisted out of handle_request/_observe_miss
+        # (the config dataclasses are frozen, so these cannot drift).
+        self._prtc_latency = ps.prtc_latency_cycles
+        self._partial_swaps = ps.partial_swaps_enabled
+        self._hpt_latency = ps.hpt_latency_cycles
+        self._filter_latency = ps.filter_latency_cycles
+        self._correlation = ps.correlation_enabled
+
     # -- metadata key spaces --------------------------------------------------
     def _prt_key(self, colour: int) -> int:
         return colour
@@ -107,6 +115,7 @@ class PageSeerHmc(HmcBase):
         return self._prt_metadata_keys + page
 
     # -- the regular request path (Section III-D1) ------------------------------
+    # repro-hot
     def handle_request(
         self,
         now: int,
@@ -119,7 +128,7 @@ class PageSeerHmc(HmcBase):
         colour = self.prt.colour_of(page)
 
         # PRTc: on the critical path of every request.
-        t = now + self.ps.prtc_latency_cycles
+        t = now + self._prtc_latency
         if not self.prtc.lookup(colour):
             fill_done = self.metadata_access(t, self._prt_key(colour))
             self.record_remap_wait(fill_done - t)
@@ -127,7 +136,7 @@ class PageSeerHmc(HmcBase):
             self.prtc.fill(colour)
 
         line_offset = line_spa % LINES_PER_PAGE
-        if self.ps.partial_swaps_enabled:
+        if self._partial_swaps:
             self._line_usage[page] = self._line_usage.get(page, 0) | (
                 1 << line_offset
             )
@@ -163,6 +172,7 @@ class PageSeerHmc(HmcBase):
         self._observe_miss(t, page, pid, resident_dram)
         return finish
 
+    # repro-hot
     def _observe_miss(self, now: int, page: int, pid: int, resident_dram: bool) -> None:
         self.dram_hpt.advance_time(now)
         self.nvm_hpt.advance_time(now)
@@ -172,7 +182,7 @@ class PageSeerHmc(HmcBase):
             # The HPT probe that notices the threshold crossing costs its
             # Table II access latency before the Swap Driver sees it.
             started = self.swap_driver.request_swap(
-                now + self.ps.hpt_latency_cycles,
+                now + self._hpt_latency,
                 page,
                 TRIGGER_REGULAR,
                 self.dram_service_share,
@@ -185,11 +195,11 @@ class PageSeerHmc(HmcBase):
         for entry in evicted:
             self._writeback_filter_entry(now, entry)
         for trigger in triggers:
-            if trigger.is_follower and not self.ps.correlation_enabled:
+            if trigger.is_follower and not self._correlation:
                 continue
             # Filter-detected triggers pay the Filter's access latency.
             self.swap_driver.request_swap(
-                now + self.ps.filter_latency_cycles,
+                now + self._filter_latency,
                 trigger.page,
                 TRIGGER_PCT,
                 self.dram_service_share,

@@ -15,6 +15,9 @@ cost:
   nobody reads) and reads of fields no config class declares.
 * **RL004 unit hygiene** — arithmetic mixing ``Cycles``-annotated
   quantities with byte quantities or bare float literals in timing code.
+* **RL005 hot-path hygiene** — per-call dataclass construction and
+  dynamically-built stats keys inside functions marked ``# repro-hot``
+  (the per-operation path inventoried in ``docs/PERFORMANCE.md``).
 
 Use it as ``python -m repro lint [--format text|json]``; see
 ``docs/LINTING.md`` for the rule catalogue, the ``# repro-lint:

@@ -1,5 +1,11 @@
 """Rule registry: importing this package registers every built-in rule."""
 
-from repro.lint.rules import config_liveness, determinism, stats_keys, units
+from repro.lint.rules import (
+    config_liveness,
+    determinism,
+    hot_path,
+    stats_keys,
+    units,
+)
 
-__all__ = ["determinism", "stats_keys", "config_liveness", "units"]
+__all__ = ["determinism", "stats_keys", "config_liveness", "units", "hot_path"]

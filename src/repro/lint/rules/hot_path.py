@@ -1,0 +1,154 @@
+"""RL005 — hot-path hygiene: keep the per-op path allocation-light.
+
+The simulator's throughput lives and dies in a handful of per-operation
+functions (``Core.step``, ``CacheHierarchy.access``, ``MemoryDevice.access``,
+...).  Those functions are annotated with a ``# repro-hot`` comment on the
+line directly above their ``def`` (see docs/PERFORMANCE.md), and this rule
+holds them to the discipline the PR-4 optimization pass established:
+
+* **no per-call dataclass construction** — dataclasses pay ``__init__``
+  keyword dispatch and a ``__dict__`` per instance; hot-path records are
+  plain ``__slots__`` classes (``MemoryOp``, ``AccessResult``, ...) or
+  tuples.  The rule knows every ``@dataclass`` defined in the project and
+  flags constructing one inside a hot function;
+* **no dynamically-built stats keys** — an f-string / concatenated /
+  ``.format``-ed key passed to a stats record method costs a string build
+  per event and defeats RL002's static key auditing.  Hot functions use
+  string literals, literal-key tables, or handles pre-resolved via
+  ``stats.counter(...)`` / ``stats.observer(...)`` at construction time.
+
+The marker is an explicit opt-in, so the rule applies wherever it appears
+(including ``common/`` and ``workloads/``, outside the RL001/RL002
+simulation-package scope).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Tuple, Union
+
+from repro.lint.engine import (
+    ProjectContext,
+    Rule,
+    SourceFile,
+    register_rule,
+)
+
+_HOT_MARKER = re.compile(r"^\s*#\s*repro-hot\b")
+
+#: Stats record methods whose key argument must be static (mirrors RL002).
+_RECORD_METHODS = ("add", "observe", "counter", "observer")
+_STATS_NAMES = ("stats",)
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_stats_receiver(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _STATS_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _STATS_NAMES
+    return False
+
+
+def _is_dataclass_decorator(node: ast.AST) -> bool:
+    """True for ``@dataclass``, ``@dataclass(...)``, ``@dataclasses.dataclass``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id == "dataclass"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "dataclass"
+    return False
+
+
+def _is_dynamic_string(node: ast.AST) -> bool:
+    """True for expressions that build a string at the call site."""
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+        # "a" + suffix or "a/%s" % kind — either side being a string
+        # literal marks this as string assembly.
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("format", "join")
+    ):
+        return True
+    return False
+
+
+def _marked_hot(source: SourceFile, node: _FunctionDef) -> bool:
+    """True when ``# repro-hot`` sits directly above the def/decorators."""
+    start = node.lineno
+    for decorator in node.decorator_list:
+        start = min(start, decorator.lineno)
+    above = start - 2  # 0-indexed line above the first def/decorator line
+    return 0 <= above < len(source.lines) and bool(
+        _HOT_MARKER.match(source.lines[above])
+    )
+
+
+@register_rule
+class HotPathRule(Rule):
+    """RL005: enforce allocation/key discipline in ``# repro-hot`` functions."""
+
+    rule_id = "RL005"
+    name = "hot-path"
+
+    def __init__(self) -> None:
+        #: Project-wide dataclass class names (name -> defining relpath).
+        self.dataclasses: Dict[str, str] = {}
+        #: Hot functions found, for the cross-file finalize pass.
+        self.hot_functions: List[Tuple[SourceFile, _FunctionDef]] = []
+
+    # -- collection --------------------------------------------------------
+    def collect(self, source: SourceFile, ctx: ProjectContext) -> None:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and any(
+                _is_dataclass_decorator(dec) for dec in node.decorator_list
+            ):
+                self.dataclasses.setdefault(node.name, source.relpath)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _marked_hot(source, node):
+                    self.hot_functions.append((source, node))
+
+    # -- the cross-file pass (needs every dataclass name first) -----------
+    def finalize(self, ctx: ProjectContext) -> None:
+        for source, function in self.hot_functions:
+            self._check_hot_function(source, function, ctx)
+
+    def _check_hot_function(
+        self, source: SourceFile, function: _FunctionDef, ctx: ProjectContext
+    ) -> None:
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in self.dataclasses:
+                ctx.emit(
+                    self, source, node,
+                    f"dataclass {func.id} (defined in "
+                    f"{self.dataclasses[func.id]}) constructed inside "
+                    f"hot function {function.name}(): dataclass __init__ "
+                    "dispatch is per-event overhead; use a __slots__ class "
+                    "or a tuple on the hot path",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RECORD_METHODS
+                and _is_stats_receiver(func.value)
+                and node.args
+                and _is_dynamic_string(node.args[0])
+            ):
+                ctx.emit(
+                    self, source, node,
+                    f"dynamically-built stats key inside hot function "
+                    f"{function.name}(): the string is assembled per event; "
+                    "use a literal, a literal-key table, or a handle "
+                    "pre-resolved via stats.counter()/observer()",
+                )

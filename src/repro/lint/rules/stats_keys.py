@@ -7,7 +7,9 @@ but never consumed is dead weight; a dynamically-built key on the hot path
 defeats static auditing (and costs an f-string per event).  This rule:
 
 * collects every key recorded via ``stats.add(...)`` / ``stats.observe(...)``
-  and every key read via ``stats.get/mean/total/count/maximum(...)``;
+  — or resolved once into a bound hot-path handle via ``stats.counter(...)``
+  / ``stats.observer(...)`` — and every key read via
+  ``stats.get/mean/total/count/maximum(...)``;
 * flags non-literal keys at record sites inside the simulation-critical
   packages (f-strings with a literal prefix are tracked as *patterns* so
   their expansions still participate in liveness checking).  The blessed
@@ -38,7 +40,10 @@ from repro.lint.engine import (
     register_rule,
 )
 
-_RECORD_METHODS = ("add", "observe")
+#: ``counter``/``observer`` return bound record handles (resolved once at
+#: construction time); the key they bind is recorded exactly like an
+#: ``add``/``observe`` call site.
+_RECORD_METHODS = ("add", "observe", "counter", "observer")
 _READ_METHODS = ("get", "mean", "total", "count", "maximum")
 
 #: Receivers treated as a stats registry: bare ``stats`` or any ``*.stats``.

@@ -19,7 +19,6 @@ standard open-page mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.addr import CACHE_LINE_BYTES
@@ -29,18 +28,44 @@ from repro.common.stats import StatsRegistry
 from repro.common.timeline import Cycles
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Outcome of one device access, all times in CPU cycles."""
+    """Outcome of one device access, all times in CPU cycles.
 
-    start: Cycles
-    finish: Cycles
-    row_hit: bool
-    queue_delay: Cycles
+    A ``__slots__`` class: one is built per line access on the hot path.
+    """
+
+    __slots__ = ("start", "finish", "row_hit", "queue_delay")
+
+    def __init__(
+        self, start: Cycles, finish: Cycles, row_hit: bool, queue_delay: Cycles
+    ):
+        self.start = start
+        self.finish = finish
+        self.row_hit = row_hit
+        self.queue_delay = queue_delay
 
     @property
     def latency(self) -> Cycles:
         return self.finish - self.start + self.queue_delay
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(start={self.start}, finish={self.finish}, "
+            f"row_hit={self.row_hit}, queue_delay={self.queue_delay})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return (
+            self.start == other.start
+            and self.finish == other.finish
+            and self.row_hit == other.row_hit
+            and self.queue_delay == other.queue_delay
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.finish, self.row_hit, self.queue_delay))
 
 
 class _Resource:
@@ -123,6 +148,18 @@ class MemoryDevice:
         self.preempt_cap_cycles = (
             config.t_rp + config.t_rcd + config.t_cas
         ) * CYCLES_PER_MEMORY_CYCLE + config.line_transfer_cycles
+        # Hot-path invariants precomputed from the timing config: the three
+        # possible core latencies (row hit / closed row / conflict), the
+        # write-recovery penalty, and the address-mapping geometry.  These
+        # equal config.read_latency_cycles(...)/write_recovery_cycles() for
+        # every input, so access() never re-derives them per line.
+        self._lat_row_hit = config.read_latency_cycles(True, False)
+        self._lat_row_closed = config.read_latency_cycles(False, False)
+        self._lat_row_conflict = config.read_latency_cycles(False, True)
+        self._write_recovery = config.write_recovery_cycles()
+        self._burst = config.line_transfer_cycles
+        self._channels = config.channels
+        self._banks_per_channel = config.total_banks_per_channel
 
     # -- address mapping ---------------------------------------------------
     def map_line(self, line_number: int) -> Tuple[int, int, int]:
@@ -138,6 +175,7 @@ class MemoryDevice:
         return channel, global_bank, row
 
     # -- the access path -----------------------------------------------------
+    # repro-hot
     def access(
         self, now: Cycles, line_number: int, is_write: bool, bulk: bool = False
     ) -> AccessResult:
@@ -146,28 +184,47 @@ class MemoryDevice:
             # May raise Transient/UnrecoverableFaultError before any bank or
             # row state is touched, so an aborted access leaves no trace.
             self.injector.check_access(self.config.name, now, line_number, is_write)
-        channel, bank, row = self.map_line(line_number)
-        open_row = self._open_rows.get(bank)
+        # Address mapping, inlined from map_line() (called per line).
+        channels = self._channels
+        channel = line_number % channels
+        row_sequence = (line_number // channels) // self._lines_per_row
+        banks = self._banks_per_channel
+        bank = channel * banks + row_sequence % banks
+        row = row_sequence // banks
+
+        open_rows = self._open_rows
+        open_row = open_rows.get(bank)
         row_hit = open_row == row
         row_conflict = open_row is not None and not row_hit
-        self._open_rows[bank] = row
+        open_rows[bank] = row
 
-        core_latency = self.config.read_latency_cycles(row_hit, row_conflict)
+        if row_hit:
+            core_latency = self._lat_row_hit
+        elif row_conflict:
+            core_latency = self._lat_row_conflict
+        else:
+            core_latency = self._lat_row_closed
         # Write recovery (t_WR) is owed after a burst of writes: either when
         # the dirty row is closed, or when a read turns the bank around.
         # Consecutive writes stream into the open row at burst rate, so
         # write-heavy sequential traffic pays it once per turnaround — the
         # NVM behaviour (t_WR = 180 memory cycles) the paper leans on.
-        if self._row_written.get(bank) and (row_conflict or not is_write):
-            core_latency += self.config.write_recovery_cycles()
-            self._row_written[bank] = False
+        row_written = self._row_written
+        if row_written.get(bank) and (row_conflict or not is_write):
+            core_latency += self._write_recovery
+            row_written[bank] = False
         if is_write:
-            self._row_written[bank] = True
-        burst = self.config.line_transfer_cycles
+            row_written[bank] = True
+            self.writes += 1
+        else:
+            self.reads += 1
+        if row_hit:
+            self.row_hits += 1
+        burst = self._burst
 
         if not self.model_contention:
             finish = now + core_latency + burst
-            self._record(is_write, row_hit, 0, core_latency + burst)
+            self.service_time_total += core_latency + burst
             return AccessResult(now, finish, row_hit, 0)
 
         occupancy = core_latency + burst
@@ -181,7 +238,8 @@ class MemoryDevice:
         finish = bus_start + burst
 
         queue_delay = start - now
-        self._record(is_write, row_hit, queue_delay, finish - start)
+        self.queue_delay_total += queue_delay
+        self.service_time_total += finish - start
         return AccessResult(start, finish, row_hit, queue_delay)
 
     def transfer_page(
@@ -286,13 +344,3 @@ class MemoryDevice:
     def earliest_bus_free(self, now: Cycles) -> Cycles:
         """Earliest time any channel data bus is free."""
         return min(b.next_free(now) for b in self._buses)
-
-    def _record(self, is_write: bool, row_hit: bool, queue: int, service: int) -> None:
-        if is_write:
-            self.writes += 1
-        else:
-            self.reads += 1
-        if row_hit:
-            self.row_hits += 1
-        self.queue_delay_total += queue
-        self.service_time_total += service

@@ -11,10 +11,9 @@ Figure 14 relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator
 
-from repro.common.addr import line_of, page_of, page_offset
+from repro.common.addr import LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT
 from repro.common.config import SystemConfig
 from repro.common.stats import StatsRegistry
 from repro.cache.hierarchy import CacheHierarchy
@@ -23,23 +22,74 @@ from repro.vm.mmu import Mmu
 from repro.vm.os_model import Process
 
 
-@dataclass(frozen=True)
 class MemoryOp:
-    """One memory reference emitted by a workload generator."""
+    """One memory reference emitted by a workload generator.
 
-    vaddr: int
-    is_write: bool
-    #: Non-memory instructions executed since the previous reference.
-    instructions_before: int = 4
+    A plain ``__slots__`` class rather than a (frozen) dataclass: workload
+    generators construct one of these per reference on the hot path, and
+    dataclass ``__init__``/``__setattr__`` machinery costs measurably more
+    than direct slot stores.  Equality and hashing match the old dataclass
+    semantics (trace round-trip tests compare op lists).
+    """
+
+    __slots__ = ("vaddr", "is_write", "instructions_before")
+
+    def __init__(self, vaddr: int, is_write: bool, instructions_before: int = 4):
+        self.vaddr = vaddr
+        self.is_write = is_write
+        #: Non-memory instructions executed since the previous reference.
+        self.instructions_before = instructions_before
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryOp(vaddr={self.vaddr:#x}, is_write={self.is_write}, "
+            f"instructions_before={self.instructions_before})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryOp):
+            return NotImplemented
+        return (
+            self.vaddr == other.vaddr
+            and self.is_write == other.is_write
+            and self.instructions_before == other.instructions_before
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.vaddr, self.is_write, self.instructions_before))
 
 
 #: Store misses stall the core less than load misses (store buffers drain
 #: in the background); this factor scales their contribution.
 _STORE_STALL_FRACTION = 0.25
 
+_PAGE_MASK = PAGE_BYTES - 1
+
 
 class Core:
     """One simulated core bound to a process and an op stream."""
+
+    __slots__ = (
+        "core_id",
+        "config",
+        "mmu",
+        "hierarchy",
+        "hmc",
+        "process",
+        "ops",
+        "stats",
+        "clock",
+        "instructions",
+        "ops_executed",
+        "done",
+        "_base_cpi",
+        "_mlp",
+        "_pid",
+        "_page_table",
+        "_ensure_mapped",
+        "_translate",
+        "_access",
+    )
 
     def __init__(
         self,
@@ -64,11 +114,24 @@ class Core:
         self.instructions = 0
         self.ops_executed = 0
         self.done = False
+        # Invariant lookups hoisted out of step(): config and process are
+        # fixed for the core's lifetime, and translate/access are never
+        # wrapped after construction (unlike hmc.handle_request, which the
+        # sanitizer and analysis layers rebind on the instance — step()
+        # must keep reading that attribute dynamically).
+        self._base_cpi = config.core.base_cpi
+        self._mlp = config.core.memory_level_parallelism
+        self._pid = process.pid
+        self._page_table = process.page_table
+        self._ensure_mapped = process.page_table.ensure_mapped
+        self._translate = mmu.translate
+        self._access = hierarchy.access
 
     @property
     def now(self) -> int:
         return int(self.clock)
 
+    # repro-hot
     def step(self) -> bool:
         """Execute one memory operation; returns False when the stream ends."""
         op = next(self.ops, None)
@@ -78,48 +141,53 @@ class Core:
 
         work = op.instructions_before + 1
         self.instructions += work
-        self.clock += work * self.config.core.base_cpi
-        now = self.now
+        clock = self.clock + work * self._base_cpi
+        now = int(clock)
 
         # Address translation (first touch allocates the frame, as the OS
         # would on a minor fault).
-        vpn = page_of(op.vaddr)
-        self.process.page_table.ensure_mapped(vpn)
-        translation = self.mmu.translate(now, self.process.page_table, op.vaddr)
+        vaddr = op.vaddr
+        self._ensure_mapped(vaddr >> PAGE_SHIFT)
+        translation = self._translate(now, self._page_table, vaddr)
         if translation.source == "walk":
             # A TLB miss blocks the access; hit latencies are folded into
             # the base CPI.
-            self.clock += translation.latency
-            now = self.now
+            clock += translation.latency
+            now = int(clock)
 
-        paddr = (translation.ppn << 12) | page_offset(op.vaddr)
-        outcome = self.hierarchy.access(self.core_id, line_of(paddr), op.is_write)
+        line = ((translation.ppn << PAGE_SHIFT) | (vaddr & _PAGE_MASK)) >> LINE_SHIFT
+        is_write = op.is_write
+        outcome = self._access(self.core_id, line, is_write)
 
         stall = 0.0
-        mlp = self.config.core.memory_level_parallelism
-        if outcome.hit_level in ("l2", "l3"):
-            stall = outcome.latency_cycles / mlp
-        elif outcome.llc_miss:
+        hit_level = outcome.hit_level
+        if hit_level is None:
             finish = self.hmc.handle_request(
                 now + outcome.latency_cycles,
-                line_of(paddr),
-                op.is_write,
-                self.process.pid,
+                line,
+                is_write,
+                self._pid,
                 RequestKind.DEMAND,
             )
             memory_latency = finish - now
-            if op.is_write:
-                stall = memory_latency * _STORE_STALL_FRACTION / mlp
+            if is_write:
+                stall = memory_latency * _STORE_STALL_FRACTION / self._mlp
             else:
-                stall = memory_latency / mlp
-        self.clock += stall
+                stall = memory_latency / self._mlp
+        elif hit_level != "l1":
+            stall = outcome.latency_cycles / self._mlp
+        clock += stall
+        self.clock = clock
 
         # Dirty victims displaced by the fill drain to memory in the
         # background (they consume bandwidth but do not stall the core).
-        for dirty_line in outcome.writebacks:
-            self.hmc.handle_request(
-                self.now, dirty_line, True, self.process.pid, RequestKind.WRITEBACK
-            )
+        writebacks = outcome.writebacks
+        if writebacks:
+            wb_now = int(clock)
+            for dirty_line in writebacks:
+                self.hmc.handle_request(
+                    wb_now, dirty_line, True, self._pid, RequestKind.WRITEBACK
+                )
 
         self.ops_executed += 1
         return True

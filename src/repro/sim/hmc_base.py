@@ -17,7 +17,7 @@ accounting that the paper's figures are built from —
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.common.addr import LINES_PER_PAGE
 from repro.common.config import SystemConfig
@@ -70,11 +70,31 @@ class HmcBase:
             self.fault_recovery = FaultRecovery(
                 config.faults, injector, self.memory, stats
             )
+        #: The per-line access entry point, resolved once at construction:
+        #: bound straight to the device path when faults are off, so the
+        #: common case pays no per-access "is recovery armed?" branch.
+        self.mem_access = (
+            self.memory.access
+            if self.fault_recovery is None
+            else self.fault_recovery.access
+        )
         self.dram_pages = config.memory.dram_pages
         self.total_pages = config.memory.total_pages
         self._dram_serviced = 0
         self._total_serviced = 0
         self._metadata_lines: list = []
+        # Pre-resolved stats handles for the per-request accounting path.
+        self._count_serviced = {
+            source: stats.counter(_SERVICED_KEYS[source]) for source in _SERVICED_KEYS
+        }
+        self._count_kind = {
+            kind: stats.counter(_REQUEST_KIND_KEYS[kind]) for kind in _REQUEST_KIND_KEYS
+        }
+        self._observe_ammat = stats.observer("hmc/ammat")
+        self._count_positive = stats.counter("hmc/positive_accesses")
+        self._count_negative = stats.counter("hmc/negative_accesses")
+        self._count_neutral = stats.counter("hmc/neutral_accesses")
+        self._count_metadata = stats.counter("hmc/metadata_accesses")
 
     # -- metadata region ------------------------------------------------------
     def reserve_metadata(self, pages: int) -> None:
@@ -86,30 +106,26 @@ class HmcBase:
             for offset in range(LINES_PER_PAGE)
         ]
 
+    # repro-hot
     def metadata_access(self, now: int, key: int, is_write: bool = False) -> int:
         """Access the DRAM-resident metadata line for *key*; returns finish."""
         if not self._metadata_lines:
             raise RuntimeError("reserve_metadata was never called")
         line = self._metadata_lines[key % len(self._metadata_lines)]
         result = self.mem_access(now, line, is_write)
-        self.stats.add("hmc/metadata_accesses")
+        self._count_metadata()
         return result.finish
 
     # -- the fault-aware access path --------------------------------------------
-    def mem_access(
-        self, now: int, line_spa: int, is_write: bool, bulk: bool = False
-    ) -> AccessResult:
-        """Access one line, absorbing injected faults when injection is on.
-
-        Every scheme's demand/PTE/metadata line accesses go through here.
-        With faults disabled this is a direct device access; with faults
-        enabled the :class:`FaultRecovery` wrapper retries transient faults
-        with exponential backoff and degrades (never drops) the rest, so
-        callers always get a finish time back.
-        """
-        if self.fault_recovery is None:
-            return self.memory.access(now, line_spa, is_write, bulk)
-        return self.fault_recovery.access(now, line_spa, is_write, bulk)
+    #: ``mem_access(now, line_spa, is_write, bulk=False) -> AccessResult``
+    #: accesses one line, absorbing injected faults when injection is on.
+    #: Every scheme's demand/PTE/metadata line accesses go through it.
+    #: It is bound once in ``__init__``: with faults disabled it *is*
+    #: :meth:`MainMemory.access` (zero per-access recovery branch); with
+    #: faults enabled it is :meth:`FaultRecovery.access`, which retries
+    #: transient faults with exponential backoff and degrades (never
+    #: drops) the rest, so callers always get a finish time back.
+    mem_access: Callable[..., AccessResult]
 
     @property
     def fault_injector(self) -> Optional[FaultInjector]:
@@ -151,6 +167,7 @@ class HmcBase:
         """True if the OS placed this page in DRAM (its home location)."""
         return page_spa < self.dram_pages
 
+    # repro-hot
     def account_service(
         self,
         now: int,
@@ -163,21 +180,22 @@ class HmcBase:
         self._total_serviced += 1
         if serviced_from == "dram":
             self._dram_serviced += 1
-        self.stats.add(_SERVICED_KEYS[serviced_from])
-        self.stats.add(_REQUEST_KIND_KEYS[kind])
+        self._count_serviced[serviced_from]()
+        self._count_kind[kind]()
         if kind is not RequestKind.WRITEBACK:
             # AMMAT covers processor-visible requests; background
             # write-backs drain asynchronously and would distort it.
-            self.stats.observe("hmc/ammat", finish - now)
+            self._observe_ammat(finish - now)
 
-        home_dram = self.home_is_dram(page_spa)
-        if not home_dram and serviced_from in ("dram", "buffer"):
-            self.stats.add("hmc/positive_accesses")
+        home_dram = page_spa < self.dram_pages
+        if not home_dram and serviced_from != "nvm":
+            self._count_positive()
         elif home_dram and serviced_from == "nvm":
-            self.stats.add("hmc/negative_accesses")
+            self._count_negative()
         else:
-            self.stats.add("hmc/neutral_accesses")
+            self._count_neutral()
 
+    # repro-hot
     def record_remap_wait(self, cycles: int) -> None:
         """Record time a request waited for a remap-table fill (Figure 13)."""
         if cycles > 0:
@@ -209,6 +227,7 @@ class NoSwapHmc(HmcBase):
 
     scheme_name = "noswap"
 
+    # repro-hot
     def handle_request(
         self,
         now: int,
@@ -219,9 +238,9 @@ class NoSwapHmc(HmcBase):
     ) -> int:
         page_spa = line_spa // LINES_PER_PAGE
         result = self.mem_access(
-            now, line_spa, is_write, bulk=kind is RequestKind.WRITEBACK
+            now, line_spa, is_write, kind is RequestKind.WRITEBACK
         )
-        serviced = "dram" if self.home_is_dram(page_spa) else "nvm"
+        serviced = "dram" if page_spa < self.dram_pages else "nvm"
         self.account_service(now, result.finish, page_spa, serviced, kind)
         return result.finish
 

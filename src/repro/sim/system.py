@@ -10,6 +10,7 @@ measured window produces a :class:`repro.sim.metrics.RunMetrics`.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, List, Optional, Type
 
 from repro.baselines.cameo import CameoHmc
@@ -106,19 +107,29 @@ class System:
         return self.hmc.handle_request(now, line_spa, is_write, pid, kind)
 
     # -- driving --------------------------------------------------------------
+    # repro-hot
     def run_ops(self, ops_per_core: int) -> None:
-        """Advance every core by *ops_per_core* operations in time order."""
+        """Advance every core by *ops_per_core* operations in time order.
+
+        Scheduling is a heap keyed on ``(clock, core_id)``: the core with
+        the smallest local clock steps next, and equal clocks are broken
+        by core id — explicitly, so the interleaving is deterministic and
+        independent of how the ready set happens to be ordered in memory.
+        """
         targets = [core.ops_executed + ops_per_core for core in self.cores]
-        live = [
-            core
+        heap = [
+            (core.clock, core.core_id, core)
             for core, target in zip(self.cores, targets)
             if not core.done and core.ops_executed < target
         ]
-        while live:
-            core = min(live, key=lambda c: c.clock)
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        while heap:
+            _, core_id, core = heappop(heap)
             core.step()
-            if core.done or core.ops_executed >= targets[core.core_id]:
-                live.remove(core)
+            if not core.done and core.ops_executed < targets[core_id]:
+                heappush(heap, (core.clock, core_id, core))
 
     def run(self, measure_ops: int, warmup_ops: int = 0) -> RunMetrics:
         """Warm up, reset statistics, run the measured window, and report."""

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.common.addr import page_of
 from repro.common.config import SystemConfig
 from repro.common.stats import StatsRegistry
@@ -12,16 +10,34 @@ from repro.vm.tlb import Tlb
 from repro.vm.walker import PageWalker
 
 
-@dataclass(frozen=True)
 class TranslationResult:
-    """Outcome of translating one virtual address."""
+    """Outcome of translating one virtual address.
 
-    ppn: int
-    latency: int
-    #: "l1", "l2", or "walk".
-    source: str
-    #: Set when a walk happened and its PTE fetch reached main memory.
-    pte_reached_memory: bool = False
+    A ``__slots__`` class: one is built per memory operation.
+    """
+
+    __slots__ = ("ppn", "latency", "source", "pte_reached_memory")
+
+    def __init__(
+        self,
+        ppn: int,
+        latency: int,
+        source: str,
+        pte_reached_memory: bool = False,
+    ):
+        self.ppn = ppn
+        self.latency = latency
+        #: "l1", "l2", or "walk".
+        self.source = source
+        #: Set when a walk happened and its PTE fetch reached main memory.
+        self.pte_reached_memory = pte_reached_memory
+
+    def __repr__(self) -> str:
+        return (
+            f"TranslationResult(ppn={self.ppn}, latency={self.latency}, "
+            f"source={self.source!r}, "
+            f"pte_reached_memory={self.pte_reached_memory})"
+        )
 
 
 class Mmu:
@@ -40,26 +56,33 @@ class Mmu:
         self.stats = stats
         self.l1_tlb = Tlb(config.l1_tlb)
         self.l2_tlb = Tlb(config.l2_tlb)
+        # Hot-path invariants: TLB latencies and pre-resolved stats handles.
+        self._l1_latency = config.l1_tlb.latency_cycles
+        self._l2_latency = config.l2_tlb.latency_cycles
+        self._count_l1_hits = stats.counter("tlb/l1_hits")
+        self._count_l2_hits = stats.counter("tlb/l2_hits")
+        self._count_misses = stats.counter("tlb/misses")
 
+    # repro-hot
     def translate(self, now: int, page_table: PageTable, vaddr: int) -> TranslationResult:
         """Translate *vaddr* for the walker's process; VPN must be mapped."""
         pid = page_table.pid
         vpn = page_of(vaddr)
 
-        latency = self.config.l1_tlb.latency_cycles
+        latency = self._l1_latency
         ppn = self.l1_tlb.lookup(pid, vpn)
         if ppn is not None:
-            self.stats.add("tlb/l1_hits")
+            self._count_l1_hits()
             return TranslationResult(ppn, latency, "l1")
 
-        latency += self.config.l2_tlb.latency_cycles
+        latency += self._l2_latency
         ppn = self.l2_tlb.lookup(pid, vpn)
         if ppn is not None:
-            self.stats.add("tlb/l2_hits")
+            self._count_l2_hits()
             self.l1_tlb.fill(pid, vpn, ppn)
             return TranslationResult(ppn, latency, "l2")
 
-        self.stats.add("tlb/misses")
+        self._count_misses()
         walk = self.walker.walk(now + latency, page_table, vpn)
         latency += walk.latency
         self.l2_tlb.fill(pid, vpn, walk.ppn)

@@ -9,7 +9,6 @@ in PageSeer (Section III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.common.addr import (
@@ -29,13 +28,15 @@ def _level_indices(vpn: int) -> List[int]:
     return [parts.pgd_index, parts.pud_index, parts.pmd_index, parts.pte_index]
 
 
-@dataclass
 class _TableNode:
     """One physical page holding 512 entries of some level."""
 
-    ppn: int
-    children: Dict[int, "_TableNode"] = field(default_factory=dict)
-    leaf_entries: Dict[int, int] = field(default_factory=dict)
+    __slots__ = ("ppn", "children", "leaf_entries")
+
+    def __init__(self, ppn: int):
+        self.ppn = ppn
+        self.children: Dict[int, "_TableNode"] = {}
+        self.leaf_entries: Dict[int, int] = {}
 
     def entry_address(self, index: int) -> int:
         return (self.ppn << PAGE_SHIFT) + index * ENTRY_BYTES
@@ -67,6 +68,11 @@ class PageTable:
         self._allocate_data_frame = allocate_data_frame
         self.root = _TableNode(ppn=allocate_table_frame())
         self._mapped_pages = 0
+        # Flat vpn -> ppn shortcut over the radix tree.  Mappings are only
+        # ever *added* (leaf entries are never removed or rewritten), so
+        # the cache can never go stale; it turns the per-op ensure_mapped
+        # call from a 4-level index walk into one dict hit.
+        self._vpn_cache: Dict[int, int] = {}
 
     @property
     def cr3_ppn(self) -> int:
@@ -78,8 +84,12 @@ class PageTable:
         return self._mapped_pages
 
     # -- mapping -------------------------------------------------------------
+    # repro-hot
     def ensure_mapped(self, vpn: int) -> int:
         """Return the PPN for *vpn*, allocating path and frame on first touch."""
+        ppn = self._vpn_cache.get(vpn)
+        if ppn is not None:
+            return ppn
         indices = _level_indices(vpn)
         node = self.root
         for level in range(WALK_LEVELS - 1):
@@ -95,17 +105,24 @@ class PageTable:
             ppn = self._allocate_data_frame(vpn)
             node.leaf_entries[leaf_index] = ppn
             self._mapped_pages += 1
+        self._vpn_cache[vpn] = ppn
         return ppn
 
     def translate(self, vpn: int) -> Optional[int]:
         """Return the PPN for *vpn*, or None if not mapped."""
+        ppn = self._vpn_cache.get(vpn)
+        if ppn is not None:
+            return ppn
         indices = _level_indices(vpn)
         node = self.root
         for level in range(WALK_LEVELS - 1):
             node = node.children.get(indices[level])
             if node is None:
                 return None
-        return node.leaf_entries.get(indices[WALK_LEVELS - 1])
+        ppn = node.leaf_entries.get(indices[WALK_LEVELS - 1])
+        if ppn is not None:
+            self._vpn_cache[vpn] = ppn
+        return ppn
 
     # -- walk support ----------------------------------------------------------
     def entry_addresses(self, vpn: int) -> List[int]:

@@ -15,7 +15,6 @@ paper.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.common.addr import LEVEL_BITS, WALK_LEVELS, line_of
@@ -34,18 +33,43 @@ _PWC_HIT_KEYS = (
 )
 
 
-@dataclass(frozen=True)
 class WalkResult:
-    """Outcome of one page walk."""
+    """Outcome of one page walk (a ``__slots__`` class; built per walk)."""
 
-    ppn: int
-    finish: int
-    latency: int
-    pte_line_spa: int
-    #: Levels actually fetched through the cache hierarchy (1..4).
-    levels_fetched: int
-    #: True if the PTE fetch missed in L2 and L3 and reached the HMC.
-    pte_reached_memory: bool
+    __slots__ = (
+        "ppn",
+        "finish",
+        "latency",
+        "pte_line_spa",
+        "levels_fetched",
+        "pte_reached_memory",
+    )
+
+    def __init__(
+        self,
+        ppn: int,
+        finish: int,
+        latency: int,
+        pte_line_spa: int,
+        levels_fetched: int,
+        pte_reached_memory: bool,
+    ):
+        self.ppn = ppn
+        self.finish = finish
+        self.latency = latency
+        self.pte_line_spa = pte_line_spa
+        #: Levels actually fetched through the cache hierarchy (1..4).
+        self.levels_fetched = levels_fetched
+        #: True if the PTE fetch missed in L2 and L3 and reached the HMC.
+        self.pte_reached_memory = pte_reached_memory
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkResult(ppn={self.ppn}, finish={self.finish}, "
+            f"latency={self.latency}, pte_line_spa={self.pte_line_spa}, "
+            f"levels_fetched={self.levels_fetched}, "
+            f"pte_reached_memory={self.pte_reached_memory})"
+        )
 
 
 class PageWalkCache:
@@ -133,7 +157,16 @@ class PageWalker:
         self.stats = stats
         self._memory_fetch = memory_fetch
         self._mmu_hint = mmu_hint
+        # Hot-path stats handles, resolved once per walker.
+        self._count_pwc_hits = tuple(
+            stats.counter(_PWC_HIT_KEYS[level]) for level in range(_PWC_LEVELS)
+        )
+        self._count_walks = stats.counter("walk/walks")
+        self._count_pte_requests = stats.counter("walk/pte_requests")
+        self._count_pte_llc_misses = stats.counter("walk/pte_llc_misses")
+        self._observe_latency = stats.observer("walk/latency")
 
+    # repro-hot
     def walk(self, now: int, page_table: PageTable, vpn: int) -> WalkResult:
         """Perform a full walk for a *mapped* VPN; returns timing and PPN."""
         pid = page_table.pid
@@ -145,7 +178,7 @@ class PageWalker:
         time = now + self.pwc_latency_cycles
         start_level = self.pwc.deepest_hit(pid, vpn) + 1
         if start_level > 0:
-            self.stats.add(_PWC_HIT_KEYS[start_level - 1])
+            self._count_pwc_hits[start_level - 1]()
 
         pte_reached_memory = False
         levels_fetched = 0
@@ -163,7 +196,7 @@ class PageWalker:
             if outcome.llc_miss:
                 if is_pte:
                     pte_reached_memory = True
-                    self.stats.add("walk/pte_llc_misses")
+                    self._count_pte_llc_misses()
                 time = self._memory_fetch(
                     time, line, False, is_pte, target_ppn if is_pte else None, pid
                 )
@@ -173,9 +206,9 @@ class PageWalker:
             if not is_pte:
                 self.pwc.fill(pid, vpn, level)
 
-        self.stats.add("walk/walks")
-        self.stats.add("walk/pte_requests")
-        self.stats.observe("walk/latency", time - now)
+        self._count_walks()
+        self._count_pte_requests()
+        self._observe_latency(time - now)
         return WalkResult(
             ppn=target_ppn,
             finish=time,

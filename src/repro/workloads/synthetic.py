@@ -25,6 +25,7 @@ def _page_va(page_index: int) -> int:
     return HEAP_BASE + page_index * PAGE_BYTES
 
 
+# repro-hot
 def _flurry(
     page_index: int,
     line_stride: int,
@@ -36,12 +37,12 @@ def _flurry(
     """Emit a burst of references inside one page."""
     base = _page_va(page_index)
     indices = lines if lines is not None else range(0, LINES_PER_PAGE, line_stride)
+    random = rng.random
     for line_index in indices:
-        is_write = rng.random() < write_fraction
         yield MemoryOp(
-            vaddr=base + line_index * CACHE_LINE_BYTES,
-            is_write=is_write,
-            instructions_before=instructions,
+            base + line_index * CACHE_LINE_BYTES,
+            random() < write_fraction,
+            instructions,
         )
 
 

@@ -53,6 +53,24 @@ class TestZeroOverheadFaultsOff:
         assert system.hmc.memory.dram.injector is None
         assert system.hmc.memory.nvm.injector is None
 
+    def test_mem_access_prebound_to_device_path(self):
+        """With faults off, the per-line entry point is the MainMemory
+        bound method itself — no per-access recovery indirection."""
+        system = make()
+        assert system.hmc.mem_access.__self__ is system.hmc.memory
+        assert system.hmc.mem_access.__func__ is type(
+            system.hmc.memory
+        ).access
+
+    def test_mem_access_prebound_to_recovery_when_faulting(self):
+        from repro.common.config import FaultConfig
+
+        system = build_system(
+            "pageseer", workload_by_name("lbmx4"), scale=1024,
+            faults=FaultConfig(enabled=True, transient_rate=0.01),
+        )
+        assert system.hmc.mem_access.__self__ is system.hmc.fault_recovery
+
     def test_enabled_faults_do_attach(self):
         """Sanity check of the guard: with injection on, the devices carry
         an injector and the HMC routes accesses through FaultRecovery."""

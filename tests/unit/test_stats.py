@@ -24,6 +24,63 @@ class TestCounters:
         assert stats.get("missing", -1.0) == -1.0
 
 
+class TestBoundHandles:
+    def test_counter_handle_increments(self):
+        stats = StatsRegistry()
+        bump = stats.counter("x")
+        bump()
+        bump(2.5)
+        assert stats.get("x") == 3.5
+
+    def test_counter_handle_shares_state_with_add(self):
+        stats = StatsRegistry()
+        bump = stats.counter("x")
+        stats.add("x")
+        bump()
+        assert stats.get("x") == 2.0
+
+    def test_resolving_a_handle_creates_no_key(self):
+        """Resolution must be free of side effects: a component that binds
+        handles in __init__ but never fires them leaves no trace in
+        snapshots (the golden digests depend on this)."""
+        stats = StatsRegistry()
+        stats.counter("silent")
+        stats.observer("quiet")
+        assert list(stats.names()) == []
+        assert stats.snapshot() == {}
+
+    def test_counter_handle_survives_reset(self):
+        stats = StatsRegistry()
+        bump = stats.counter("x")
+        bump(5.0)
+        stats.reset()
+        bump()
+        assert stats.get("x") == 1.0
+
+    def test_observer_handle_records(self):
+        stats = StatsRegistry()
+        observe = stats.observer("lat")
+        for value in (10.0, 30.0, 20.0):
+            observe(value)
+        assert stats.mean("lat") == 20.0
+        assert stats.count("lat") == 3
+        assert stats.maximum("lat") == 30.0
+
+    def test_observer_handle_survives_reset(self):
+        stats = StatsRegistry()
+        observe = stats.observer("lat")
+        observe(100.0)
+        stats.reset()
+        observe(4.0)
+        assert stats.total("lat") == 4.0
+        assert stats.maximum("lat") == 4.0
+
+    def test_handles_expose_their_key(self):
+        stats = StatsRegistry()
+        assert stats.counter("a/b").counter_name == "a/b"
+        assert stats.observer("c/d").observer_name == "c/d"
+
+
 class TestObservations:
     def test_mean(self):
         stats = StatsRegistry()

@@ -100,3 +100,82 @@ class TestRunLoop:
         assert a.ipc == b.ipc
         assert a.ammat == b.ammat
         assert a.raw.get("hmc/serviced_dram") == b.raw.get("hmc/serviced_dram")
+
+
+class _StubCore:
+    """A core double exposing exactly the scheduler's interface."""
+
+    def __init__(self, core_id, step_cycles, log):
+        self.core_id = core_id
+        self.clock = 0.0
+        self.ops_executed = 0
+        self.done = False
+        self._step_cycles = step_cycles
+        self._log = log
+
+    def step(self):
+        self._log.append((self.core_id, self.clock))
+        self.clock += self._step_cycles
+        self.ops_executed += 1
+
+
+class _StubSystem:
+    """Bare ``cores`` holder to drive ``System.run_ops`` in isolation."""
+
+    run_ops = System.run_ops
+
+    def __init__(self, cores):
+        self.cores = cores
+
+
+class TestSchedulerTieBreaking:
+    def test_equal_clocks_break_ties_by_core_id(self):
+        """Two cores deliberately driven to equal clocks at every step:
+        the (clock, core_id) key must order each round as core 0 then
+        core 1, never depending on ready-list memory order."""
+        log = []
+        cores = [_StubCore(0, 10, log), _StubCore(1, 10, log)]
+        _StubSystem(cores).run_ops(4)
+        assert log == [
+            (0, 0.0), (1, 0.0),
+            (0, 10.0), (1, 10.0),
+            (0, 20.0), (1, 20.0),
+            (0, 30.0), (1, 30.0),
+        ]
+
+    def test_tie_breaking_ignores_core_list_construction_order(self):
+        """The interleaving is a pure function of (clock, core_id), so
+        re-running with freshly built cores reproduces it exactly."""
+        first, second = [], []
+        for log in (first, second):
+            cores = [_StubCore(0, 7, log), _StubCore(1, 7, log), _StubCore(2, 7, log)]
+            _StubSystem(cores).run_ops(3)
+        assert first == second
+        assert [entry[0] for entry in first[:3]] == [0, 1, 2]
+
+    def test_slower_core_yields_to_lagging_core(self):
+        """Sanity: with unequal speeds the smallest clock still wins."""
+        log = []
+        cores = [_StubCore(0, 100, log), _StubCore(1, 10, log)]
+        _StubSystem(cores).run_ops(3)
+        # Core 1 runs all three of its ops before core 0's clock (100)
+        # would let core 0 step a second time.
+        assert log == [
+            (0, 0.0), (1, 0.0), (1, 10.0), (1, 20.0),
+            (0, 100.0), (0, 200.0),
+        ]
+
+    def test_done_core_leaves_the_heap(self):
+        log = []
+        finishing = _StubCore(0, 10, log)
+        running = _StubCore(1, 10, log)
+
+        def finish_after_two():
+            _StubCore.step(finishing)
+            if finishing.ops_executed == 2:
+                finishing.done = True
+
+        finishing.step = finish_after_two
+        _StubSystem([finishing, running]).run_ops(5)
+        assert finishing.ops_executed == 2
+        assert running.ops_executed == 5

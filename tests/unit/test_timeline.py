@@ -69,6 +69,32 @@ class TestBankedTimeline:
         banks.reserve(1, 0, 100)
         assert banks.least_loaded(0) == 0
 
+    def test_least_loaded_early_exit_picks_first_idle_bank(self):
+        banks = BankedTimeline(4)
+        banks.reserve(0, 0, 100)
+        banks.reserve(1, 0, 100)
+        # Banks 2 and 3 are both idle at now; the scan stops at the first.
+        assert banks.least_loaded(0) == 2
+
+    def test_least_loaded_first_bank_idle_returns_immediately(self):
+        banks = BankedTimeline(3)
+        banks.reserve(1, 0, 50)
+        assert banks.least_loaded(0) == 0
+
+    def test_least_loaded_matches_full_scan(self):
+        """Early exit must pick exactly what the full min-scan picks."""
+        banks = BankedTimeline(5)
+        for index, now, duration in [
+            (0, 0, 30), (1, 0, 80), (2, 5, 10), (3, 5, 200), (4, 7, 1),
+        ]:
+            banks.reserve(index, now, duration)
+        for now in range(0, 220, 7):
+            expected = min(
+                range(len(banks)),
+                key=lambda i: (banks[i].next_free(now), i),
+            )
+            assert banks.least_loaded(now) == expected
+
     def test_mean_utilization(self):
         banks = BankedTimeline(2)
         banks.reserve(0, 0, 100)
