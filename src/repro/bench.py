@@ -24,7 +24,9 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -281,9 +283,17 @@ def command_bench(args: argparse.Namespace) -> int:
 
     out_path = Path(args.out_dir) / f"BENCH_{args.label}.json"
     out_path.parent.mkdir(parents=True, exist_ok=True)
-    with open(out_path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Write-then-rename: a killed bench run must never leave a torn JSON
+    # where the next --compare expects a baseline.
+    temp = out_path.with_name(f"{out_path.name}.{os.getpid()}.tmp")
+    try:
+        with open(temp, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp, out_path)
+    finally:
+        if temp.exists():
+            temp.unlink()
     print(f"wrote {out_path}")
 
     if args.profile is not None:
@@ -302,8 +312,24 @@ def command_bench(args: argparse.Namespace) -> int:
                 ))
 
     if args.compare is not None:
-        with open(args.compare) as handle:
-            baseline = json.load(handle)
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"error: baseline {args.compare} does not exist; generate "
+                  f"one with `repro bench --label <name>` on the reference "
+                  f"revision, or drop --compare", file=sys.stderr)
+            return 1
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: baseline {args.compare} is unreadable "
+                  f"({exc}); regenerate it with `repro bench`",
+                  file=sys.stderr)
+            return 1
+        if not isinstance(baseline, dict) or "results" not in baseline:
+            print(f"error: baseline {args.compare} is not a bench document "
+                  f"(no 'results' key); regenerate it with `repro bench`",
+                  file=sys.stderr)
+            return 1
         problems = compare_documents(document, baseline, args.max_regression)
         if problems:
             print(f"{len(problems)} throughput regression(s) "

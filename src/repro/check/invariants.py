@@ -247,8 +247,20 @@ class CounterMonotonicityChecker(InvariantChecker):
         self._previous: Dict[str, Tuple[int, Dict[int, int]]] = {}
         #: Pages whose entry left a table since the previous sweep.
         self._departed: Dict[str, set] = {"dram-hpt": set(), "nvm-hpt": set()}
-        hmc = system.hmc
-        for label, hpt in (("dram-hpt", hmc.dram_hpt), ("nvm-hpt", hmc.nvm_hpt)):
+        self._hmc = system.hmc
+        self.snapshot_reattach()
+
+    def snapshot_detach(self) -> None:
+        """Drop the HPT listeners (closures) for a pickle window."""
+        self._hmc.dram_hpt.on_event = None
+        self._hmc.nvm_hpt.on_event = None
+
+    def snapshot_reattach(self) -> None:
+        """(Re)install the HPT evict/remove listeners."""
+        for label, hpt in (
+            ("dram-hpt", self._hmc.dram_hpt),
+            ("nvm-hpt", self._hmc.nvm_hpt),
+        ):
             hpt.on_event = self._make_listener(label)
 
     def _make_listener(self, label: str):

@@ -106,6 +106,31 @@ class CheckManager:
         hmc.handle_request = checked_handle_request
         self._inner_handle_request = inner
 
+    # -- checkpointing ------------------------------------------------------
+    def snapshot_detach(self) -> None:
+        """Strip the closures this manager installed, for a pickle window.
+
+        ``hmc.handle_request`` reverts to the wrapped inner callable (a
+        picklable bound method) and checkers drop their table listeners.
+        The PRT/swap-driver subscriptions are bound methods and pickle
+        as-is.  No simulation step may run while detached — the
+        checkpoint machinery guarantees that by detaching/reattaching
+        inside one ``save_checkpoint`` call.
+        """
+        self.system.hmc.handle_request = self._inner_handle_request
+        for checker in self.checkers:
+            detach = getattr(checker, "snapshot_detach", None)
+            if detach is not None:
+                detach()
+
+    def snapshot_reattach(self) -> None:
+        """Rebuild the closures after a pickle window or a restore."""
+        self._wrap_handle_request()
+        for checker in self.checkers:
+            reattach = getattr(checker, "snapshot_reattach", None)
+            if reattach is not None:
+                reattach()
+
     def _on_prt_event(self, kind: str, nvm_ppn: int, dram_ppn: int) -> None:
         if kind == "install":
             self._prt_installs += 1

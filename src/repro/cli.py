@@ -3,6 +3,8 @@
 Commands:
 
 * ``run``             simulate one (scheme, workload) pair and print metrics
+                      (``--checkpoint-every``/``--resume``: crash-safe runs)
+* ``sweep``           supervised parallel sweep with watchdog + resume
 * ``report``          regenerate every table/figure (cached)
 * ``energy``          run PageSeer and print the Table II energy report
 * ``golden``          verify (or ``--update``) the golden regression matrix
@@ -21,6 +23,8 @@ import sys
 from typing import List, Optional
 
 from repro.common.config import CHECK_LEVELS, CheckConfig, FaultConfig
+from repro.common.errors import CheckpointError, CheckpointInterrupt
+from repro.snapshot.signals import EXIT_CHECKPOINTED
 from repro.experiments import ExperimentRunner
 from repro.experiments.runner import VARIANTS
 from repro.faults import FAULT_PROFILES, resolve_profile
@@ -70,20 +74,96 @@ def _resolve_faults(args: argparse.Namespace) -> Optional[FaultConfig]:
     return resolve_profile(args.faults, fault_seed=args.fault_seed)
 
 
+def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint-every", type=int, default=0, metavar="OPS",
+                        help="write a rolling checkpoint every N executed ops "
+                             "(0 = off); SIGINT/SIGTERM then also write one "
+                             "final checkpoint before exiting with code "
+                             f"{EXIT_CHECKPOINTED}")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="directory for checkpoint files (default: "
+                             "checkpoints/<scheme>_<workload>_<variant>)")
+    parser.add_argument("--resume", default=None, metavar="FILE",
+                        help="restore a checkpoint file and finish its run "
+                             "(--scheme/--workload/sizing come from the file)")
+
+
 def _command_run(args: argparse.Namespace) -> int:
-    workload = workload_by_name(args.workload)
-    system = build_system(
-        args.scheme,
-        workload,
-        scale=args.scale,
-        seed=args.seed,
-        config_mutator=VARIANTS[args.variant],
-        check=_resolve_check(args),
-        faults=_resolve_faults(args),
+    from pathlib import Path
+
+    from repro.snapshot import (
+        Checkpointer,
+        SignalGuard,
+        load_checkpoint,
+        read_checkpoint_header,
     )
-    metrics = system.run(args.measure_ops, args.warmup_ops)
-    print(f"{args.scheme} on {workload.name} "
-          f"({workload.cores} cores, scale 1/{args.scale}, variant {args.variant})")
+
+    try:
+        if args.resume is not None:
+            header = read_checkpoint_header(args.resume)
+            for flag, value in (("scheme", args.scheme),
+                                ("workload", args.workload)):
+                if value is not None and value != header[flag]:
+                    print(f"error: --resume file holds a {header['scheme']}/"
+                          f"{header['workload']} run; --{flag} {value} "
+                          f"contradicts it (drop the flag or pick the "
+                          f"matching checkpoint)", file=sys.stderr)
+                    return 2
+            system = load_checkpoint(args.resume)
+            print(f"resuming {header['scheme']} on {header['workload']} from "
+                  f"{args.resume} (phase {header['phase']}, "
+                  f"{header['steps_total']} ops done)")
+            checkpoint_dir = Path(args.checkpoint_dir
+                                  or Path(args.resume).parent)
+        else:
+            if args.scheme is None or args.workload is None:
+                print("error: --scheme and --workload are required unless "
+                      "--resume is given", file=sys.stderr)
+                return 2
+            system = build_system(
+                args.scheme,
+                workload_by_name(args.workload),
+                scale=args.scale,
+                seed=args.seed,
+                config_mutator=VARIANTS[args.variant],
+                check=_resolve_check(args),
+                faults=_resolve_faults(args),
+            )
+            checkpoint_dir = Path(
+                args.checkpoint_dir
+                or Path("checkpoints")
+                / f"{args.scheme}_{args.workload}_{args.variant}"
+            )
+
+        with SignalGuard() as guard:
+            if args.checkpoint_every > 0 or args.resume is not None:
+                Checkpointer(
+                    checkpoint_dir,
+                    every_ops=args.checkpoint_every,
+                    signals=guard,
+                ).arm(system)
+            if args.resume is not None:
+                metrics = system.resume_run()
+            else:
+                metrics = system.run(args.measure_ops, args.warmup_ops)
+    except CheckpointInterrupt as interrupt:
+        print(f"\ninterrupted by signal {interrupt.signum}; checkpoint written "
+              f"to {interrupt.path}", file=sys.stderr)
+        print(f"resume with: python -m repro run --resume {interrupt.path}",
+              file=sys.stderr)
+        return EXIT_CHECKPOINTED
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    _print_run_summary(system, metrics)
+    return 0
+
+
+def _print_run_summary(system, metrics) -> None:
+    workload = system.workload
+    print(f"{system.scheme} on {workload.name} "
+          f"({workload.cores} cores, scale 1/{system.scale})")
     print(f"  ipc                 {metrics.ipc:.4f}")
     print(f"  ammat               {metrics.ammat:.1f} cycles")
     print(f"  dram/nvm/buffer     {metrics.dram_share:.1%} / "
@@ -107,6 +187,53 @@ def _command_run(args: argparse.Namespace) -> int:
               f"swap-aborts={metrics.swap_aborts} "
               f"quarantined={metrics.quarantined_pages} "
               f"degraded={metrics.degraded_services}")
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.common.errors import SweepError
+    from repro.experiments.supervisor import SweepSupervisor
+
+    runner = ExperimentRunner(
+        scale=args.scale,
+        measure_ops=args.measure_ops,
+        warmup_ops=args.warmup_ops,
+        seed=args.seed,
+        verbose=not args.quiet,
+        faults=_resolve_faults(args),
+        max_attempts=args.max_attempts,
+    )
+    supervisor = SweepSupervisor(
+        runner,
+        args.checkpoint_root,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_seconds=args.heartbeat_seconds,
+        stall_timeout=args.stall_timeout,
+    )
+    try:
+        if args.resume:
+            results = supervisor.resume(jobs=args.jobs)
+        else:
+            workloads = args.workloads or [
+                spec.name for spec in all_workloads()
+            ]
+            requests = [
+                (scheme, workload, variant)
+                for scheme in args.schemes
+                for workload in workloads
+                for variant in args.variants
+            ]
+            results = supervisor.run(requests, jobs=args.jobs)
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except SweepError as error:
+        print(f"sweep incomplete: {error}", file=sys.stderr)
+        print(f"resume with: python -m repro sweep --resume "
+              f"--checkpoint-root {args.checkpoint_root}", file=sys.stderr)
+        return 1
+    print(f"sweep complete: {len(results)} result(s) "
+          f"(workers killed by watchdog: {supervisor.kills}, "
+          f"resumed from checkpoint: {sum(supervisor.resumes.values())})")
     return 0
 
 
@@ -227,14 +354,44 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_parser = commands.add_parser("run", help="simulate one scheme/workload")
-    run_parser.add_argument("--scheme", required=True, choices=sorted(SCHEMES))
-    run_parser.add_argument("--workload", required=True)
+    run_parser.add_argument("--scheme", default=None, choices=sorted(SCHEMES))
+    run_parser.add_argument("--workload", default=None)
     run_parser.add_argument("--variant", default="default",
                             choices=sorted(VARIANTS))
     _add_sizing_arguments(run_parser)
     _add_check_arguments(run_parser)
     _add_fault_arguments(run_parser)
+    _add_checkpoint_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="supervised parallel sweep with checkpoint/resume"
+    )
+    sweep_parser.add_argument("--schemes", nargs="+",
+                              default=["pageseer", "pom", "mempod"],
+                              choices=sorted(SCHEMES))
+    sweep_parser.add_argument("--workloads", nargs="*", default=None,
+                              help="workload names (default: all 26)")
+    sweep_parser.add_argument("--variants", nargs="+", default=["default"],
+                              choices=sorted(VARIANTS))
+    sweep_parser.add_argument("--jobs", type=int, default=None)
+    sweep_parser.add_argument("--checkpoint-root", default="checkpoints/sweep",
+                              help="directory for the manifest and the "
+                                   "per-request checkpoint directories")
+    sweep_parser.add_argument("--checkpoint-every", type=int, default=20_000,
+                              metavar="OPS")
+    sweep_parser.add_argument("--heartbeat-seconds", type=float, default=0.5)
+    sweep_parser.add_argument("--stall-timeout", type=float, default=30.0,
+                              help="seconds without a heartbeat before the "
+                                   "watchdog kills and resumes a worker")
+    sweep_parser.add_argument("--max-attempts", type=int, default=3)
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="continue the sweep recorded in "
+                                   "--checkpoint-root's manifest")
+    sweep_parser.add_argument("--quiet", action="store_true")
+    _add_sizing_arguments(sweep_parser)
+    _add_fault_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=_command_sweep)
 
     report_parser = commands.add_parser(
         "report", help="regenerate every table and figure"

@@ -34,6 +34,31 @@ class CheckViolationError(SimulationError):
         )
 
 
+class CheckpointError(ReproError):
+    """A checkpoint file could not be written, read, or validated.
+
+    Raised for truncated/corrupt files (bad magic, checksum mismatch),
+    format-version skew, and state graphs that cannot be serialized.
+    """
+
+
+class CheckpointInterrupt(ReproError):
+    """A run was interrupted by SIGINT/SIGTERM after writing a final
+    checkpoint.
+
+    ``path`` is the checkpoint written on the way out (None when the
+    final write itself failed); ``signum`` is the signal that triggered
+    the shutdown.  The CLI maps this to the distinct exit code
+    :data:`repro.snapshot.EXIT_CHECKPOINTED`.
+    """
+
+    def __init__(self, path=None, signum=None):
+        self.path = path
+        self.signum = signum
+        where = f" (checkpoint written to {path})" if path else ""
+        super().__init__(f"run interrupted by signal {signum}{where}")
+
+
 class FaultError(SimulationError):
     """An injected fault fired at a specific point of the simulated machine.
 

@@ -115,6 +115,9 @@ class StatsRegistry:
             counters[name] += amount
 
         increment.counter_name = name  # type: ignore[attr-defined]
+        # The owning registry, so the snapshot codec can re-bind the
+        # handle after a checkpoint restore (closures do not pickle).
+        increment.registry = self  # type: ignore[attr-defined]
         return increment
 
     def observer(self, name: str) -> Callable[[float], None]:
@@ -135,6 +138,7 @@ class StatsRegistry:
                 maxima[name] = value
 
         observe.observer_name = name  # type: ignore[attr-defined]
+        observe.registry = self  # type: ignore[attr-defined]
         return observe
 
     # -- value accumulators (for averages) --------------------------------

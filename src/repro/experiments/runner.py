@@ -232,6 +232,7 @@ class ExperimentRunner:
         self,
         requests: Iterable[Tuple[str, str, str]],
         jobs: Optional[int] = None,
+        supervise: Optional[Path] = None,
     ) -> Dict[Tuple[str, str, str], RunMetrics]:
         """Run many (scheme, workload, variant) triples, in parallel.
 
@@ -241,6 +242,13 @@ class ExperimentRunner:
         stored in the cache by the parent.  ``jobs=None`` uses the CPU
         count; ``jobs=1`` degrades to the serial path (useful under
         debuggers).
+
+        ``supervise`` switches to the supervised path
+        (:class:`repro.experiments.supervisor.SweepSupervisor`): workers
+        checkpoint into per-request directories under that root, a
+        heartbeat watchdog kills hung workers, and retries *resume* from
+        the last checkpoint instead of re-simulating — see
+        docs/CHECKPOINTS.md.
 
         Resilience: a request whose worker fails with an infrastructure
         fault (:class:`repro.common.errors.FaultError`) or overruns
@@ -255,6 +263,10 @@ class ExperimentRunner:
         :class:`repro.common.errors.SweepError` names each offending
         (scheme, workload, variant) and how many attempts it got.
         """
+        if supervise is not None:
+            from repro.experiments.supervisor import SweepSupervisor
+
+            return SweepSupervisor(self, supervise).run(requests, jobs=jobs)
         requests = list(dict.fromkeys(requests))
         results: Dict[Tuple[str, str, str], RunMetrics] = {}
         pending = []

@@ -1,0 +1,426 @@
+"""Supervised sweep execution: watchdog, checkpoints, and resume.
+
+The pool path in :meth:`repro.experiments.runner.ExperimentRunner.run_many`
+retries failed requests *from scratch* — fine for short CI-sized runs,
+wasteful for paper-sized sweeps where one request is minutes of work and
+a hung worker would otherwise stall the whole sweep behind a timeout.
+This module trades the executor for directly-managed
+:class:`multiprocessing.Process` workers so the supervisor can do three
+things a pool cannot:
+
+* **checkpoint** — each worker runs with a per-request checkpoint
+  directory and writes a rolling ``latest.ckpt`` every N ops;
+* **watch** — each worker heartbeats (touches a file) from the
+  simulation loop; a heartbeat older than ``stall_timeout`` marks the
+  worker hung and the supervisor SIGKILLs it;
+* **resume** — a killed or crashed worker is relaunched and continues
+  from its last checkpoint instead of re-simulating from op zero, and an
+  interrupted *sweep* (the supervisor process itself dying) continues
+  from the manifest + per-request checkpoints via :meth:`resume`.
+
+Determinism is inherited from the checkpoint layer: a resumed request
+produces the bit-identical metrics of an uninterrupted one, so results
+are attempt- and kill-schedule-invariant and safe to cache.
+
+Deterministic stall injection (``FaultConfig.worker_stall_rate``) is
+honoured here by wedging the worker *mid-run, after its first periodic
+checkpoint* — on attempt 0 only — which is exactly the scenario the
+watchdog exists for, and what the fault-matrix CI job exercises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import CheckConfig, FaultConfig
+from repro.common.errors import CheckpointError, SweepError, WorkerFaultError
+from repro.common.rng import DeterministicRng
+from repro.sim.metrics import RunMetrics
+from repro.snapshot import LATEST_NAME, Checkpointer, load_checkpoint
+from repro.snapshot.hooks import HEARTBEAT_NAME
+
+Request = Tuple[str, str, str]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Default ops between worker checkpoints; small enough that a killed
+#: worker rarely loses more than a second of simulation.
+DEFAULT_CHECKPOINT_EVERY = 20_000
+
+
+def request_dirname(request: Request) -> str:
+    return "_".join(request)
+
+
+# -- worker side -------------------------------------------------------------
+
+
+class _StallingCheckpointer(Checkpointer):
+    """A checkpointer that wedges the worker once, at a fixed op count.
+
+    Models an infrastructure hang (NFS stall, runaway GC, cosmic rays in
+    the scheduler): the simulation stops making progress *and* stops
+    heartbeating, which is the condition the supervisor's watchdog must
+    detect and break.  The sleep happens outside simulated time, so the
+    eventual metrics are unaffected — only liveness is.
+    """
+
+    def __init__(self, *args, stall_at_ops: int, stall_seconds: float, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._stall_at_ops = stall_at_ops
+        self._stall_seconds = stall_seconds
+        self._stalled = False
+
+    def on_step(self, system) -> None:
+        super().on_step(system)
+        if not self._stalled and system.steps_total >= self._stall_at_ops:
+            self._stalled = True
+            time.sleep(self._stall_seconds)
+
+
+def _build_worker_checkpointer(
+    request: Request,
+    attempt: int,
+    faults: Optional[FaultConfig],
+    directory: Path,
+    checkpoint_every: int,
+    heartbeat_seconds: float,
+    resumed_from_ops: int,
+) -> Checkpointer:
+    stall = 0.0
+    if (
+        attempt == 0
+        and faults is not None
+        and faults.enabled
+        and faults.worker_stall_rate > 0.0
+    ):
+        stream = f"fault/supervised/{'/'.join(request)}/stall"
+        if DeterministicRng(stream, faults.fault_seed).random() < faults.worker_stall_rate:
+            stall = faults.worker_stall_seconds
+    if stall > 0.0:
+        # Wedge only after at least one periodic checkpoint exists, so
+        # the relaunch genuinely *resumes* rather than starting over.
+        return _StallingCheckpointer(
+            directory,
+            every_ops=checkpoint_every,
+            heartbeat_seconds=heartbeat_seconds,
+            stall_at_ops=resumed_from_ops + 2 * checkpoint_every,
+            stall_seconds=stall,
+        )
+    return Checkpointer(
+        directory,
+        every_ops=checkpoint_every,
+        heartbeat_seconds=heartbeat_seconds,
+    )
+
+
+def _inject_worker_crash(
+    faults: Optional[FaultConfig], request: Request, attempt: int
+) -> None:
+    """The crash half of the pool path's worker-fault injection.
+
+    Stalls are NOT injected here: under supervision a stall is modelled
+    mid-run by :class:`_StallingCheckpointer` (a pre-run sleep would
+    wedge the worker before it armed its heartbeat, which no real hang
+    does).  The stall draw is still consumed so the crash schedule stays
+    aligned with the pool path's per-(request, attempt) RNG stream.
+    """
+    if faults is None or not faults.enabled:
+        return
+    if faults.worker_crash_rate <= 0.0:
+        return
+    stream = f"fault/worker/{'/'.join(request)}/attempt{attempt}"
+    rng = DeterministicRng(stream, faults.fault_seed)
+    if faults.worker_stall_rate > 0.0:
+        rng.random()
+    if rng.random() < faults.worker_crash_rate:
+        raise WorkerFaultError(
+            f"simulated worker crash (attempt {attempt + 1})", device="worker"
+        )
+
+
+def _supervised_worker(
+    request: Request,
+    sizing: Tuple[int, int, int, int, str],
+    faults: Optional[FaultConfig],
+    attempt: int,
+    directory: str,
+    checkpoint_every: int,
+    heartbeat_seconds: float,
+) -> None:
+    """One supervised simulation; result lands in ``<dir>/result.json``."""
+    from repro.experiments import ablation_partial, dram_capacity, sensitivity  # noqa: F401
+    from repro.experiments.runner import VARIANTS, _METRIC_FIELDS
+    from repro.sim.system import build_system
+    from repro.workloads import workload_by_name
+
+    scheme, workload_name, variant = request
+    scale, measure_ops, warmup_ops, seed, check_level = sizing
+    directory = Path(directory)
+    latest = directory / LATEST_NAME
+
+    resumed_from_ops = 0
+    if latest.exists():
+        system = load_checkpoint(latest)
+        resumed_from_ops = system.steps_total
+    else:
+        _inject_worker_crash(faults, request, attempt)
+        check = CheckConfig(level=check_level) if check_level != "off" else None
+        system = build_system(
+            scheme,
+            workload_by_name(workload_name),
+            scale=scale,
+            seed=seed,
+            config_mutator=VARIANTS[variant],
+            check=check,
+            faults=faults,
+        )
+    checkpointer = _build_worker_checkpointer(
+        request, attempt, faults, directory,
+        checkpoint_every, heartbeat_seconds, resumed_from_ops,
+    )
+    checkpointer.arm(system)
+    if resumed_from_ops:
+        metrics = system.resume_run()
+    else:
+        metrics = system.run(measure_ops, warmup_ops)
+
+    payload = {name: getattr(metrics, name) for name in _METRIC_FIELDS}
+    payload["resumed_at_ops"] = resumed_from_ops
+    payload["attempt"] = attempt
+    result_path = directory / "result.json"
+    temp = result_path.with_name(f"result.json.{os.getpid()}.tmp")
+    temp.write_text(json.dumps(payload))
+    os.replace(temp, result_path)
+
+
+# -- supervisor side ---------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Worker:
+    request: Request
+    attempt: int
+    process: multiprocessing.Process
+    directory: Path
+    started: float
+
+
+class SweepSupervisor:
+    """Runs sweep requests under watchdog supervision with resume."""
+
+    def __init__(
+        self,
+        runner,
+        checkpoint_root,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        heartbeat_seconds: float = 0.5,
+        stall_timeout: float = 30.0,
+        poll_seconds: float = 0.1,
+        verbose: Optional[bool] = None,
+    ):
+        self.runner = runner
+        self.root = Path(checkpoint_root)
+        self.checkpoint_every = int(checkpoint_every)
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self.stall_timeout = float(stall_timeout)
+        self.poll_seconds = float(poll_seconds)
+        self.verbose = runner.verbose if verbose is None else verbose
+        #: Observability for tests and the CLI summary.
+        self.kills = 0
+        self.resumes: Dict[Request, int] = {}
+        self.attempts: Dict[Request, int] = {}
+
+    # -- manifest ---------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    def _write_manifest(self, requests: Sequence[Request], completed) -> None:
+        runner = self.runner
+        payload = {
+            "manifest_version": MANIFEST_VERSION,
+            "sizing": {
+                "scale": runner.scale,
+                "measure_ops": runner.measure_ops,
+                "warmup_ops": runner.warmup_ops,
+                "seed": runner.seed,
+                "check_level": runner.worker_check_level,
+            },
+            "requests": [list(request) for request in requests],
+            "completed": sorted("/".join(request) for request in completed),
+            # The fault configuration participates in the result cache
+            # key, so resume must rebuild the runner with the same one.
+            "faults": (
+                None if runner.faults is None
+                else dataclasses.asdict(runner.faults)
+            ),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        temp = self.manifest_path.with_name(f"{MANIFEST_NAME}.{os.getpid()}.tmp")
+        temp.write_text(json.dumps(payload, indent=2))
+        os.replace(temp, self.manifest_path)
+
+    def read_manifest(self) -> Dict[str, object]:
+        path = self.manifest_path
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no sweep manifest at {path}: nothing to resume "
+                f"(start a sweep with a --checkpoint-root first)"
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable sweep manifest {path}: {exc}")
+        version = payload.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise CheckpointError(
+                f"{path}: manifest version {version} unsupported "
+                f"(this build reads {MANIFEST_VERSION})"
+            )
+        return payload
+
+    # -- execution --------------------------------------------------------
+    def run(self, requests: Sequence[Request], jobs: Optional[int] = None):
+        """Run *requests*; returns ``{request: RunMetrics}`` like run_many."""
+        requests = list(dict.fromkeys(tuple(r) for r in requests))
+        jobs = jobs or os.cpu_count() or 1
+        results: Dict[Request, RunMetrics] = {}
+        failures: List[Tuple[Request, BaseException]] = []
+
+        pending: List[Tuple[Request, int]] = []
+        for request in requests:
+            cached = self.runner._load(self.runner._key(*request))
+            if cached is not None:
+                results[request] = cached
+            else:
+                pending.append((request, 0))
+        self._write_manifest(requests, results)
+        if not pending:
+            return results
+
+        sizing = (
+            self.runner.scale, self.runner.measure_ops,
+            self.runner.warmup_ops, self.runner.seed,
+            self.runner.worker_check_level,
+        )
+        live: List[_Worker] = []
+
+        def launch(request: Request, attempt: int) -> None:
+            directory = self.root / "requests" / request_dirname(request)
+            directory.mkdir(parents=True, exist_ok=True)
+            stale_result = directory / "result.json"
+            if stale_result.exists():
+                stale_result.unlink()
+            if attempt > 0 and (directory / LATEST_NAME).exists():
+                self.resumes[request] = self.resumes.get(request, 0) + 1
+            self.attempts[request] = attempt + 1
+            process = multiprocessing.Process(
+                target=_supervised_worker,
+                args=(request, sizing, self.runner.faults, attempt,
+                      str(directory), self.checkpoint_every,
+                      self.heartbeat_seconds),
+                daemon=True,
+            )
+            process.start()
+            live.append(_Worker(request, attempt, process, directory,
+                                time.monotonic()))
+            if self.verbose:
+                verb = "resuming" if attempt > 0 else "starting"
+                print(f"[supervisor] {verb} {'/'.join(request)} "
+                      f"(attempt {attempt + 1})")
+
+        def harvest(worker: _Worker) -> bool:
+            result_path = worker.directory / "result.json"
+            try:
+                payload = json.loads(result_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                return False
+            from repro.experiments.runner import _METRIC_FIELDS
+
+            metrics = RunMetrics(
+                raw={}, **{name: payload[name] for name in _METRIC_FIELDS}
+            )
+            self.runner._store(self.runner._key(*worker.request), metrics)
+            results[worker.request] = metrics
+            self._write_manifest(requests, results)
+            if self.verbose:
+                suffix = ""
+                if payload.get("resumed_at_ops"):
+                    suffix = f" (resumed at op {payload['resumed_at_ops']})"
+                print(f"[supervisor] finished {'/'.join(worker.request)}"
+                      f"{suffix}")
+            return True
+
+        def fail_or_retry(worker: _Worker, error: BaseException) -> None:
+            if worker.attempt + 1 < self.runner.max_attempts:
+                pending.append((worker.request, worker.attempt + 1))
+            else:
+                failures.append((worker.request, error))
+
+        def heartbeat_age(worker: _Worker) -> float:
+            heartbeat = worker.directory / HEARTBEAT_NAME
+            now = time.monotonic()
+            try:
+                mtime = heartbeat.stat().st_mtime
+            except OSError:
+                return now - worker.started
+            # st_mtime is wall-clock; measure staleness against it
+            # directly and never beyond the worker's own lifetime.
+            return min(time.time() - mtime, now - worker.started)
+
+        while pending or live:
+            while pending and len(live) < jobs:
+                launch(*pending.pop(0))
+            time.sleep(self.poll_seconds)
+            for worker in list(live):
+                if worker.process.exitcode is not None:
+                    worker.process.join()
+                    live.remove(worker)
+                    if harvest(worker):
+                        continue
+                    fail_or_retry(worker, WorkerFaultError(
+                        f"worker exited with code {worker.process.exitcode} "
+                        f"and no result (attempt {worker.attempt + 1})",
+                        device="worker",
+                    ))
+                elif heartbeat_age(worker) > self.stall_timeout:
+                    worker.process.kill()
+                    worker.process.join()
+                    live.remove(worker)
+                    self.kills += 1
+                    if self.verbose:
+                        print(f"[supervisor] killed hung worker "
+                              f"{'/'.join(worker.request)} (no heartbeat for "
+                              f">{self.stall_timeout:.0f}s)")
+                    fail_or_retry(worker, WorkerFaultError(
+                        f"worker hung (no heartbeat for "
+                        f"{self.stall_timeout:.0f}s) and was killed "
+                        f"(attempt {worker.attempt + 1})",
+                        device="worker",
+                    ))
+
+        if failures:
+            raise SweepError(failures, attempts=self.attempts)
+        return results
+
+    def resume(self, jobs: Optional[int] = None):
+        """Continue the sweep described by this root's manifest."""
+        manifest = self.read_manifest()
+        sizing = manifest["sizing"]
+        for name in ("scale", "measure_ops", "warmup_ops", "seed"):
+            setattr(self.runner, name, sizing[name])
+        self.runner.worker_check_level = sizing["check_level"]
+        faults = manifest.get("faults")
+        self.runner.faults = (
+            None if faults is None else FaultConfig(**faults)
+        )
+        requests = [tuple(request) for request in manifest["requests"]]
+        return self.run(requests, jobs=jobs)

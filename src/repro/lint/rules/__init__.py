@@ -4,8 +4,16 @@ from repro.lint.rules import (
     config_liveness,
     determinism,
     hot_path,
+    snapshot_safety,
     stats_keys,
     units,
 )
 
-__all__ = ["determinism", "stats_keys", "config_liveness", "units", "hot_path"]
+__all__ = [
+    "determinism",
+    "stats_keys",
+    "config_liveness",
+    "units",
+    "hot_path",
+    "snapshot_safety",
+]

@@ -1,0 +1,198 @@
+"""RL006 — snapshot-safety: checkpointable state must stay picklable.
+
+Checkpoint/restore (``repro.snapshot``, docs/CHECKPOINTS.md) pickles the
+entire live ``System`` graph.  Most simulator state is plain data and
+pickles natively; what breaks checkpoints is a class quietly stashing a
+*process-local* object on ``self``: a closure or lambda, an open file, a
+threading primitive, or the result of a closure-factory method.  Those
+failures surface only when someone actually writes a checkpoint — often
+hours into the very sweep the checkpoint was meant to protect.
+
+Inside the packages whose classes are reachable from ``System`` state
+(the simulation-critical set plus ``check``, ``workloads``, ``faults``),
+this rule flags ``self.<attr> = ...`` (including nested targets such as
+``self.hmc.handle_request = ...``) where the value is:
+
+* a ``lambda`` or a function defined in the enclosing method (a closure);
+* a call to a closure factory — a method of the same class whose body
+  returns a nested function;
+* ``open(...)`` — file handles do not survive a process boundary;
+* a ``threading`` primitive (``Lock``, ``RLock``, ``Condition``,
+  ``Semaphore``, ``BoundedSemaphore``, ``Event``, ``Barrier``).
+
+A class is exempt when it opts into one of the supported escape hatches:
+defining ``__getstate__`` / ``__reduce__`` / ``__reduce_ex__``, defining
+a ``snapshot_detach`` hook (paired with ``snapshot_reattach``; the
+checkpoint writer calls it around every pickle), or being registered
+with :func:`repro.snapshot.codec.register_codec` in the same module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.lint.engine import (
+    SIM_PACKAGES,
+    ProjectContext,
+    Rule,
+    SourceFile,
+    register_rule,
+)
+
+#: Packages whose classes can end up inside a pickled System graph.
+_SCOPE = frozenset(SIM_PACKAGES | {"check", "workloads", "faults"})
+
+#: Defining any of these opts the class out (it handles its own pickling
+#: or is detached around every checkpoint write).
+_EXEMPT_METHODS = frozenset(
+    {"__getstate__", "__reduce__", "__reduce_ex__", "snapshot_detach"}
+)
+
+_THREADING_PRIMITIVES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+     "Event", "Barrier"}
+)
+
+_FIX_HINT = (
+    "define __getstate__, register a codec "
+    "(repro.snapshot.register_codec), or give the class a "
+    "snapshot_detach/snapshot_reattach pair (docs/CHECKPOINTS.md)"
+)
+
+
+def _rooted_at_self(node: ast.AST) -> bool:
+    """True for ``self.x`` and deeper chains like ``self.hmc.handle``."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _returns_nested_function(func: ast.FunctionDef) -> bool:
+    """True when *func* defines an inner function/lambda and returns it."""
+    inner: Set[str] = {
+        child.name
+        for child in ast.walk(func)
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and child is not func
+    }
+    for child in ast.walk(func):
+        if not isinstance(child, ast.Return) or child.value is None:
+            continue
+        value = child.value
+        if isinstance(value, ast.Lambda):
+            return True
+        if isinstance(value, ast.Name) and value.id in inner:
+            return True
+    return False
+
+
+def _codec_registered_classes(tree: ast.Module) -> Set[str]:
+    """Class names passed to ``register_codec(Cls, ...)`` in this module."""
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+        if name != "register_codec":
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Name):
+            out.add(first.id)
+    return out
+
+
+@register_rule
+class SnapshotSafetyRule(Rule):
+    """Flag classes that would break ``repro.snapshot`` checkpoints."""
+
+    rule_id = "RL006"
+    name = "snapshot-safety"
+
+    def collect(self, source: SourceFile, ctx: ProjectContext) -> None:
+        if not any(part in _SCOPE for part in source.parts):
+            return
+        registered = _codec_registered_classes(source.tree)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name not in registered:
+                self._check_class(node, source, ctx)
+
+    def _check_class(
+        self, cls: ast.ClassDef, source: SourceFile, ctx: ProjectContext
+    ) -> None:
+        methods = [
+            child for child in cls.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        if any(method.name in _EXEMPT_METHODS for method in methods):
+            return
+        factories = {
+            method.name for method in methods
+            if _returns_nested_function(method)
+        }
+        for method in methods:
+            self._check_method(cls, method, factories, source, ctx)
+
+    def _check_method(
+        self,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef,
+        factories: Set[str],
+        source: SourceFile,
+        ctx: ProjectContext,
+    ) -> None:
+        local_functions: Set[str] = {
+            child.name
+            for child in ast.walk(method)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not method
+        }
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if node.value is None or not any(
+                _rooted_at_self(target) for target in targets
+            ):
+                continue
+            problem = self._classify(node.value, local_functions, factories)
+            if problem is not None:
+                ctx.emit(
+                    self, source, node,
+                    f"{cls.name}.{method.name} stores {problem} on self; "
+                    f"this breaks checkpointing — {_FIX_HINT}",
+                )
+
+    @staticmethod
+    def _classify(
+        value: ast.AST, local_functions: Set[str], factories: Set[str]
+    ) -> "str | None":
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.Name) and value.id in local_functions:
+            return f"the local closure {value.id!r}"
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name):
+                if func.id == "open":
+                    return "an open file handle"
+                if func.id in local_functions:
+                    return f"the result of local closure {func.id!r}"
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "threading"
+                    and func.attr in _THREADING_PRIMITIVES
+                ):
+                    return f"a threading.{func.attr}"
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "self"
+                    and func.attr in factories
+                ):
+                    return (
+                        f"a closure built by factory method {func.attr!r}"
+                    )
+        return None

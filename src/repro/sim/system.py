@@ -11,19 +11,20 @@ measured window produces a :class:`repro.sim.metrics.RunMetrics`.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from repro.baselines.cameo import CameoHmc
 from repro.baselines.mempod import MemPodHmc
 from repro.baselines.pom import PomHmc
 from repro.common.config import CheckConfig, FaultConfig, SystemConfig
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, SimulationError
 from repro.common.stats import StatsRegistry
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.hmc import PageSeerHmc
 from repro.sim.cpu import Core
 from repro.sim.hmc_base import HmcBase, NoSwapHmc, RequestKind
 from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.snapshot.stream import ReplayStream
 from repro.vm.mmu import Mmu
 from repro.vm.os_model import OsModel
 from repro.vm.walker import PageWalkCache, PageWalker
@@ -36,6 +37,41 @@ SCHEMES: Dict[str, Type[HmcBase]] = {
     "cameo": CameoHmc,
     "noswap": NoSwapHmc,
 }
+
+
+class RunProgress:
+    """Where a :meth:`System.run` call is in its phase sequence.
+
+    Persisted inside checkpoints so a restored system can finish the
+    interrupted ``run()`` with identical semantics: ``targets`` are
+    *absolute* per-core op counts for the current phase (warm-up or
+    measure), and the measurement baselines are captured once at the
+    warm-up/measure boundary, exactly as the uninterrupted path does.
+    """
+
+    __slots__ = (
+        "measure_ops",
+        "warmup_ops",
+        "phase",
+        "targets",
+        "baseline_instr",
+        "baseline_clock",
+    )
+
+    def __init__(self, measure_ops: int, warmup_ops: int):
+        self.measure_ops = measure_ops
+        self.warmup_ops = warmup_ops
+        #: "warmup" -> "measure" -> "done".
+        self.phase = "warmup"
+        self.targets: List[int] = []
+        self.baseline_instr: List[int] = []
+        self.baseline_clock: List[float] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"RunProgress(phase={self.phase!r}, measure={self.measure_ops}, "
+            f"warmup={self.warmup_ops}, targets={self.targets})"
+        )
 
 
 class System:
@@ -54,6 +90,15 @@ class System:
         self.hierarchy = CacheHierarchy(config, self.stats)
         self.cores: List[Core] = []
         self._build_cores()
+        #: Operations executed across all cores since construction; the
+        #: checkpoint machinery uses it as a deterministic position marker.
+        self.steps_total = 0
+        #: The phase machine of an in-flight :meth:`run`, or None outside
+        #: one.  Travels inside checkpoints so ``resume_run`` can finish.
+        self.progress: Optional[RunProgress] = None
+        #: An armed :class:`repro.snapshot.hooks.Checkpointer`, or None.
+        #: Never serialized (detached around every checkpoint write).
+        self.checkpointer = None
         #: The runtime sanitizer (``repro.check``), or None at level "off".
         #: None means *nothing* was wrapped: the hot path is untouched.
         self.checker = None
@@ -78,7 +123,7 @@ class System:
                 mmu_hint=self.hmc.mmu_hint if use_hints else None,
             )
             mmu = Mmu(core_id, self.config, walker, self.stats)
-            stream = self.workload.make_stream(core_id, self.config.seed, self.scale)
+            stream = ReplayStream(self.workload, core_id, self.config.seed, self.scale)
             self.cores.append(
                 Core(
                     core_id,
@@ -108,52 +153,120 @@ class System:
 
     # -- driving --------------------------------------------------------------
     # repro-hot
-    def run_ops(self, ops_per_core: int) -> None:
-        """Advance every core by *ops_per_core* operations in time order.
+    def _run_to_targets(self, targets: Sequence[int]) -> None:
+        """Advance cores in time order until each hits its absolute target.
 
         Scheduling is a heap keyed on ``(clock, core_id)``: the core with
         the smallest local clock steps next, and equal clocks are broken
         by core id — explicitly, so the interleaving is deterministic and
         independent of how the ready set happens to be ordered in memory.
+
+        The heap is a pure function of (cores, targets): every live core
+        below its target is in it, keyed by unique ``(clock, core_id)``.
+        That is what makes mid-loop checkpoints bit-identical on resume —
+        the restored process rebuilds the heap from the restored cores and
+        pops in exactly the order this process would have.  The
+        checkpointer is therefore polled at the one safe point per step,
+        after the core stepped and was re-queued.
         """
-        targets = [core.ops_executed + ops_per_core for core in self.cores]
         heap = [
             (core.clock, core.core_id, core)
-            for core, target in zip(self.cores, targets)
-            if not core.done and core.ops_executed < target
+            for core in self.cores
+            if not core.done and core.ops_executed < targets[core.core_id]
         ]
         heapq.heapify(heap)
         heappush = heapq.heappush
         heappop = heapq.heappop
+        ckpt = self.checkpointer
+        steps = self.steps_total
         while heap:
             _, core_id, core = heappop(heap)
             core.step()
+            steps += 1
             if not core.done and core.ops_executed < targets[core_id]:
                 heappush(heap, (core.clock, core_id, core))
+            if ckpt is not None:
+                self.steps_total = steps
+                ckpt.on_step(self)
+        self.steps_total = steps
 
-    def run(self, measure_ops: int, warmup_ops: int = 0) -> RunMetrics:
-        """Warm up, reset statistics, run the measured window, and report."""
-        if warmup_ops > 0:
-            self.run_ops(warmup_ops)
+    def run_ops(self, ops_per_core: int) -> None:
+        """Advance every core by *ops_per_core* operations in time order.
+
+        This window is not resumable on its own: checkpoints taken here
+        restore mid-window, but only :meth:`run` records enough phase
+        state (:class:`RunProgress`) for :meth:`resume_run` to finish a
+        full warm-up/measure sequence.
+        """
+        self._run_to_targets([core.ops_executed + ops_per_core for core in self.cores])
+
+    def _enter_measure(self) -> None:
+        """Cross the warm-up/measure boundary: reset stats, take baselines."""
+        progress = self.progress
         self.stats.reset()
-        baseline_instr = [core.instructions for core in self.cores]
-        baseline_clock = [core.clock for core in self.cores]
+        progress.baseline_instr = [core.instructions for core in self.cores]
+        progress.baseline_clock = [core.clock for core in self.cores]
+        progress.targets = [
+            core.ops_executed + progress.measure_ops for core in self.cores
+        ]
+        progress.phase = "measure"
 
-        self.run_ops(measure_ops)
+    def _advance(self) -> RunMetrics:
+        """Drive the :class:`RunProgress` phase machine to completion."""
+        progress = self.progress
+        if progress.phase == "warmup":
+            self._run_to_targets(progress.targets)
+            self._enter_measure()
+        if progress.phase == "measure":
+            self._run_to_targets(progress.targets)
+            progress.phase = "done"
+
         end_time = max(core.now for core in self.cores)
         self.hmc.finalize(end_time)
         if self.checker is not None:
             self.checker.finalize(end_time)
 
         instructions = [
-            core.instructions - base for core, base in zip(self.cores, baseline_instr)
+            core.instructions - base
+            for core, base in zip(self.cores, progress.baseline_instr)
         ]
         cycles = [
-            core.clock - base for core, base in zip(self.cores, baseline_clock)
+            core.clock - base
+            for core, base in zip(self.cores, progress.baseline_clock)
         ]
         return collect_metrics(
             self, instructions_per_core=instructions, cycles_per_core=cycles
         )
+
+    def run(self, measure_ops: int, warmup_ops: int = 0) -> RunMetrics:
+        """Warm up, reset statistics, run the measured window, and report."""
+        progress = RunProgress(measure_ops=measure_ops, warmup_ops=warmup_ops)
+        self.progress = progress
+        if warmup_ops > 0:
+            progress.targets = [
+                core.ops_executed + warmup_ops for core in self.cores
+            ]
+        else:
+            self._enter_measure()
+        return self._advance()
+
+    def resume_run(self) -> RunMetrics:
+        """Finish a :meth:`run` restored from a checkpoint.
+
+        Produces the metrics the interrupted process would have: the
+        remaining warm-up and/or measured ops execute in the identical
+        order (see :meth:`_run_to_targets`), against the restored stats
+        and baselines.
+        """
+        if self.progress is None:
+            raise SimulationError(
+                "nothing to resume: this system has no run in progress"
+            )
+        if self.progress.phase == "done":
+            raise SimulationError(
+                "nothing to resume: the checkpointed run already completed"
+            )
+        return self._advance()
 
 
 def build_system(

@@ -1,0 +1,35 @@
+"""Crash-safe checkpoint/restore for live simulations.
+
+See ``docs/CHECKPOINTS.md`` for the file format, the determinism
+guarantee (restore is bit-identical to an uninterrupted run), and the
+sweep watchdog built on top of this package.
+"""
+
+from repro.common.errors import CheckpointError, CheckpointInterrupt
+from repro.snapshot.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    LATEST_NAME,
+    load_checkpoint,
+    read_checkpoint_header,
+    save_checkpoint,
+)
+from repro.snapshot.codec import register_codec
+from repro.snapshot.hooks import HEARTBEAT_NAME, Checkpointer
+from repro.snapshot.signals import EXIT_CHECKPOINTED, SignalGuard
+from repro.snapshot.stream import ReplayStream
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointInterrupt",
+    "Checkpointer",
+    "EXIT_CHECKPOINTED",
+    "HEARTBEAT_NAME",
+    "LATEST_NAME",
+    "ReplayStream",
+    "SignalGuard",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "register_codec",
+    "save_checkpoint",
+]

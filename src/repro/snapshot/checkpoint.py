@@ -1,0 +1,194 @@
+"""Checkpoint files: atomic, versioned, checksummed system snapshots.
+
+File layout (all little pieces are validated on load, in order)::
+
+    REPRO-CKPT v1\\n                  magic + format version, ASCII
+    {json header}\\n                  one line of metadata
+    <zlib-compressed pickle payload>  the System object graph
+
+The header records the format version again (the magic is for ``file``,
+the header for programs), a SHA-256 checksum and byte count of the
+compressed payload, and enough run context (scheme, workload, scale,
+seed, phase, progress) for ``repro resume`` to describe what it is about
+to continue without unpickling anything.
+
+Writes are crash-safe: the file is assembled in a same-directory temp
+file, fsynced, and moved into place with :func:`os.replace`, so a reader
+either sees the complete old checkpoint or the complete new one — never
+a torn file.  Any validation failure on load raises
+:class:`repro.common.errors.CheckpointError` with a message naming what
+was wrong (bad magic, version skew, checksum mismatch, truncation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Union
+
+from repro.common.errors import CheckpointError
+from repro.snapshot import codec
+
+#: Bump on any incompatible change to the payload encoding or header.
+CHECKPOINT_FORMAT_VERSION = 1
+
+MAGIC = b"REPRO-CKPT v1\n"
+
+#: Conventional file name for the rolling checkpoint of one run.
+LATEST_NAME = "latest.ckpt"
+
+
+@contextmanager
+def quiesced(system) -> Iterator[None]:
+    """Detach the system's process-local hooks for the pickle window.
+
+    The sanitizer wraps ``hmc.handle_request`` (and HPT event listeners)
+    in closures, and an armed :class:`repro.snapshot.hooks.Checkpointer`
+    holds signal state and open deadlines — none of which belong in a
+    checkpoint.  Both are detached around serialization and restored
+    before the simulation takes another step.
+    """
+    checker = system.checker
+    checkpointer = system.checkpointer
+    system.checkpointer = None
+    if checker is not None:
+        checker.snapshot_detach()
+    try:
+        yield
+    finally:
+        if checker is not None:
+            checker.snapshot_reattach()
+        system.checkpointer = checkpointer
+
+
+def _header_for(system, payload: bytes) -> Dict[str, object]:
+    progress = system.progress
+    return {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "checksum_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+        "scheme": system.scheme,
+        "workload": system.workload.name,
+        "scale": system.scale,
+        "seed": system.config.seed,
+        "cores": len(system.cores),
+        "steps_total": system.steps_total,
+        "phase": None if progress is None else progress.phase,
+        "ops_executed": [core.ops_executed for core in system.cores],
+        "check_level": system.config.check.level,
+        "faults_enabled": system.config.faults.enabled,
+    }
+
+
+def save_checkpoint(system, path: Union[str, Path]) -> Path:
+    """Serialize *system* to *path* atomically; returns the final path."""
+    with quiesced(system):
+        payload = zlib.compress(codec.dumps(system), 6)
+    header = _header_for(system, payload)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        with open(temp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(
+                json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+            )
+            handle.write(b"\n")
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    finally:
+        if temp.exists():
+            temp.unlink()
+    return path
+
+
+def _split(raw: bytes, path: Path):
+    if not raw.startswith(MAGIC[: len(b"REPRO-CKPT")]):
+        raise CheckpointError(f"{path}: not a repro checkpoint (bad magic)")
+    if not raw.startswith(MAGIC):
+        found = raw.split(b"\n", 1)[0].decode("ascii", "replace")
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format {found!r} "
+            f"(this build reads {MAGIC.decode().strip()!r})"
+        )
+    rest = raw[len(MAGIC):]
+    newline = rest.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"{path}: truncated checkpoint (no header)")
+    try:
+        header = json.loads(rest[:newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: unreadable header ({exc})") from exc
+    return header, rest[newline + 1:]
+
+
+def read_checkpoint_header(path: Union[str, Path]) -> Dict[str, object]:
+    """Return the validated metadata header without unpickling the state."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    header, payload = _split(raw, path)
+    _validate(header, payload, path)
+    return header
+
+
+def _validate(header: Dict[str, object], payload: bytes, path: Path) -> None:
+    version = header.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint format version {version} is not supported "
+            f"(this build reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    expected_bytes = header.get("payload_bytes")
+    if expected_bytes != len(payload):
+        raise CheckpointError(
+            f"{path}: truncated checkpoint "
+            f"(header promises {expected_bytes} payload bytes, found {len(payload)})"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("checksum_sha256"):
+        raise CheckpointError(
+            f"{path}: checksum mismatch (file corrupt or edited): "
+            f"header {header.get('checksum_sha256')}, payload {digest}"
+        )
+
+
+def load_checkpoint(path: Union[str, Path]):
+    """Restore a :class:`repro.sim.system.System` from *path*.
+
+    The restored system has its sanitizer hooks re-attached and no
+    checkpointer armed; call :meth:`System.resume_run` to continue the
+    interrupted run to completion.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    header, payload = _split(raw, path)
+    _validate(header, payload, path)
+    try:
+        blob = zlib.decompress(payload)
+    except zlib.error as exc:
+        raise CheckpointError(f"{path}: payload does not decompress ({exc})") from exc
+    system = codec.loads(blob)
+
+    from repro.sim.system import System
+
+    if not isinstance(system, System):
+        raise CheckpointError(
+            f"{path}: payload is a {type(system).__name__}, not a System"
+        )
+    system.checkpointer = None
+    if system.checker is not None:
+        system.checker.snapshot_reattach()
+    return system

@@ -1,0 +1,175 @@
+"""Serialization codecs for live simulator state.
+
+A running :class:`repro.sim.system.System` is *almost* a plain-data object
+graph: configs are frozen dataclasses, tables are dicts, timelines are
+``__slots__`` records, and RNG streams wrap :class:`random.Random` (which
+pickles its Mersenne state exactly).  Two kinds of members are not
+picklable, and this module supplies deterministic stand-ins for them:
+
+* **Bound stats handles** — the closures returned by
+  :meth:`repro.common.stats.StatsRegistry.counter` / ``observer``.  Each
+  handle carries its key and its owning registry as attributes, so the
+  pickler reduces it to ``(rebind, (registry, name))``; the registry
+  travels through pickle's memo, which guarantees the restored handle
+  records into the *same* restored registry every other component shares.
+* **Registered codecs** — any class can register an ``encode/decode`` pair
+  with :func:`register_codec` instead of implementing ``__getstate__``
+  (the route the RL006 lint rule checks for).
+
+Anything else that is unpicklable (a stray lambda, an open file, a
+generator that slipped past :class:`repro.snapshot.stream.ReplayStream`)
+fails loudly with a :class:`repro.common.errors.CheckpointError` naming
+the offending object, instead of pickle's anonymous ``Can't pickle``.
+
+Restoring is restricted: :class:`SnapshotUnpickler` only resolves classes
+from this package's allowlist of module prefixes, so a tampered
+checkpoint cannot smuggle in arbitrary constructors.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import sys
+import types
+from typing import Any, Callable, Dict, Tuple
+
+from repro.common.errors import CheckpointError
+from repro.common.stats import StatsRegistry
+
+#: Pinned pickle protocol: part of the checkpoint format, never implicit.
+PICKLE_PROTOCOL = 4
+
+#: Module prefixes the unpickler will resolve classes from.  Everything a
+#: System graph legitimately contains lives under these.
+SAFE_MODULE_PREFIXES = (
+    "repro.",
+    "builtins",
+    "collections",
+    "random",
+    "enum",
+    "copyreg",
+    "functools",
+    "pathlib",
+    "dataclasses",
+)
+
+#: type -> (encode, decode).  ``encode(obj)`` must return a picklable
+#: value; ``decode(value)`` rebuilds the live object.  Registration is the
+#: alternative to ``__getstate__`` recognised by the RL006 lint rule.
+_CODECS: Dict[type, Tuple[Callable[[Any], Any], Callable[[Any], Any]]] = {}
+
+
+def register_codec(
+    cls: type, encode: Callable[[Any], Any], decode: Callable[[Any], Any]
+) -> None:
+    """Register an encode/decode pair for *cls* (exact-type match)."""
+    _CODECS[cls] = (encode, decode)
+
+
+def _decode_registered(qualname: str, module: str, value: Any) -> Any:
+    """Unpickle-side half of a registered codec."""
+    for cls, (_, decode) in _CODECS.items():
+        if cls.__module__ == module and cls.__qualname__ == qualname:
+            return decode(value)
+    raise CheckpointError(
+        f"checkpoint references codec for {module}.{qualname}, "
+        f"which is not registered in this process"
+    )
+
+
+def _importable(func: types.FunctionType) -> bool:
+    """True when *func* is reachable as ``module.qualname`` (pickles by ref)."""
+    if "<locals>" in func.__qualname__ or "<lambda>" in func.__qualname__:
+        return False
+    target = sys.modules.get(func.__module__)
+    for part in func.__qualname__.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            return False
+    return target is func
+
+
+def _rebind_counter(registry: StatsRegistry, name: str):
+    return registry.counter(name)
+
+
+def _rebind_observer(registry: StatsRegistry, name: str):
+    return registry.observer(name)
+
+
+class SnapshotPickler(pickle.Pickler):
+    """A pickler that understands the simulator's live-object idioms."""
+
+    def reducer_override(self, obj):  # noqa: C901 - dispatch ladder
+        if isinstance(obj, types.FunctionType):
+            counter_name = getattr(obj, "counter_name", None)
+            if counter_name is not None:
+                return (_rebind_counter, (obj.registry, counter_name))
+            observer_name = getattr(obj, "observer_name", None)
+            if observer_name is not None:
+                return (_rebind_observer, (obj.registry, observer_name))
+            if _importable(obj):
+                # Module-level functions pickle by reference; only
+                # closures and lambdas have no stable name to restore by.
+                return NotImplemented
+            raise CheckpointError(
+                f"cannot checkpoint function {obj.__qualname__!r}: plain "
+                f"functions/closures in simulator state need a registered "
+                f"codec or a snapshot_detach hook (see docs/CHECKPOINTS.md)"
+            )
+        if isinstance(obj, types.GeneratorType):
+            raise CheckpointError(
+                f"cannot checkpoint live generator {obj.__name__!r}: wrap "
+                f"the stream in repro.snapshot.stream.ReplayStream so it "
+                f"can be rebuilt and fast-forwarded deterministically"
+            )
+        codec = _CODECS.get(type(obj))
+        if codec is not None:
+            encode, _ = codec
+            cls = type(obj)
+            return (
+                _decode_registered,
+                (cls.__qualname__, cls.__module__, encode(obj)),
+            )
+        return NotImplemented
+
+
+class SnapshotUnpickler(pickle.Unpickler):
+    """An unpickler restricted to the simulator's own modules."""
+
+    def find_class(self, module: str, name: str):
+        if not any(
+            module == prefix or module.startswith(prefix)
+            for prefix in SAFE_MODULE_PREFIXES
+        ):
+            raise CheckpointError(
+                f"checkpoint references disallowed class {module}.{name}"
+            )
+        return super().find_class(module, name)
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialize *obj* with the snapshot codecs; raises CheckpointError."""
+    buffer = io.BytesIO()
+    try:
+        SnapshotPickler(buffer, protocol=PICKLE_PROTOCOL).dump(obj)
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"state graph is not serializable: {type(exc).__name__}: {exc}"
+        ) from exc
+    return buffer.getvalue()
+
+
+def loads(payload: bytes) -> Any:
+    """Deserialize a :func:`dumps` payload; raises CheckpointError."""
+    try:
+        return SnapshotUnpickler(io.BytesIO(payload)).load()
+    except CheckpointError:
+        raise
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint payload is corrupt: {type(exc).__name__}: {exc}"
+        ) from exc

@@ -1,0 +1,110 @@
+"""Run-time checkpoint triggers.
+
+A :class:`Checkpointer` is armed on a :class:`repro.sim.system.System`
+before ``run``/``resume_run`` and is polled once per executed operation
+(``system.steps_total``) from inside the scheduler loop — *after* the
+core has stepped and been re-queued, which is the one point where the
+entire state graph is between operations and the heap can be rebuilt
+bit-identically on restore.  It fires on three conditions:
+
+* **cut points** — an explicit, sorted list of absolute step counts;
+  each writes a separate ``cut_<steps>.ckpt`` (golden bit-identity tests
+  restore from these),
+* **periodic** — every N steps, refreshing the rolling ``latest.ckpt``,
+* **pending signal** — the :class:`repro.snapshot.signals.SignalGuard`
+  flag; writes one final ``latest.ckpt`` and raises
+  :class:`repro.common.errors.CheckpointInterrupt` to unwind the run.
+
+It also touches a heartbeat file (mtime = liveness) at most once per
+``heartbeat_seconds`` so the sweep watchdog can tell "slow" from "hung".
+Wall-clock use is fine here: this package is deliberately outside the
+simulator packages the RL001 determinism lint patrols, and nothing the
+heartbeat does feeds back into simulated state.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.common.errors import CheckpointInterrupt
+from repro.snapshot.checkpoint import LATEST_NAME, save_checkpoint
+from repro.snapshot.signals import SignalGuard
+
+#: Steps between heartbeat wall-clock reads (a time() syscall per step
+#: would be measurable on the hot path; one per mask window is not).
+_HEARTBEAT_MASK = 0xFF
+
+HEARTBEAT_NAME = "heartbeat"
+
+
+class Checkpointer:
+    """Writes checkpoints for one run into one directory."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        every_ops: int = 0,
+        cut_points: Sequence[int] = (),
+        heartbeat_seconds: float = 0.0,
+        signals: Optional[SignalGuard] = None,
+    ):
+        self.directory = Path(directory)
+        self.every_ops = int(every_ops)
+        self.cut_points: List[int] = sorted(int(c) for c in cut_points)
+        self.heartbeat_seconds = float(heartbeat_seconds)
+        self.signals = signals
+        self.latest_path = self.directory / LATEST_NAME
+        self.heartbeat_path = self.directory / HEARTBEAT_NAME
+        #: Paths written, in order (cut files and latest refreshes).
+        self.written: List[Path] = []
+        self._next_due: Optional[int] = None
+        self._next_heartbeat = 0.0
+        self._finalized = False
+
+    def arm(self, system) -> None:
+        """Attach to *system* and schedule the first periodic write."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.every_ops > 0:
+            self._next_due = system.steps_total + self.every_ops
+        if self.heartbeat_seconds > 0:
+            self._touch_heartbeat()
+        system.checkpointer = self
+
+    def _touch_heartbeat(self) -> None:
+        self.heartbeat_path.touch()
+        self._next_heartbeat = time.monotonic() + self.heartbeat_seconds
+
+    def _write(self, system, path: Path) -> Path:
+        final = save_checkpoint(system, path)
+        self.written.append(final)
+        return final
+
+    def on_step(self, system) -> None:
+        """Poll triggers; called once per executed op at the safe point."""
+        steps = system.steps_total
+        signals = self.signals
+        if signals is not None and signals.pending:
+            self._finalize(system, signals.signum)
+        while self.cut_points and steps >= self.cut_points[0]:
+            cut = self.cut_points.pop(0)
+            self._write(system, self.directory / f"cut_{cut}.ckpt")
+        if self._next_due is not None and steps >= self._next_due:
+            self._next_due = steps + self.every_ops
+            self._write(system, self.latest_path)
+        if self.heartbeat_seconds > 0 and steps & _HEARTBEAT_MASK == 0:
+            if time.monotonic() >= self._next_heartbeat:
+                self._touch_heartbeat()
+
+    def _finalize(self, system, signum) -> None:
+        if self._finalized:  # second poll after an already-handled signal
+            raise CheckpointInterrupt(path=self.latest_path, signum=signum)
+        self._finalized = True
+        path = self._write(system, self.latest_path)
+        raise CheckpointInterrupt(path=path, signum=signum)
+
+    def finalize_now(self, system) -> Path:
+        """Write a final ``latest.ckpt`` outside the step loop (no raise)."""
+        self._finalized = True
+        return self._write(system, self.latest_path)

@@ -1,0 +1,311 @@
+"""End-to-end checkpoint/restore determinism and supervision tests.
+
+The contract under test (docs/CHECKPOINTS.md): a run interrupted at any
+point and restored — even in a *fresh process* — finishes with metrics
+bit-identical to the uninterrupted run.  The 12 pinned goldens provide
+the uninterrupted references; each is re-run with two interior cut
+points (one during warm-up, one mid-measurement) and both cuts are
+restored in a subprocess and driven to completion.
+
+Also covered here: the CLI signal protocol (SIGINT/SIGTERM write one
+final checkpoint and exit 75; a second signal force-quits), the fault
+matrix's "worker SIGKILLed mid-run, resumed, digest identical" row, and
+the sweep supervisor's watchdog + resume behaviour.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.check.golden import (
+    GOLDEN_SIZING,
+    golden_matrix,
+    load_golden,
+    metrics_payload,
+    payload_digest,
+)
+from repro.common.config import CheckConfig, FaultConfig
+from repro.experiments.runner import _METRIC_FIELDS, VARIANTS, ExperimentRunner
+from repro.experiments.supervisor import SweepSupervisor
+from repro.snapshot import Checkpointer, load_checkpoint
+from repro.workloads import workload_by_name
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+#: Interior cut points, in scheduler steps.  At GOLDEN_SIZING (400+400
+#: ops/core, 4 cores) a full run is 3200 steps and warm-up ends at 1600:
+#: the first cut lands mid-warm-up, the second mid-measurement.
+WARMUP_CUT = 500
+MEASURE_CUT = 2000
+
+_RESTORE_SCRIPT = """\
+import sys
+from repro.check.golden import metrics_payload, payload_digest
+from repro.snapshot import load_checkpoint
+
+for path in sys.argv[1:]:
+    system = load_checkpoint(path)
+    metrics = system.resume_run()
+    print(payload_digest(metrics_payload(metrics)))
+"""
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def _golden_system(scheme, workload, variant):
+    """The exact system run_golden_entry builds (sanitizer at full)."""
+    from repro.sim.system import build_system
+
+    def mutate(config):
+        config = VARIANTS[variant](config)
+        return dataclasses.replace(config, check=CheckConfig(level="full"))
+
+    return build_system(
+        scheme,
+        workload_by_name(workload),
+        scale=GOLDEN_SIZING["scale"],
+        seed=GOLDEN_SIZING["seed"],
+        config_mutator=mutate,
+    )
+
+
+def _metric_dict(metrics):
+    return {name: getattr(metrics, name) for name in _METRIC_FIELDS}
+
+
+def _wait_for(path: Path, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not path.exists():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"{path} did not appear within {timeout}s")
+        time.sleep(0.01)
+
+
+# -- the cut-point matrix -----------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme,workload,variant", golden_matrix())
+def test_fresh_process_restore_matches_golden(scheme, workload, variant, tmp_path):
+    """Every golden, interrupted at two interior cuts and restored in a
+    fresh interpreter, must reproduce its pinned digest bit-for-bit."""
+    document = load_golden(GOLDEN_DIR, scheme, workload, variant)
+    assert document is not None, "golden files missing; run `repro golden --update`"
+
+    system = _golden_system(scheme, workload, variant)
+    Checkpointer(tmp_path, cut_points=[WARMUP_CUT, MEASURE_CUT]).arm(system)
+    metrics = system.run(GOLDEN_SIZING["measure_ops"], GOLDEN_SIZING["warmup_ops"])
+
+    # Checkpointing itself must not perturb the simulation.
+    assert payload_digest(metrics_payload(metrics)) == document["digest"]
+
+    cuts = [tmp_path / f"cut_{WARMUP_CUT}.ckpt", tmp_path / f"cut_{MEASURE_CUT}.ckpt"]
+    for cut in cuts:
+        assert cut.exists()
+    completed = subprocess.run(
+        [sys.executable, "-c", _RESTORE_SCRIPT, *map(str, cuts)],
+        capture_output=True, text=True, timeout=300,
+        env=_subprocess_env(), cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, completed.stderr
+    digests = completed.stdout.split()
+    assert digests == [document["digest"]] * len(cuts), (
+        f"restored run diverged from uninterrupted reference "
+        f"({scheme}/{workload}/{variant}): {digests} "
+        f"vs pinned {document['digest']}"
+    )
+
+
+# -- CLI signal protocol ------------------------------------------------------
+
+
+def _launch_cli_run(checkpoint_dir: Path, *extra: str) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "run",
+            "--scheme", "pageseer", "--workload", "lbmx4",
+            "--scale", "1024", "--warmup-ops", "1000",
+            "--measure-ops", "50000", "--checkpoint-every", "400",
+            "--checkpoint-dir", str(checkpoint_dir), *extra,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_subprocess_env(), cwd=REPO_ROOT,
+    )
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_signal_writes_final_checkpoint_and_exit_75(tmp_path, signum):
+    checkpoint_dir = tmp_path / "ck"
+    process = _launch_cli_run(checkpoint_dir)
+    _wait_for(checkpoint_dir / "latest.ckpt")
+    process.send_signal(signum)
+    _, stderr = process.communicate(timeout=60)
+    assert process.returncode == 75, stderr
+    assert f"interrupted by signal {int(signum)}" in stderr
+    assert "resume with: python -m repro run --resume" in stderr
+    assert (checkpoint_dir / "latest.ckpt").exists()
+
+    # The advertised resume command completes the run cleanly.
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro", "run",
+         "--resume", str(checkpoint_dir / "latest.ckpt")],
+        capture_output=True, text=True, timeout=300,
+        env=_subprocess_env(), cwd=REPO_ROOT,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "resuming pageseer on lbmx4" in resumed.stdout
+
+
+def test_second_signal_force_quits(tmp_path):
+    checkpoint_dir = tmp_path / "ck"
+    process = _launch_cli_run(checkpoint_dir)
+    _wait_for(checkpoint_dir / "latest.ckpt")
+    # Two signals back-to-back: both are pending before the run loop can
+    # finalize, so the second handler invocation must force-exit with the
+    # conventional 128+signum status.
+    process.send_signal(signal.SIGINT)
+    process.send_signal(signal.SIGTERM)
+    process.communicate(timeout=60)
+    assert process.returncode == 128 + signal.SIGTERM
+
+
+def test_resume_scheme_mismatch_is_rejected(tmp_path):
+    system = _golden_system("pom", "lbmx4", "default")
+    system.run_ops(50)
+    from repro.snapshot import save_checkpoint
+
+    path = save_checkpoint(system, tmp_path / "pom.ckpt")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "run",
+         "--scheme", "pageseer", "--resume", str(path)],
+        capture_output=True, text=True, timeout=120,
+        env=_subprocess_env(), cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 2
+    assert "contradicts" in completed.stderr
+
+
+# -- fault matrix: SIGKILL mid-run --------------------------------------------
+
+
+_KILLABLE_SCRIPT = """\
+import dataclasses, sys
+from pathlib import Path
+from repro.check.golden import GOLDEN_SIZING
+from repro.common.config import CheckConfig
+from repro.experiments.runner import VARIANTS
+from repro.sim.system import build_system
+from repro.snapshot import Checkpointer
+from repro.workloads import workload_by_name
+
+def mutate(config):
+    config = VARIANTS["default"](config)
+    return dataclasses.replace(config, check=CheckConfig(level="full"))
+
+system = build_system(
+    "pageseer", workload_by_name("lbmx4"),
+    scale=GOLDEN_SIZING["scale"], seed=GOLDEN_SIZING["seed"],
+    config_mutator=mutate,
+)
+Checkpointer(Path(sys.argv[1]), every_ops=200).arm(system)
+system.run(GOLDEN_SIZING["measure_ops"], GOLDEN_SIZING["warmup_ops"])
+"""
+
+
+def test_sigkill_mid_run_resume_digest_identical(tmp_path):
+    """The fault-matrix row: worker SIGKILLed mid-run, resumed from its
+    last checkpoint, final digest identical to the uninterrupted run."""
+    document = load_golden(GOLDEN_DIR, "pageseer", "lbmx4", "default")
+    assert document is not None
+    process = subprocess.Popen(
+        [sys.executable, "-c", _KILLABLE_SCRIPT, str(tmp_path)],
+        env=_subprocess_env(), cwd=REPO_ROOT,
+    )
+    _wait_for(tmp_path / "latest.ckpt")
+    process.kill()  # SIGKILL: no handler, no final checkpoint, no cleanup
+    process.wait(timeout=60)
+    assert process.returncode == -signal.SIGKILL
+
+    system = load_checkpoint(tmp_path / "latest.ckpt")
+    metrics = system.resume_run()
+    assert payload_digest(metrics_payload(metrics)) == document["digest"]
+
+
+# -- supervised sweeps --------------------------------------------------------
+
+
+def _runner(tmp_path, **kwargs):
+    kwargs.setdefault("scale", GOLDEN_SIZING["scale"])
+    kwargs.setdefault("measure_ops", GOLDEN_SIZING["measure_ops"])
+    kwargs.setdefault("warmup_ops", GOLDEN_SIZING["warmup_ops"])
+    kwargs.setdefault("seed", GOLDEN_SIZING["seed"])
+    kwargs.setdefault("worker_check_level", "off")
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    return ExperimentRunner(**kwargs)
+
+
+def test_watchdog_recovers_stalled_worker(tmp_path):
+    """A worker wedged mid-run (no heartbeat) is killed and its relaunch
+    resumes from the checkpoint — and the result is unaffected."""
+    request = ("pageseer", "lbmx4", "default")
+    faults = FaultConfig(
+        enabled=True, worker_stall_rate=1.0, worker_stall_seconds=60.0
+    )
+    runner = _runner(tmp_path, faults=faults)
+    supervisor = SweepSupervisor(
+        runner, tmp_path / "sweep",
+        checkpoint_every=300, heartbeat_seconds=0.1,
+        stall_timeout=2.0, poll_seconds=0.05,
+    )
+    start = time.monotonic()
+    results = supervisor.run([request], jobs=1)
+    elapsed = time.monotonic() - start
+
+    assert supervisor.kills >= 1, "watchdog never fired"
+    assert supervisor.resumes.get(request, 0) >= 1, "retry did not resume"
+    assert elapsed < 40.0, "watchdog waited out the stall instead of killing"
+
+    # Stalls affect liveness only: metrics equal a plain unsupervised run.
+    reference = _runner(
+        tmp_path, cache_dir=tmp_path / "cache_ref"
+    ).run(*request)
+    assert _metric_dict(results[request]) == _metric_dict(reference)
+
+
+def test_sweep_resume_skips_completed_requests(tmp_path):
+    requests = [("pageseer", "lbmx4", "default"), ("mempod", "streamx4", "default")]
+    root = tmp_path / "sweep"
+    first = SweepSupervisor(
+        _runner(tmp_path), root, heartbeat_seconds=0.1, poll_seconds=0.05
+    ).run(requests, jobs=2)
+    assert set(first) == set(requests)
+
+    manifest = json.loads((root / "manifest.json").read_text())
+    assert manifest["manifest_version"] == 1
+    assert sorted(manifest["completed"]) == sorted(
+        "/".join(request) for request in requests
+    )
+
+    # A fresh supervisor (fresh runner, same cache + manifest) resumes the
+    # sweep without relaunching any worker for the completed requests.
+    resumer = SweepSupervisor(
+        _runner(tmp_path), root, heartbeat_seconds=0.1, poll_seconds=0.05
+    )
+    second = resumer.resume(jobs=2)
+    assert resumer.attempts == {}, "completed requests were re-run"
+    assert {
+        request: _metric_dict(metrics) for request, metrics in second.items()
+    } == {
+        request: _metric_dict(metrics) for request, metrics in first.items()
+    }

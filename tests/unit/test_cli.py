@@ -10,9 +10,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_run_requires_scheme(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--workload", "lbmx4"])
+    def test_run_requires_scheme_unless_resuming(self, capsys):
+        # --scheme/--workload are optional at parse time (a --resume run
+        # takes both from the checkpoint header) but required without it.
+        args = build_parser().parse_args(["run", "--workload", "lbmx4"])
+        assert args.scheme is None
+        assert main(["run", "--workload", "lbmx4"]) == 2
+        assert "--scheme and --workload are required" in capsys.readouterr().err
 
     def test_run_rejects_unknown_scheme(self):
         with pytest.raises(SystemExit):

@@ -123,9 +123,12 @@ class _StubSystem:
     """Bare ``cores`` holder to drive ``System.run_ops`` in isolation."""
 
     run_ops = System.run_ops
+    _run_to_targets = System._run_to_targets
 
     def __init__(self, cores):
         self.cores = cores
+        self.checkpointer = None
+        self.steps_total = 0
 
 
 class TestSchedulerTieBreaking:
