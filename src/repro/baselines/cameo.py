@@ -85,10 +85,9 @@ class CameoHmc(HmcBase):
             self._remap_fill(line_spa)
 
         slot = self._slot(line_spa)
-        result = self.mem_access(
+        finish = self.mem_access_finish(
             t, slot, is_write, bulk=kind is RequestKind.WRITEBACK
         )
-        finish = result.finish
         serviced = "dram" if slot < self.fast_lines else "nvm"
         self.account_service(now, finish, page, serviced, kind)
 

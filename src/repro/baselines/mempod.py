@@ -185,10 +185,9 @@ class MemPodHmc(HmcBase):
         actual_line = slot * self.lines_per_segment + (
             line_spa % self.lines_per_segment
         )
-        result = self.mem_access(
+        finish = self.mem_access_finish(
             t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
         )
-        finish = result.finish
         if in_flight_end is not None and in_flight_end > finish:
             finish = in_flight_end
             self.stats.add("mempod/waits_for_migration")

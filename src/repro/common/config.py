@@ -17,6 +17,8 @@ unchanged.  See DESIGN.md Section 5.
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field, replace
 
 from repro.common.addr import Bytes
@@ -375,6 +377,12 @@ class MemPodConfig:
         )
 
 
+#: Execution engines for the simulation loop.  ``scalar`` is the one-op-
+#: at-a-time reference scheduler; ``batched`` drains independent ops in
+#: bulk between swap/translation/fault/checkpoint events and must stay
+#: bit-identical to ``scalar`` (tests/integration/test_engine_equivalence).
+ENGINES = ("scalar", "batched")
+
 #: Valid sanitizer levels, in increasing strictness/cost.
 CHECK_LEVELS = ("off", "invariants", "full")
 
@@ -511,6 +519,10 @@ class SystemConfig:
     mempod: MemPodConfig = field(default_factory=MemPodConfig)
     #: When False, channel/bank contention is ignored (Section V-A mode).
     model_contention: bool = True
+    #: Simulation-loop engine: ``batched`` (default) or ``scalar``.  The
+    #: two are bit-identical by contract; ``scalar`` remains as the
+    #: reference implementation and differential-testing oracle.
+    engine: str = "batched"
     seed: int = 0
     #: Runtime sanitizer configuration (``repro.check``).
     check: CheckConfig = field(default_factory=CheckConfig)
@@ -520,6 +532,10 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.cores <= 0:
             raise ConfigError("need at least one core")
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; pick from {ENGINES}"
+            )
 
     def with_cores(self, cores: int) -> "SystemConfig":
         """Return a copy running *cores* cores (Table III varies this)."""
@@ -574,8 +590,19 @@ class SystemConfig:
 def default_system_config(
     scale: int = 64, cores: int = 4, seed: int = 0, model_contention: bool = True
 ) -> SystemConfig:
-    """Return the Table I system, optionally scaled down by *scale*."""
-    config = SystemConfig(cores=cores, seed=seed, model_contention=model_contention)
+    """Return the Table I system, optionally scaled down by *scale*.
+
+    The ``REPRO_ENGINE`` environment variable overrides the simulation
+    engine default (``batched``) — the hook CI's engine matrix uses to
+    run the whole test suite under ``scalar`` without touching every
+    ``build_system`` call site.  Invalid values fail SystemConfig
+    validation immediately.
+    """
+    engine = os.environ.get("REPRO_ENGINE", "").strip()
+    kwargs = {"engine": engine} if engine else {}
+    config = SystemConfig(
+        cores=cores, seed=seed, model_contention=model_contention, **kwargs
+    )
     if scale != 1:
         config = config.scaled(scale)
     return replace(config, seed=seed, model_contention=model_contention)

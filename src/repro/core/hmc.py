@@ -27,7 +27,7 @@ from repro.core.swap_driver import (
     TRIGGER_REGULAR,
 )
 from repro.mem.swap_buffer import SwapBufferPool
-from repro.sim.hmc_base import HmcBase, RequestKind
+from repro.sim.hmc_base import HmcBase, RequestKind, _REQUEST_KIND_KEYS
 from repro.vm.os_model import OsModel
 
 #: Table II entry sizes (bytes), used to size the in-DRAM metadata region.
@@ -106,6 +106,13 @@ class PageSeerHmc(HmcBase):
         self._hpt_latency = ps.hpt_latency_cycles
         self._filter_latency = ps.filter_latency_cycles
         self._correlation = ps.correlation_enabled
+        # With no fault recovery armed, handle_request picks the device
+        # itself (one range compare the MainMemory router would repeat)
+        # and calls its access_finish directly.
+        self._fast_mem = self.fault_recovery is None
+        self._dram_dev = self.memory.dram
+        self._nvm_dev = self.memory.nvm
+        self._nvm_line_base = config.memory.dram_pages * LINES_PER_PAGE
 
     # -- metadata key spaces --------------------------------------------------
     def _prt_key(self, colour: int) -> int:
@@ -124,16 +131,50 @@ class PageSeerHmc(HmcBase):
         pid: int,
         kind: RequestKind = RequestKind.DEMAND,
     ) -> int:
-        page = line_spa // LINES_PER_PAGE
-        colour = self.prt.colour_of(page)
+        """Service one LLC-miss line request; returns the finish time.
 
-        # PRTc: on the critical path of every request.
+        This body is the controller's Figure 2 pipeline in one pass, with
+        the hit paths of every structure on it — PRTc probe, Swap Driver
+        probe, PRT location lookup, serviced-request accounting, HPT
+        touch, PCTc probe — inlined over the structures' own state (the
+        miss/decay/eviction paths escape to the owning classes, whose
+        methods stay the single source of truth for those transitions).
+        The inlined forms replicate the methods' mutations exactly, in
+        the same order; the scalar/batched goldens and the equivalence
+        suite pin that, and docs/PERFORMANCE.md explains why the request
+        path is flattened this way.
+        """
+        page = line_spa // LINES_PER_PAGE
+        prt = self.prt
+        colour = page % prt.num_colours
+        stats = self.stats
+        counters = stats._counters
+        fast_mem = self._fast_mem
+
+        # PRTc: on the critical path of every request (PrtCache.lookup,
+        # inlined; the miss path fetches the set from in-DRAM metadata —
+        # metadata lines live in reserved DRAM pages, so the fast-memory
+        # case goes straight to the DRAM device).
         t = now + self._prtc_latency
-        if not self.prtc.lookup(colour):
-            fill_done = self.metadata_access(t, self._prt_key(colour))
-            self.record_remap_wait(fill_done - t)
+        prtc = self.prtc
+        prtc_resident = prtc._resident
+        if colour in prtc_resident:
+            prtc_resident.move_to_end(colour)
+            prtc.hits += 1
+        else:
+            prtc.misses += 1
+            metadata_lines = self._metadata_lines
+            metadata_line = metadata_lines[colour % len(metadata_lines)]
+            if fast_mem:
+                fill_done = self._dram_dev.access_finish(t, metadata_line, False)
+            else:
+                fill_done = self.mem_access_finish(t, metadata_line, False)
+            counters["hmc/metadata_accesses"] += 1.0
+            if fill_done > t:
+                counters["hmc/remap_wait_cycles"] += fill_done - t
+                counters["hmc/remap_misses"] += 1.0
             t = fill_done
-            self.prtc.fill(colour)
+            prtc.fill(colour)
 
         line_offset = line_spa % LINES_PER_PAGE
         if self._partial_swaps:
@@ -142,12 +183,22 @@ class PageSeerHmc(HmcBase):
             )
 
         # Swap Driver look-up: in-flight pages are served from the buffers.
-        buffered = self.swap_driver.service_if_swapping(t, page)
+        # With no swap in flight only the purge clock needs touching
+        # (SwapDriver._purge's first statement); the full probe runs
+        # whenever any in-flight state could have expired.
+        swap_driver = self.swap_driver
+        if swap_driver._active or swap_driver._in_flight_ends:
+            buffered = swap_driver.service_if_swapping(t, page)
+        else:
+            if t > swap_driver.last_purge_time:
+                swap_driver.last_purge_time = t
+            buffered = None
+        residue = swap_driver.partial_residue
         if buffered is not None:
             finish = buffered
             serviced = "buffer"
             resident_dram = True
-        elif self._line_in_partial_residue(page, line_offset):
+        elif residue and (residue.get(page, 0) >> line_offset) & 1:
             # SILC-FM extension: this line was not moved by the partial
             # swap — serve it from the page's home location and migrate it
             # into the DRAM frame in the background.
@@ -155,61 +206,142 @@ class PageSeerHmc(HmcBase):
             serviced = "nvm"
             resident_dram = True  # the page (frame) is DRAM-resident
         else:
-            location = self.prt.location_of(page)
-            actual_line = location * LINES_PER_PAGE + line_offset
-            result = self.mem_access(
-                t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
-            )
-            finish = result.finish
+            # PRT location lookup (location_of, inlined; the maps hold an
+            # involution, so a missing partner means "at home").
+            if page < self.dram_pages:
+                location = prt._dram_to_nvm.get(page, page)
+            else:
+                location = prt._nvm_to_dram.get(page, page)
             resident_dram = location < self.dram_pages
+            actual_line = location * LINES_PER_PAGE + line_offset
+            bulk = kind is RequestKind.WRITEBACK
+            if fast_mem:
+                if resident_dram:
+                    finish = self._dram_dev.access_finish(
+                        t, actual_line, is_write, bulk
+                    )
+                else:
+                    finish = self._nvm_dev.access_finish(
+                        t, actual_line - self._nvm_line_base, is_write, bulk
+                    )
+            else:
+                finish = self.mem_access_finish(t, actual_line, is_write, bulk)
             serviced = "dram" if resident_dram else "nvm"
 
-        self.account_service(now, finish, page, serviced, kind)
+        # Serviced-request accounting (HmcBase.account_service, inlined
+        # against the live stats dicts; reset() clears them in place, so
+        # the references stay valid across the measure boundary).
+        self._total_serviced += 1
+        if serviced == "dram":
+            self._dram_serviced += 1
+            counters["hmc/serviced_dram"] += 1.0
+        elif serviced == "nvm":
+            counters["hmc/serviced_nvm"] += 1.0
+        else:
+            counters["hmc/serviced_buffer"] += 1.0
+        counters[_REQUEST_KIND_KEYS[kind]] += 1.0
+        if kind is not RequestKind.WRITEBACK:
+            # AMMAT covers processor-visible requests; background
+            # write-backs drain asynchronously and would distort it.
+            ammat = finish - now
+            stats._sums["hmc/ammat"] += ammat
+            stats._counts["hmc/ammat"] += 1
+            previous = stats._maxima.get("hmc/ammat")
+            if previous is None or ammat > previous:
+                stats._maxima["hmc/ammat"] = ammat
+        if page >= self.dram_pages:
+            if serviced != "nvm":
+                counters["hmc/positive_accesses"] += 1.0
+            else:
+                counters["hmc/neutral_accesses"] += 1.0
+        elif serviced == "nvm":
+            counters["hmc/negative_accesses"] += 1.0
+        else:
+            counters["hmc/neutral_accesses"] += 1.0
+
         if serviced != "nvm" and page in self._prefetch_live:
             self._prefetch_live[page] += 1
 
         # Off the critical path: HPTs, PCTc, Filter, swap triggers.
-        self._observe_miss(t, page, pid, resident_dram)
-        return finish
-
-    # repro-hot
-    def _observe_miss(self, now: int, page: int, pid: int, resident_dram: bool) -> None:
-        self.dram_hpt.advance_time(now)
-        self.nvm_hpt.advance_time(now)
-        if resident_dram:
-            self.dram_hpt.record_miss(now, page)
-        elif self.nvm_hpt.record_miss(now, page):
+        # HPT decay first (advance_time, fast-pathed: the halving loop
+        # only runs when an interval actually elapsed).
+        dram_hpt = self.dram_hpt
+        nvm_hpt = self.nvm_hpt
+        if (
+            dram_hpt.decay_interval_cycles > 0
+            and t - dram_hpt._last_decay >= dram_hpt.decay_interval_cycles
+        ):
+            dram_hpt.advance_time(t)
+        if (
+            nvm_hpt.decay_interval_cycles > 0
+            and t - nvm_hpt._last_decay >= nvm_hpt.decay_interval_cycles
+        ):
+            nvm_hpt.advance_time(t)
+        # HPT miss count for the page's current residence (record_miss,
+        # inlined minus the advance_time it would repeat; the DRAM side
+        # has no swap threshold, the NVM side triggers a regular swap).
+        hpt = dram_hpt if resident_dram else nvm_hpt
+        hpt.reads += 1
+        hpt.writes += 1
+        hpt_counters = hpt._counters
+        count = hpt_counters.get(page)
+        if count is None:
+            if len(hpt_counters) >= hpt.capacity:
+                hpt._evict_coldest()
+            hpt_counters[page] = 1
+            count = 1
+        else:
+            count = count + 1
+            if count > hpt.counter_max:
+                count = hpt.counter_max
+            hpt_counters[page] = count
+            hpt_counters.move_to_end(page)
+        if not resident_dram and count == hpt.swap_threshold:
             # The HPT probe that notices the threshold crossing costs its
             # Table II access latency before the Swap Driver sees it.
-            started = self.swap_driver.request_swap(
-                now + self._hpt_latency,
+            started = swap_driver.request_swap(
+                t + self._hpt_latency,
                 page,
                 TRIGGER_REGULAR,
                 self.dram_service_share,
             )
             if started:
-                self.nvm_hpt.remove(page)
+                nvm_hpt.remove(page)
 
-        history = self._pctc_entry_for(now, page)
+        # PCTc probe (PctCache.lookup, inlined; the miss path fetches the
+        # entry from the in-DRAM PCT and handles the victim write-back).
+        pctc = self.pctc
+        history = pctc._resident.get(page)
+        if history is not None:
+            pctc._resident.move_to_end(page)
+            pctc.hits += 1
+        else:
+            pctc.misses += 1
+            history = self._pctc_fill_from_pct(t, page)
         triggers, evicted = self.filter.observe_miss(pid, page, history)
         for entry in evicted:
-            self._writeback_filter_entry(now, entry)
+            self._writeback_filter_entry(t, entry)
         for trigger in triggers:
             if trigger.is_follower and not self._correlation:
                 continue
             # Filter-detected triggers pay the Filter's access latency.
-            self.swap_driver.request_swap(
-                now + self._filter_latency,
+            swap_driver.request_swap(
+                t + self._filter_latency,
                 trigger.page,
                 TRIGGER_PCT,
                 self.dram_service_share,
             )
+        return finish
 
     # -- PCT plumbing --------------------------------------------------------------
     def _pctc_entry_for(self, now: int, page: int) -> PctEntry:
         entry = self.pctc.lookup(page)
         if entry is not None:
             return entry
+        return self._pctc_fill_from_pct(now, page)
+
+    def _pctc_fill_from_pct(self, now: int, page: int) -> PctEntry:
+        """The PCTc miss path: the caller already counted the miss."""
         # Fetch from the in-DRAM PCT (off the critical path, real bandwidth).
         self.metadata_access(now, self._pct_key(page))
         entry = self.pct.read(page)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 
@@ -212,7 +212,7 @@ class FilterTable:
     # -- the per-miss protocol ----------------------------------------------------
     def observe_miss(
         self, pid: int, page: int, history: PctEntry
-    ) -> Tuple[List[CorrelationTrigger], List[FilterEntry]]:
+    ) -> Tuple[Sequence[CorrelationTrigger], Sequence[FilterEntry]]:
         """Process one LLC miss on *page* by process *pid*.
 
         *history* is the PCTc entry for *page* (fetched by the caller; a
@@ -221,9 +221,10 @@ class FilterTable:
         Returns ``(triggers, evicted)``: prefetch-swap opportunities raised
         by this miss (only on the first miss of an invocation), and Filter
         entries evicted to make room, which the caller must write back to
-        the PCTc.
+        the PCTc.  Callers only iterate the sequences; the same-leader
+        fast path (most misses — flurries are the common case) returns a
+        shared empty tuple so it allocates nothing.
         """
-        evicted: List[FilterEntry] = []
         self.reads += 1
         self.writes += 1
         leader = self._current_leader.get(pid)
@@ -233,7 +234,8 @@ class FilterTable:
             if entry is not None:
                 entry.misses = self._saturate(entry.misses + 1)
             self._feed_predecessor(pid, page)
-            return [], evicted
+            return (), ()
+        evicted: List[FilterEntry] = []
 
         # A new flurry begins: remember the old one as predecessor.
         if leader is not None:

@@ -15,11 +15,21 @@ and finish, accounting for:
 Address mapping interleaves consecutive lines across channels (maximising
 channel parallelism for streams) and consecutive rows across banks, a
 standard open-page mapping.
+
+Bank and bus state is held struct-of-arrays: parallel lists indexed by
+global bank / channel number (demand-busy-until, any-busy-until,
+total-busy, open row, row-written).  One access touches five of those
+slots; with per-bank objects the same work cost a method call plus five
+attribute dereferences per resource, which dominated the access path
+(see docs/PERFORMANCE.md).  :meth:`access_finish` is the demand hot path
+— the same schedule as :meth:`access` without materialising an
+:class:`AccessResult`; the two are pinned equal by
+tests/unit/test_device.py's differential check.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.addr import CACHE_LINE_BYTES
 from repro.common.config import CYCLES_PER_MEMORY_CYCLE, MemoryTimingConfig
@@ -68,50 +78,6 @@ class AccessResult:
         return hash((self.start, self.finish, self.row_hit, self.queue_delay))
 
 
-class _Resource:
-    """One bank or bus with two-priority occupancy tracking."""
-
-    __slots__ = ("demand_busy_until", "any_busy_until", "total_busy")
-
-    def __init__(self) -> None:
-        self.demand_busy_until = 0
-        self.any_busy_until = 0
-        self.total_busy = 0
-
-    def reserve(
-        self, now: Cycles, duration: Cycles, bulk: bool, preempt_cap: Cycles
-    ) -> Cycles:
-        """Grant ``[start, start+duration)``; returns the start time.
-
-        Demand work waits for earlier demand work in full, but waits for
-        queued bulk work only up to *preempt_cap* cycles (the current line
-        finishes, then demand preempts).  Bulk work yields to everything.
-        """
-        if bulk:
-            start = max(now, self.any_busy_until)
-            self.any_busy_until = start + duration
-        else:
-            start = max(
-                now,
-                self.demand_busy_until,
-                min(self.any_busy_until, now + preempt_cap),
-            )
-            end = start + duration
-            self.demand_busy_until = end
-            if end > self.any_busy_until:
-                self.any_busy_until = end
-        self.total_busy += duration
-        return start
-
-    def next_free(self, now: int) -> int:
-        return max(now, self.any_busy_until)
-
-    def utilization(self, elapsed: int) -> float:
-        if elapsed <= 0:
-            return 0.0
-        return min(1.0, self.total_busy / elapsed)
-
-
 class MemoryDevice:
     """One DRAM or NVM module behind its own set of channels."""
 
@@ -127,12 +93,21 @@ class MemoryDevice:
         self.model_contention = model_contention
         self._prefix = stats_prefix or config.name
         total_banks = config.channels * config.total_banks_per_channel
-        self._banks: List[_Resource] = [_Resource() for _ in range(total_banks)]
-        self._buses: List[_Resource] = [_Resource() for _ in range(config.channels)]
-        self._open_rows: Dict[int, int] = {}
-        #: Banks whose open row has absorbed writes (t_WR owed at close, or
-        #: at the next read from the same bank — write-to-read turnaround).
-        self._row_written: Dict[int, bool] = {}
+        # Struct-of-arrays resource state (see the module docstring).  A
+        # bank or bus grants [start, start+duration): demand work queues
+        # behind demand (demand_until) but waits for queued bulk only up
+        # to the preempt cap; bulk yields to everything (any_until).
+        self._bank_demand_until: List[int] = [0] * total_banks
+        self._bank_any_until: List[int] = [0] * total_banks
+        self._bank_total_busy: List[int] = [0] * total_banks
+        self._bus_demand_until: List[int] = [0] * config.channels
+        self._bus_any_until: List[int] = [0] * config.channels
+        self._bus_total_busy: List[int] = [0] * config.channels
+        #: Open row per global bank (-1 = closed; rows are non-negative).
+        self._open_rows: List[int] = [-1] * total_banks
+        #: Banks whose open row has absorbed writes (t_WR owed at close,
+        #: or at the next read from the same bank — write-to-read turnaround).
+        self._row_written: List[bool] = [False] * total_banks
         self._lines_per_row = config.row_bytes // CACHE_LINE_BYTES
         # Per-device counters kept as plain attributes: this path runs for
         # every line transferred, so registry lookups would dominate.
@@ -176,41 +151,137 @@ class MemoryDevice:
 
     # -- the access path -----------------------------------------------------
     # repro-hot
-    def access(
+    def access_finish(
         self, now: Cycles, line_number: int, is_write: bool, bulk: bool = False
-    ) -> AccessResult:
-        """Perform one 64 B access; returns start/finish in CPU cycles."""
+    ) -> Cycles:
+        """Perform one 64 B access; returns only the finish time.
+
+        The demand hot path: every LLC miss, write-back, and metadata
+        access lands here, and none of those callers read anything but
+        the finish time.  The schedule and every state mutation are
+        identical to :meth:`access` (the differential unit test drives
+        both against the same traffic and asserts equality); the only
+        difference is that no :class:`AccessResult` is allocated.
+        """
         if self.injector is not None:
-            # May raise Transient/UnrecoverableFaultError before any bank or
-            # row state is touched, so an aborted access leaves no trace.
             self.injector.check_access(self.config.name, now, line_number, is_write)
-        # Address mapping, inlined from map_line() (called per line).
         channels = self._channels
         channel = line_number % channels
         row_sequence = (line_number // channels) // self._lines_per_row
-        banks = self._banks_per_channel
-        bank = channel * banks + row_sequence % banks
-        row = row_sequence // banks
+        bank = channel * self._banks_per_channel + row_sequence % self._banks_per_channel
+        row = row_sequence // self._banks_per_channel
 
         open_rows = self._open_rows
-        open_row = open_rows.get(bank)
+        open_row = open_rows[bank]
         row_hit = open_row == row
-        row_conflict = open_row is not None and not row_hit
         open_rows[bank] = row
 
         if row_hit:
             core_latency = self._lat_row_hit
-        elif row_conflict:
+            row_conflict = False
+        elif open_row >= 0:
             core_latency = self._lat_row_conflict
+            row_conflict = True
         else:
             core_latency = self._lat_row_closed
-        # Write recovery (t_WR) is owed after a burst of writes: either when
-        # the dirty row is closed, or when a read turns the bank around.
-        # Consecutive writes stream into the open row at burst rate, so
-        # write-heavy sequential traffic pays it once per turnaround — the
-        # NVM behaviour (t_WR = 180 memory cycles) the paper leans on.
+            row_conflict = False
         row_written = self._row_written
-        if row_written.get(bank) and (row_conflict or not is_write):
+        if row_written[bank] and (row_conflict or not is_write):
+            core_latency += self._write_recovery
+            row_written[bank] = False
+        if is_write:
+            row_written[bank] = True
+            self.writes += 1
+        else:
+            self.reads += 1
+        if row_hit:
+            self.row_hits += 1
+        burst = self._burst
+
+        if not self.model_contention:
+            self.service_time_total += core_latency + burst
+            return now + core_latency + burst
+
+        occupancy = core_latency + burst
+        # Bank reservation (inlined two-priority grant).
+        bank_any = self._bank_any_until
+        if bulk:
+            start = bank_any[bank]
+            if now > start:
+                start = now
+            bank_any[bank] = start + occupancy
+        else:
+            bank_demand = self._bank_demand_until
+            start = max(
+                now, bank_demand[bank], min(bank_any[bank], now + self.preempt_cap_cycles)
+            )
+            end = start + occupancy
+            bank_demand[bank] = end
+            if end > bank_any[bank]:
+                bank_any[bank] = end
+        self._bank_total_busy[bank] += occupancy
+        # Bus reservation for the data burst.
+        data_ready = start + core_latency
+        bus_any = self._bus_any_until
+        if bulk:
+            bus_start = bus_any[channel]
+            if data_ready > bus_start:
+                bus_start = data_ready
+            bus_any[channel] = bus_start + burst
+        else:
+            bus_demand = self._bus_demand_until
+            bus_start = max(
+                data_ready,
+                bus_demand[channel],
+                min(bus_any[channel], data_ready + self.preempt_cap_cycles),
+            )
+            bus_end = bus_start + burst
+            bus_demand[channel] = bus_end
+            if bus_end > bus_any[channel]:
+                bus_any[channel] = bus_end
+        self._bus_total_busy[channel] += burst
+        finish = bus_start + burst
+
+        self.queue_delay_total += start - now
+        self.service_time_total += finish - start
+        return finish
+
+    # repro-hot
+    def access(
+        self, now: Cycles, line_number: int, is_write: bool, bulk: bool = False
+    ) -> AccessResult:
+        """Perform one 64 B access; returns start/finish in CPU cycles.
+
+        The full-result variant of :meth:`access_finish` — same schedule,
+        same mutations — for callers that need start/row-hit/queue-delay
+        (the fault-recovery path and the unit tests).
+        """
+        if self.injector is not None:
+            # May raise Transient/UnrecoverableFaultError before any bank or
+            # row state is touched, so an aborted access leaves no trace.
+            self.injector.check_access(self.config.name, now, line_number, is_write)
+        channels = self._channels
+        channel = line_number % channels
+        row_sequence = (line_number // channels) // self._lines_per_row
+        bank = channel * self._banks_per_channel + row_sequence % self._banks_per_channel
+        row = row_sequence // self._banks_per_channel
+
+        open_rows = self._open_rows
+        open_row = open_rows[bank]
+        row_hit = open_row == row
+        open_rows[bank] = row
+
+        if row_hit:
+            core_latency = self._lat_row_hit
+            row_conflict = False
+        elif open_row >= 0:
+            core_latency = self._lat_row_conflict
+            row_conflict = True
+        else:
+            core_latency = self._lat_row_closed
+            row_conflict = False
+        row_written = self._row_written
+        if row_written[bank] and (row_conflict or not is_write):
             core_latency += self._write_recovery
             row_written[bank] = False
         if is_write:
@@ -228,19 +299,53 @@ class MemoryDevice:
             return AccessResult(now, finish, row_hit, 0)
 
         occupancy = core_latency + burst
-        start = self._banks[bank].reserve(
-            now, occupancy, bulk, self.preempt_cap_cycles
-        )
+        start = self._reserve_bank(bank, now, occupancy, bulk)
         data_ready = start + core_latency
-        bus_start = self._buses[channel].reserve(
-            data_ready, burst, bulk, self.preempt_cap_cycles
-        )
+        bus_start = self._reserve_bus(channel, data_ready, burst, bulk)
         finish = bus_start + burst
 
         queue_delay = start - now
         self.queue_delay_total += queue_delay
         self.service_time_total += finish - start
         return AccessResult(start, finish, row_hit, queue_delay)
+
+    def _reserve_bank(self, bank: int, now: int, duration: int, bulk: bool) -> int:
+        """Grant ``[start, start+duration)`` on a bank; returns the start."""
+        any_until = self._bank_any_until
+        if bulk:
+            start = max(now, any_until[bank])
+            any_until[bank] = start + duration
+        else:
+            start = max(
+                now,
+                self._bank_demand_until[bank],
+                min(any_until[bank], now + self.preempt_cap_cycles),
+            )
+            end = start + duration
+            self._bank_demand_until[bank] = end
+            if end > any_until[bank]:
+                any_until[bank] = end
+        self._bank_total_busy[bank] += duration
+        return start
+
+    def _reserve_bus(self, channel: int, now: int, duration: int, bulk: bool) -> int:
+        """Grant ``[start, start+duration)`` on a channel bus; returns the start."""
+        any_until = self._bus_any_until
+        if bulk:
+            start = max(now, any_until[channel])
+            any_until[channel] = start + duration
+        else:
+            start = max(
+                now,
+                self._bus_demand_until[channel],
+                min(any_until[channel], now + self.preempt_cap_cycles),
+            )
+            end = start + duration
+            self._bus_demand_until[channel] = end
+            if end > any_until[channel]:
+                any_until[channel] = end
+        self._bus_total_busy[channel] += duration
+        return start
 
     def transfer_page(
         self, now: Cycles, first_line: int, line_count: int, is_write: bool,
@@ -257,17 +362,97 @@ class MemoryDevice:
         The transfer is scheduled row-group at a time: consecutive lines of
         one row stream at burst rate behind a single activation, which is
         both how devices behave and ~4x fewer reservations than per-line
-        scheduling.
+        scheduling.  With no injector armed the row groups are derived in
+        closed form — within one channel the lines advance through
+        ``within_channel`` positions consecutively, so each group is the
+        run up to the next ``lines_per_row`` boundary and no per-line
+        address mapping happens at all.  An armed injector is the scalar
+        fallback boundary: faults abort mid-group at an exact line, so
+        that path walks lines individually (bit-identical schedule, the
+        fault tests pin it).
         """
-        abort_after = None
         if self.injector is not None:
-            abort_after = self.injector.check_transfer(
-                self.config.name, now, first_line, line_count, is_write
+            return self._transfer_page_faulty(
+                now, first_line, line_count, is_write, bulk
             )
+        finish = now
+        burst = self._burst
+        channels = self._channels
+        banks = self._banks_per_channel
+        lines_per_row = self._lines_per_row
+        open_rows = self._open_rows
+        row_written = self._row_written
+        last_line = first_line + line_count
+        model_contention = self.model_contention
+        total_lines = 0
+        total_hits = 0
+        for channel in range(channels):
+            # Lines of this run on one channel are `channels` apart.
+            offset = (channel - first_line) % channels
+            first_in_channel = first_line + offset
+            if first_in_channel >= last_line:
+                continue
+            # Consecutive within-channel positions; row groups are the
+            # runs between lines_per_row boundaries.
+            w = first_in_channel // channels
+            w_end = w + 1 + (last_line - 1 - first_in_channel) // channels
+            while w < w_end:
+                row_sequence = w // lines_per_row
+                group_end = min(w_end, (row_sequence + 1) * lines_per_row)
+                group = group_end - w
+                w = group_end
+                bank = channel * banks + row_sequence % banks
+                row = row_sequence // banks
+                open_row = open_rows[bank]
+                row_hit = open_row == row
+                open_rows[bank] = row
+                if row_hit:
+                    core_latency = self._lat_row_hit
+                    row_conflict = False
+                elif open_row >= 0:
+                    core_latency = self._lat_row_conflict
+                    row_conflict = True
+                else:
+                    core_latency = self._lat_row_closed
+                    row_conflict = False
+                if row_written[bank] and (row_conflict or not is_write):
+                    core_latency += self._write_recovery
+                    row_written[bank] = False
+                if is_write:
+                    row_written[bank] = True
+                occupancy = core_latency + group * burst
+                if not model_contention:
+                    end = now + occupancy
+                else:
+                    start = self._reserve_bank(bank, now, occupancy, bulk)
+                    bus_start = self._reserve_bus(
+                        channel, start + core_latency, group * burst, bulk
+                    )
+                    end = bus_start + group * burst
+                if end > finish:
+                    finish = end
+                total_lines += group
+                if row_hit:
+                    total_hits += group
+                self.service_time_total += occupancy
+        if is_write:
+            self.writes += total_lines
+        else:
+            self.reads += total_lines
+        self.row_hits += total_hits
+        return finish
+
+    def _transfer_page_faulty(
+        self, now: Cycles, first_line: int, line_count: int, is_write: bool,
+        bulk: bool,
+    ) -> Cycles:
+        """The per-line transfer walk used while fault injection is armed."""
+        abort_after = self.injector.check_transfer(
+            self.config.name, now, first_line, line_count, is_write
+        )
         lines_done = 0
         finish = now
         burst = self.config.line_transfer_cycles
-        cap = self.preempt_cap_cycles
         channels = self.config.channels
         last_line = first_line + line_count
         for channel in range(channels):
@@ -294,12 +479,12 @@ class MemoryDevice:
                     if next_bank != bank or next_row != row:
                         break
                     group += 1
-                open_row = self._open_rows.get(bank)
+                open_row = self._open_rows[bank]
                 row_hit = open_row == row
-                row_conflict = open_row is not None and not row_hit
+                row_conflict = open_row >= 0 and not row_hit
                 self._open_rows[bank] = row
                 core_latency = self.config.read_latency_cycles(row_hit, row_conflict)
-                if self._row_written.get(bank) and (row_conflict or not is_write):
+                if self._row_written[bank] and (row_conflict or not is_write):
                     core_latency += self.config.write_recovery_cycles()
                     self._row_written[bank] = False
                 if is_write:
@@ -308,9 +493,9 @@ class MemoryDevice:
                 if not self.model_contention:
                     end = now + occupancy
                 else:
-                    start = self._banks[bank].reserve(now, occupancy, bulk, cap)
-                    bus_start = self._buses[channel].reserve(
-                        start + core_latency, group * burst, bulk, cap
+                    start = self._reserve_bank(bank, now, occupancy, bulk)
+                    bus_start = self._reserve_bus(
+                        channel, start + core_latency, group * burst, bulk
                     )
                     end = bus_start + group * burst
                 if end > finish:
@@ -337,10 +522,11 @@ class MemoryDevice:
     # -- introspection -------------------------------------------------------
     def channel_utilization(self, elapsed: int) -> float:
         """Mean data-bus utilization across channels over *elapsed* cycles."""
-        if not self._buses or elapsed <= 0:
+        busy = self._bus_total_busy
+        if not busy or elapsed <= 0:
             return 0.0
-        return sum(b.utilization(elapsed) for b in self._buses) / len(self._buses)
+        return sum(min(1.0, b / elapsed) for b in busy) / len(busy)
 
     def earliest_bus_free(self, now: Cycles) -> Cycles:
         """Earliest time any channel data bus is free."""
-        return min(b.next_free(now) for b in self._buses)
+        return min(max(now, b) for b in self._bus_any_until)

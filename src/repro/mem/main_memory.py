@@ -56,6 +56,21 @@ class MainMemory:
             return self.dram.access(now, line_number, is_write, bulk)
         return self.nvm.access(now, line_number - self._dram_lines, is_write, bulk)
 
+    # repro-hot
+    def access_finish(
+        self, now: int, line_number: int, is_write: bool, bulk: bool = False
+    ) -> int:
+        """Like :meth:`access` but returns only the finish time.
+
+        The demand hot path (no :class:`AccessResult` allocation); see
+        :meth:`repro.mem.device.MemoryDevice.access_finish`.
+        """
+        if line_number < self._dram_lines:
+            return self.dram.access_finish(now, line_number, is_write, bulk)
+        return self.nvm.access_finish(
+            now, line_number - self._dram_lines, is_write, bulk
+        )
+
     def read_page(self, now: int, ppn: int, bulk: bool = False) -> int:
         """Read all 64 lines of physical page *ppn*; return finish time."""
         return self._transfer_page(now, ppn, is_write=False, bulk=bulk)

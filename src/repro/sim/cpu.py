@@ -138,7 +138,19 @@ class Core:
         if op is None:
             self.done = True
             return False
+        self.execute(op)
+        return True
 
+    # repro-hot
+    def execute(self, op: MemoryOp) -> None:
+        """Execute one already-fetched operation (the full scalar path).
+
+        Split out of :meth:`step` so the batched engine can escape to it:
+        the engine fetches ops itself, services pure TLB/cache hits
+        inline, and hands everything else here.  The body is the one
+        source of truth for per-op semantics — both engines run exactly
+        this code on every non-hit operation.
+        """
         work = op.instructions_before + 1
         self.instructions += work
         clock = self.clock + work * self._base_cpi
@@ -190,7 +202,6 @@ class Core:
                 )
 
         self.ops_executed += 1
-        return True
 
     @property
     def ipc(self) -> float:

@@ -1,0 +1,376 @@
+"""The batched execution engine (``SystemConfig.engine = "batched"``).
+
+The scalar scheduler in :meth:`repro.sim.system.System._run_to_targets`
+pays the full Python dispatch chain — op fetch, ``ensure_mapped``, MMU
+translate, hierarchy access, per-op result objects — for *every*
+operation, even though most of them are pure L1-TLB + L1/L2-cache hits
+that mutate nothing outside one core.  This engine drains those ops in
+bulk and hands everything else to the unmodified scalar path
+(:meth:`repro.sim.cpu.Core.execute`) in the exact global order the
+scalar engine would use.
+
+Equivalence contract (enforced by the pinned goldens and by
+tests/integration/test_engine_equivalence.py):
+
+1. **Op classification.**  An op is *pure* when it hits the L1 TLB and
+   then either hits the L1 cache, or hits the L2 cache with a clean (or
+   absent) L1 victim.  A pure op touches only the owning core's state —
+   its TLB/L1/L2 LRU orders, dirty bits, clock, and op counts — plus
+   global stats counters.  Every other op is *shared*: it reaches the
+   walker, the shared L3, or the memory controller.
+2. **Ordering.**  Pure ops of one core commute with every op of every
+   other core: disjoint mutable state, and the counters they touch are
+   pure event counts (each update is ``+= 1.0``, so any interleaving of
+   the same increments yields the identical float).  Shared ops are the
+   only ops whose relative order matters, and the scalar heap executes
+   them exactly in sorted ``(clock-at-op, core_id)`` order (a k-way
+   merge of per-core increasing key sequences).  The engine therefore
+   lets each core free-run through pure ops and parks it in a heap,
+   keyed by its pending shared op, so shared ops replay the scalar
+   order bit-for-bit.  Per-core clock evolution — and hence every
+   shared-op key — depends only on the outcomes of earlier shared ops,
+   which are identical by induction.
+3. **Hit semantics.**  The pure fast paths replicate the scalar hit
+   paths' mutations exactly, in kind and in floating-point order.  The
+   probes used to classify an op (``OrderedDict.get``, ``in``, peeking
+   the LRU victim's dirty bit) are non-mutating, so escaping to
+   ``Core.execute`` after a failed probe re-runs the full scalar path
+   with zero double-mutation.  ``ensure_mapped`` is skipped on TLB
+   hits: a VPN can only enter a TLB via a walk, walks only happen for
+   mapped VPNs, and mappings are never removed.
+4. **Checkpoints.**  Core-local state (clock, instructions, op counts,
+   stream consumption) is flushed from locals to the object graph
+   before every checkpointer poll, and a fetched-but-unexecuted shared
+   op is *not* counted as consumed — so a checkpoint written mid-batch
+   is a consistent between-ops frontier that resumes to the identical
+   final digest (the per-phase op *sets* are fixed by the absolute
+   targets, and shared order is preserved, so the end state cannot
+   depend on where the cut landed).  Deterministic triggers (cut
+   points, periodic writes) fire at exactly their configured step
+   counts via :meth:`repro.snapshot.hooks.Checkpointer.next_trigger_step`;
+   signal polls (wall-clock, inherently nondeterministic) happen every
+   :data:`_POLL_STEPS` steps, aligned to the heartbeat mask so liveness
+   heartbeats keep their cadence.
+
+See docs/PERFORMANCE.md ("Batched engine") for the measured speedups
+and docs/TESTING.md for the differential-harness workflow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.addr import LINE_SHIFT, PAGE_BYTES, PAGE_SHIFT
+from repro.sim.hmc_base import RequestKind
+from repro.snapshot.stream import ReplayStream
+
+_WRITEBACK = RequestKind.WRITEBACK
+
+_PAGE_MASK = PAGE_BYTES - 1
+
+#: Steps between checkpointer polls when no cut point or periodic write
+#: is due sooner.  Poll steps are multiples of this value so the scalar
+#: engine's ``steps & 0xFF == 0`` heartbeat condition still fires.
+_POLL_STEPS = 256
+
+
+def _core_context(core) -> Tuple:
+    """Hoist one core's fast-path invariants into a flat tuple.
+
+    Everything here is fixed for the core's lifetime (the same
+    invariants ``Core.__init__`` hoists for the scalar path), so the
+    engine unpacks one tuple per scheduling turn instead of chasing
+    attribute chains per op.  ``hmc.handle_request`` is deliberately
+    *not* here: the sanitizer rebinds it on the instance, so the engine
+    re-reads it around checkpoint writes.
+    """
+    l1_tlb = core.mmu.l1_tlb
+    hierarchy = core.hierarchy
+    l1 = hierarchy.l1[core.core_id]
+    l2 = hierarchy.l2[core.core_id]
+    stream = core.ops
+    if isinstance(stream, ReplayStream):
+        gen = stream._gen
+    else:
+        # Bare iterators (unit-test rigs) have no consumption counter to
+        # maintain; drain them directly.
+        gen = iter(stream)
+        stream = None
+    # The scalar L2-hit stall is outcome.latency_cycles / mlp where
+    # latency_cycles == l1_latency + l2_latency: same ints, same single
+    # float division, so the precomputed value is bit-identical.
+    l2_stall = (hierarchy._l1_latency + hierarchy._l2_latency) / core._mlp
+    return (
+        gen,
+        stream,
+        l1_tlb._sets,
+        l1_tlb.num_sets,
+        l1._sets,
+        l1.num_sets,
+        l1.ways,
+        l2._sets,
+        l2.num_sets,
+        core._pid,
+        core._base_cpi,
+        l2_stall,
+    )
+
+
+def _next_stop(ckpt, steps: int) -> int:
+    """First step count at which the engine must pause for the checkpointer."""
+    stop = (steps // _POLL_STEPS + 1) * _POLL_STEPS
+    trigger = ckpt.next_trigger_step()
+    if trigger is not None and trigger < stop:
+        # A trigger at or below the current step fires at the next poll
+        # opportunity (scalar fires such stale cuts on its next step too).
+        stop = trigger if trigger > steps else steps
+    return stop
+
+
+# repro-hot
+def run_to_targets(system, targets: Sequence[int]) -> None:
+    """Batched equivalent of ``System._run_to_targets`` (see module doc)."""
+    cores = system.cores
+    ckpt = system.checkpointer
+    steps = system.steps_total
+    counters = system.stats._counters
+
+    contexts: List[Tuple] = [_core_context(core) for core in cores]
+    #: A fetched shared op per core, waiting for its global turn.
+    pending: List[Optional[object]] = [None] * len(cores)
+    #: True when the matching pending op is a dirty-victim L2 hit, whose
+    #: only shared effect is the victim's write-back: at its turn the
+    #: engine runs it inline instead of escaping to ``Core.execute``.
+    pending_dirty: List[bool] = [False] * len(cores)
+    heap = [
+        (core.clock, core.core_id, core)
+        for core in cores
+        if not core.done and core.ops_executed < targets[core.core_id]
+    ]
+    heapq.heapify(heap)
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    stop_steps = _next_stop(ckpt, steps) if ckpt is not None else -1
+
+    try:
+        while heap:
+            _, core_id, core = heappop(heap)
+            target = targets[core_id]
+            (
+                gen,
+                stream,
+                tlb_sets,
+                tlb_nsets,
+                l1_sets,
+                l1_nsets,
+                l1_ways,
+                l2_sets,
+                l2_nsets,
+                pid,
+                base_cpi,
+                l2_stall,
+            ) = contexts[core_id]
+            clock = core.clock
+            instructions = core.instructions
+            ops_executed = core.ops_executed
+            drained = 0
+            op = pending[core_id]
+            op_dirty = pending_dirty[core_id]
+            pending[core_id] = None
+            try:
+                while True:
+                    if steps == stop_steps:
+                        # Checkpoint boundary (or signal poll): flush
+                        # locals so the serialized graph is a consistent
+                        # between-ops frontier, poll, re-plan.
+                        core.clock = clock
+                        core.instructions = instructions
+                        core.ops_executed = ops_executed
+                        if stream is not None:
+                            stream.consumed += drained
+                            drained = 0
+                        system.steps_total = steps
+                        ckpt.on_step(system)
+                        stop_steps = _next_stop(ckpt, steps)
+                    if op is not None:
+                        if op_dirty:
+                            # Dirty-victim L2 hit at its global turn: the
+                            # classification probes are still valid (only
+                            # other cores ran in between, and they cannot
+                            # touch this core's TLB/L1/L2), so replicate
+                            # the scalar path inline — work advance, TLB
+                            # L1 hit, L2 hit, L1 fill evicting the dirty
+                            # victim — and send the one shared effect,
+                            # the victim write-back, to the controller.
+                            work = op.instructions_before + 1
+                            instructions += work
+                            clock += work * base_cpi
+                            vaddr = op.vaddr
+                            vpn = vaddr >> PAGE_SHIFT
+                            tkey = (pid, vpn)
+                            tset = tlb_sets[vpn % tlb_nsets]
+                            ppn = tset[tkey]
+                            tset.move_to_end(tkey)
+                            counters["tlb/l1_hits"] += 1.0
+                            line = (
+                                (ppn << PAGE_SHIFT) | (vaddr & _PAGE_MASK)
+                            ) >> LINE_SHIFT
+                            is_write = op.is_write
+                            l2set = l2_sets[line % l2_nsets]
+                            l2set.move_to_end(line // l2_nsets)
+                            if is_write:
+                                l2set[line // l2_nsets] = True
+                            counters["cache/l2_hits"] += 1.0
+                            set_index = line % l1_nsets
+                            cset = l1_sets[set_index]
+                            victim_tag, _ = cset.popitem(last=False)
+                            cset[line // l1_nsets] = is_write
+                            clock += l2_stall
+                            # Flush before the controller call: the
+                            # sanitizer may wrap handle_request and read
+                            # system state (scalar order: clock is
+                            # updated before write-backs drain).
+                            core.clock = clock
+                            core.instructions = instructions
+                            core.ops_executed = ops_executed
+                            core.hmc.handle_request(
+                                int(clock),
+                                victim_tag * l1_nsets + set_index,
+                                True,
+                                pid,
+                                _WRITEBACK,
+                            )
+                            ops_executed += 1
+                            op = None
+                            op_dirty = False
+                            drained += 1
+                            steps += 1
+                        else:
+                            # The core's shared op, now at its global
+                            # turn: run the full scalar path on the
+                            # flushed core.
+                            core.clock = clock
+                            core.instructions = instructions
+                            core.ops_executed = ops_executed
+                            core.execute(op)
+                            op = None
+                            clock = core.clock
+                            instructions = core.instructions
+                            ops_executed = core.ops_executed
+                            drained += 1
+                            steps += 1
+                    # Free-run through pure (core-local) ops.
+                    while ops_executed < target:
+                        if steps == stop_steps:
+                            break
+                        op = next(gen, None)
+                        if op is None:
+                            core.done = True
+                            break
+                        vaddr = op.vaddr
+                        vpn = vaddr >> PAGE_SHIFT
+                        tset = tlb_sets[vpn % tlb_nsets]
+                        tkey = (pid, vpn)
+                        ppn = tset.get(tkey)
+                        if ppn is None:
+                            op_dirty = False
+                            break  # translation event: shared
+                        line = (
+                            (ppn << PAGE_SHIFT) | (vaddr & _PAGE_MASK)
+                        ) >> LINE_SHIFT
+                        set_index = line % l1_nsets
+                        cset = l1_sets[set_index]
+                        tag = line // l1_nsets
+                        work = op.instructions_before + 1
+                        if tag in cset:
+                            # TLB-L1 + cache-L1 double hit: the scalar
+                            # path's only mutations are two LRU touches,
+                            # the dirty bit, two counters, and the
+                            # base-CPI clock advance (stall is 0.0).
+                            tset.move_to_end(tkey)
+                            counters["tlb/l1_hits"] += 1.0
+                            cset.move_to_end(tag)
+                            if op.is_write:
+                                cset[tag] = True
+                            counters["cache/l1_hits"] += 1.0
+                            instructions += work
+                            clock += work * base_cpi
+                            ops_executed += 1
+                            drained += 1
+                            steps += 1
+                            op = None
+                            continue
+                        l2set = l2_sets[line % l2_nsets]
+                        tag2 = line // l2_nsets
+                        if tag2 not in l2set:
+                            op_dirty = False
+                            break  # L3 or memory traffic: shared
+                        evict = len(cset) >= l1_ways
+                        if evict and next(iter(cset.values())):
+                            # The L1 fill would evict a dirty victim
+                            # whose write-back reaches the controller:
+                            # shared, but with a known shape — mark it
+                            # for the inline ordered-turn path.  (Peeking
+                            # the LRU-first value is non-mutating.)
+                            op_dirty = True
+                            break
+                        # TLB-L1 hit + clean-victim cache-L2 hit:
+                        # replicate translate's L1 hit, the L2 lookup
+                        # hit, the L1 fill, and the stalled advance.
+                        is_write = op.is_write
+                        tset.move_to_end(tkey)
+                        counters["tlb/l1_hits"] += 1.0
+                        l2set.move_to_end(tag2)
+                        if is_write:
+                            l2set[tag2] = True
+                        counters["cache/l2_hits"] += 1.0
+                        if evict:
+                            cset.popitem(last=False)
+                        cset[tag] = is_write
+                        instructions += work
+                        clock += work * base_cpi
+                        clock += l2_stall
+                        ops_executed += 1
+                        drained += 1
+                        steps += 1
+                        op = None
+                    if op is None:
+                        # Target reached, stream done, or checkpoint
+                        # boundary with nothing in flight.
+                        if steps == stop_steps and not core.done and (
+                            ops_executed < target
+                        ):
+                            continue  # poll at the loop head, keep going
+                        break
+                    # A shared op is in flight: it may only run once this
+                    # core holds the global minimum (clock, core_id) key.
+                    if heap:
+                        head = heap[0]
+                        if clock > head[0] or (
+                            clock == head[0] and core_id > head[1]
+                        ):
+                            pending[core_id] = op
+                            pending_dirty[core_id] = op_dirty
+                            op = None
+                            heappush(heap, (clock, core_id, core))
+                            break
+                    # This core is the global minimum: execute in place.
+            finally:
+                if op is not None:
+                    # An exception unwound between fetch and execution:
+                    # the op was never consumed (restores re-fetch it).
+                    pending[core_id] = op
+                    pending_dirty[core_id] = op_dirty
+                core.clock = clock
+                core.instructions = instructions
+                core.ops_executed = ops_executed
+                if stream is not None:
+                    stream.consumed += drained
+    finally:
+        system.steps_total = steps
+    if ckpt is not None and steps == stop_steps:
+        # The run ended exactly on a planned boundary (e.g. a cut point
+        # equal to the final step count): scalar polls after its last
+        # step, so fire the trailing poll on the fully flushed state.
+        ckpt.on_step(system)

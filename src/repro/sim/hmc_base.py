@@ -51,6 +51,25 @@ _REQUEST_KIND_KEYS = {
 }
 
 
+class _RecoveringFinish:
+    """Finish-time adapter over the fault-recovery access path.
+
+    A module-level class (not a closure) so a controller with recovery
+    armed still pickles: the held bound method travels through the
+    snapshot memo to the restored recovery object.
+    """
+
+    __slots__ = ("_access",)
+
+    def __init__(self, access: Callable[..., AccessResult]):
+        self._access = access
+
+    def __call__(
+        self, now: int, line: int, is_write: bool, bulk: bool = False
+    ) -> int:
+        return self._access(now, line, is_write, bulk).finish
+
+
 class HmcBase:
     """Common machinery for all memory-controller schemes."""
 
@@ -78,6 +97,14 @@ class HmcBase:
             if self.fault_recovery is None
             else self.fault_recovery.access
         )
+        #: Finish-time-only twin of ``mem_access`` for the demand hot path:
+        #: bound straight to :meth:`MainMemory.access_finish` when faults
+        #: are off (no AccessResult allocation); with recovery armed it
+        #: falls back to the full recovery path and drops the result.
+        if self.fault_recovery is None:
+            self.mem_access_finish = self.memory.access_finish
+        else:
+            self.mem_access_finish = _RecoveringFinish(self.fault_recovery.access)
         self.dram_pages = config.memory.dram_pages
         self.total_pages = config.memory.total_pages
         self._dram_serviced = 0
@@ -112,9 +139,9 @@ class HmcBase:
         if not self._metadata_lines:
             raise RuntimeError("reserve_metadata was never called")
         line = self._metadata_lines[key % len(self._metadata_lines)]
-        result = self.mem_access(now, line, is_write)
+        finish = self.mem_access_finish(now, line, is_write)
         self._count_metadata()
-        return result.finish
+        return finish
 
     # -- the fault-aware access path --------------------------------------------
     #: ``mem_access(now, line_spa, is_write, bulk=False) -> AccessResult``
@@ -237,12 +264,12 @@ class NoSwapHmc(HmcBase):
         kind: RequestKind = RequestKind.DEMAND,
     ) -> int:
         page_spa = line_spa // LINES_PER_PAGE
-        result = self.mem_access(
+        finish = self.mem_access_finish(
             now, line_spa, is_write, kind is RequestKind.WRITEBACK
         )
         serviced = "dram" if page_spa < self.dram_pages else "nvm"
-        self.account_service(now, result.finish, page_spa, serviced, kind)
-        return result.finish
+        self.account_service(now, finish, page_spa, serviced, kind)
+        return finish
 
     def handle_pte_fetch(
         self, now: int, line_spa: int, target_ppn: Optional[int], pid: int

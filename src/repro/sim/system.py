@@ -21,6 +21,7 @@ from repro.common.errors import ConfigError, SimulationError
 from repro.common.stats import StatsRegistry
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.hmc import PageSeerHmc
+from repro.sim import engine as batched_engine
 from repro.sim.cpu import Core
 from repro.sim.hmc_base import HmcBase, NoSwapHmc, RequestKind
 from repro.sim.metrics import RunMetrics, collect_metrics
@@ -85,6 +86,10 @@ class System:
         self.workload = workload
         self.scale = scale
         self.stats = StatsRegistry()
+        #: Which simulation-loop engine drives :meth:`_run_to_targets`.
+        #: ``batched`` and ``scalar`` are bit-identical by contract (the
+        #: differential equivalence suite and the goldens enforce it).
+        self.engine = config.engine
         self.os_model = OsModel(config.memory)
         self.hmc: HmcBase = SCHEMES[scheme](config, self.os_model, self.stats)
         self.hierarchy = CacheHierarchy(config, self.stats)
@@ -168,7 +173,16 @@ class System:
         pops in exactly the order this process would have.  The
         checkpointer is therefore polled at the one safe point per step,
         after the core stepped and was re-queued.
+
+        This scalar loop is the reference implementation; under
+        ``engine: batched`` the call dispatches to
+        :func:`repro.sim.engine.run_to_targets`, which executes the
+        identical op order with bulk fast paths (see that module's
+        equivalence contract).
         """
+        if self.engine == "batched":
+            batched_engine.run_to_targets(self, targets)
+            return
         heap = [
             (core.clock, core.core_id, core)
             for core in self.cores
@@ -278,14 +292,16 @@ def build_system(
     config_mutator: Optional[Callable[[SystemConfig], SystemConfig]] = None,
     check: Optional[CheckConfig] = None,
     faults: Optional[FaultConfig] = None,
+    engine: Optional[str] = None,
 ) -> System:
     """Build a ready-to-run system for one scheme and one workload.
 
     ``config_mutator`` lets callers adjust the scaled config (ablations:
     disable correlation, disable the bandwidth heuristic, ...).
     ``check`` overrides the sanitizer configuration after the mutator ran
-    (convenience for the CLI's ``--check`` flags and for tests), and
-    ``faults`` does the same for fault injection (``--faults``).
+    (convenience for the CLI's ``--check`` flags and for tests),
+    ``faults`` does the same for fault injection (``--faults``), and
+    ``engine`` picks the simulation-loop engine (``--engine``).
     """
     import dataclasses
 
@@ -303,6 +319,8 @@ def build_system(
         config = dataclasses.replace(config, check=check)
     if faults is not None:
         config = dataclasses.replace(config, faults=faults)
+    if engine is not None:
+        config = dataclasses.replace(config, engine=engine)
 
     # Fail early with a clear message if the workload cannot fit: data
     # pages plus page tables plus controller metadata must fit the scaled

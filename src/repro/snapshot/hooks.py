@@ -81,6 +81,27 @@ class Checkpointer:
         self.written.append(final)
         return final
 
+    def next_trigger_step(self) -> Optional[int]:
+        """The next *deterministic* step count at which :meth:`on_step`
+        would write a checkpoint, or None when no cut point or periodic
+        write is scheduled.
+
+        The batched engine plans its drains around this: it runs at full
+        speed up to the returned step, flushes core-local state, and
+        polls :meth:`on_step` exactly there — so cut files and periodic
+        ``latest.ckpt`` refreshes land on the identical steps the scalar
+        engine's per-step polling produces.  (Signal polling has no
+        deterministic step; the engine bounds its latency with a fixed
+        poll interval instead.)
+        """
+        cut = self.cut_points[0] if self.cut_points else None
+        due = self._next_due
+        if cut is None:
+            return due
+        if due is None:
+            return cut
+        return min(cut, due)
+
     def on_step(self, system) -> None:
         """Poll triggers; called once per executed op at the safe point."""
         steps = system.steps_total

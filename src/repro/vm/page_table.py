@@ -9,7 +9,7 @@ in PageSeer (Section III-B).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.addr import (
     LEVEL_BITS,
@@ -55,6 +55,11 @@ class PageTable:
     allocate_data_frame:
         Callback returning a fresh physical page number for a data page on
         first touch.
+    vpn_cache:
+        Optional flat VPN→PPN mapping to use instead of a plain dict.
+        Anything with dict's ``get``/``[] =`` protocol works; the OS model
+        passes :class:`repro.vm.mmu.DenseVpnCache` so the shortcut is a
+        dense numpy vector with a vectorized ``lookup_many`` kernel.
     """
 
     def __init__(
@@ -62,6 +67,7 @@ class PageTable:
         pid: int,
         allocate_table_frame: Callable[[], int],
         allocate_data_frame: Callable[[int], int],
+        vpn_cache: Optional[Any] = None,
     ):
         self.pid = pid
         self._allocate_table_frame = allocate_table_frame
@@ -71,8 +77,8 @@ class PageTable:
         # Flat vpn -> ppn shortcut over the radix tree.  Mappings are only
         # ever *added* (leaf entries are never removed or rewritten), so
         # the cache can never go stale; it turns the per-op ensure_mapped
-        # call from a 4-level index walk into one dict hit.
-        self._vpn_cache: Dict[int, int] = {}
+        # call from a 4-level index walk into one lookup.
+        self._vpn_cache = vpn_cache if vpn_cache is not None else {}
 
     @property
     def cr3_ppn(self) -> int:

@@ -309,3 +309,105 @@ def test_sweep_resume_skips_completed_requests(tmp_path):
     } == {
         request: _metric_dict(metrics) for request, metrics in first.items()
     }
+
+
+# -- the batched engine under the cut-point protocol ---------------------------
+
+
+def test_batched_mid_batch_cuts_resume_bit_identical(tmp_path):
+    """A checkpoint cut mid-batch under ``--engine batched`` must resume
+    bit-identical — against the *scalar* engine's uninterrupted run.
+
+    The cut points (500/2000 scheduler steps) land inside the batched
+    engine's free-running drain windows, so this pins the engine's
+    checkpoint contract: the poll boundary where the cut is taken is a
+    real quiescent point (pending ops re-stashed, per-core state flushed),
+    and the resumed half reproduces the scalar reference exactly.
+    """
+    from repro.bench import stats_digest
+    from repro.sim.system import build_system
+
+    def fresh(engine):
+        return build_system(
+            "pageseer",
+            workload_by_name("lbmx4"),
+            scale=GOLDEN_SIZING["scale"],
+            seed=GOLDEN_SIZING["seed"],
+            engine=engine,
+        )
+
+    reference = fresh("scalar")
+    reference.run(GOLDEN_SIZING["measure_ops"], GOLDEN_SIZING["warmup_ops"])
+    reference_digest = stats_digest(reference)
+
+    victim = fresh("batched")
+    Checkpointer(tmp_path, cut_points=[WARMUP_CUT, MEASURE_CUT]).arm(victim)
+    victim.run(GOLDEN_SIZING["measure_ops"], GOLDEN_SIZING["warmup_ops"])
+    assert stats_digest(victim) == reference_digest
+
+    for cut in (WARMUP_CUT, MEASURE_CUT):
+        path = tmp_path / f"cut_{cut}.ckpt"
+        assert path.exists(), f"cut at step {cut} was not written"
+        restored = load_checkpoint(path)
+        assert restored.engine == "batched"
+        restored.resume_run()
+        assert stats_digest(restored) == reference_digest, (
+            f"batched resume from step {cut} diverged from scalar reference"
+        )
+
+
+def test_numpy_array_state_round_trips_checkpoint(tmp_path):
+    """RL006 snapshot safety for numpy-backed state (REPRO-CKPT v1).
+
+    The system graph now carries numpy struct-of-arrays members (each
+    process's :class:`repro.vm.mmu.DenseVpnCache`); the checkpoint store
+    must round-trip them exactly — same dtype, same values, still
+    *usable* (the resumed run keeps translating through the array)."""
+    import numpy as np
+
+    from repro.bench import stats_digest
+    from repro.sim.system import build_system
+    from repro.snapshot import save_checkpoint
+    from repro.vm.mmu import DenseVpnCache
+
+    system = build_system(
+        "pageseer", workload_by_name("lbmx4"), scale=1024, seed=0
+    )
+    system.run_ops(300)
+    table = system.cores[0].process.page_table
+    cache = table._vpn_cache
+    assert isinstance(cache, DenseVpnCache), (
+        "the OS model should install the numpy-backed VPN cache"
+    )
+    assert len(cache) > 0, "warm-up must have populated the dense window"
+
+    path = save_checkpoint(system, tmp_path / "numpy.ckpt")
+    restored = load_checkpoint(path)
+    restored_cache = restored.cores[0].process.page_table._vpn_cache
+    assert isinstance(restored_cache, DenseVpnCache)
+    assert restored_cache._ppns.dtype == np.int64
+    assert np.array_equal(restored_cache._ppns, cache._ppns)
+    assert restored_cache._overflow == cache._overflow
+    assert restored_cache.base_vpn == cache.base_vpn
+
+    # The restored array is live state, not a display copy: both halves
+    # must keep running and agree bit-for-bit.
+    system.run_ops(300)
+    restored.run_ops(300)
+    assert stats_digest(restored) == stats_digest(system)
+
+
+def test_soa_timeline_round_trips_codec():
+    """SoaBankedTimeline state survives the snapshot codec layer."""
+    import numpy as np
+
+    from repro.common.timeline import SoaBankedTimeline
+    from repro.snapshot import codec
+
+    soa = SoaBankedTimeline(6)
+    soa.reserve(2, 10, 7)
+    soa.reserve_all(20, 3)
+    restored = codec.loads(codec.dumps(soa))
+    assert np.array_equal(restored.busy_until, soa.busy_until)
+    assert np.array_equal(restored.total_busy, soa.total_busy)
+    assert restored.busy_until.dtype == np.int64

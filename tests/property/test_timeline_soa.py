@@ -1,0 +1,204 @@
+"""Differential properties: numpy struct-of-arrays kernels vs scalar models.
+
+The batched engine's bulk kernels keep their state in numpy vectors
+(:class:`repro.common.timeline.SoaBankedTimeline`,
+:class:`repro.vm.mmu.DenseVpnCache`).  Equivalence with the scalar
+structures is not an aspiration but a contract: these properties replay
+random operation sequences against both representations and require
+bit-identical results — including ``least_loaded`` tie-breaking (first
+index achieving the minimum) and bank indices that wrap modulo the bank
+count, the way the device's line→bank mapping produces them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.timeline import BankedTimeline, SoaBankedTimeline
+from repro.vm.mmu import DenseVpnCache
+
+# -- SoaBankedTimeline vs BankedTimeline -------------------------------------
+
+#: One step of traffic: (raw bank index, now-increment, duration).  The raw
+#: index deliberately exceeds any bank count so tests exercise modulo
+#: wraparound exactly like the device's ``line % banks`` mapping.
+_STEPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=40),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _pair(count):
+    return BankedTimeline(count), SoaBankedTimeline(count)
+
+
+def _assert_same_state(banked, soa):
+    for index in range(len(banked)):
+        assert banked[index].busy_until == int(soa.busy_until[index])
+        assert banked[index].total_busy == int(soa.total_busy[index])
+
+
+class TestSoaBankedTimeline:
+    @settings(max_examples=200, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=9), steps=_STEPS)
+    def test_reserve_sequence_of_ops_is_bit_identical(self, count, steps):
+        banked, soa = _pair(count)
+        now = 0
+        for raw_index, advance, duration in steps:
+            now += advance
+            index = raw_index % count  # device-style modulo wraparound
+            assert banked.reserve(index, now, duration) == soa.reserve(
+                index, now, duration
+            )
+        _assert_same_state(banked, soa)
+
+    @settings(max_examples=200, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=9), steps=_STEPS)
+    def test_least_loaded_matches_including_ties(self, count, steps):
+        banked, soa = _pair(count)
+        now = 0
+        for raw_index, advance, duration in steps:
+            now += advance
+            banked.reserve(raw_index % count, now, duration)
+            soa.reserve(raw_index % count, now, duration)
+            # Probe at several times: before, at, and beyond the busy
+            # horizon, so both the all-free tie and the all-busy minimum
+            # paths are exercised.
+            for probe in (0, now, now + 100):
+                assert banked.least_loaded(probe) == soa.least_loaded(probe)
+
+    @settings(max_examples=100, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=8),
+           elapsed=st.integers(min_value=1, max_value=500),
+           steps=_STEPS)
+    def test_utilization_matches(self, count, elapsed, steps):
+        banked, soa = _pair(count)
+        now = 0
+        for raw_index, advance, duration in steps:
+            now += advance
+            banked.reserve(raw_index % count, now, duration)
+            soa.reserve(raw_index % count, now, duration)
+        assert banked.utilization(elapsed) == pytest.approx(
+            soa.utilization(elapsed)
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=6),
+           now=st.integers(min_value=0, max_value=200),
+           duration=st.integers(min_value=0, max_value=50),
+           steps=_STEPS)
+    def test_reserve_all_equals_scalar_loop(self, count, now, duration, steps):
+        banked, soa = _pair(count)
+        t = 0
+        for raw_index, advance, step_duration in steps:
+            t += advance
+            banked.reserve(raw_index % count, t, step_duration)
+            soa.reserve(raw_index % count, t, step_duration)
+        scalar_ends = [
+            banked.reserve(index, now, duration)[1] for index in range(count)
+        ]
+        assert soa.reserve_all(now, duration).tolist() == scalar_ends
+        _assert_same_state(banked, soa)
+
+    @settings(max_examples=150, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=6),
+           now=st.integers(min_value=0, max_value=200),
+           duration=st.integers(min_value=1, max_value=20),
+           raw_indices=st.lists(st.integers(min_value=0, max_value=1000),
+                                max_size=40))
+    def test_reserve_sequence_kernel_equals_scalar_loop(
+        self, count, now, duration, raw_indices
+    ):
+        """Repeated banks chain behind their own grants, in order."""
+        banked, soa = _pair(count)
+        indices = [raw % count for raw in raw_indices]
+        scalar_ends = [banked.reserve(i, now, duration)[1] for i in indices]
+        ends = soa.reserve_sequence(np.asarray(indices, dtype=np.int64),
+                                    now, duration)
+        assert ends.tolist() == scalar_ends
+        _assert_same_state(banked, soa)
+
+    def test_round_trip_conversions(self):
+        banked = BankedTimeline(4)
+        banked.reserve(1, 5, 10)
+        banked.reserve(3, 0, 7)
+        soa = SoaBankedTimeline.from_banked(banked)
+        back = soa.to_banked()
+        for index in range(4):
+            assert back[index].busy_until == banked[index].busy_until
+            assert back[index].total_busy == banked[index].total_busy
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SoaBankedTimeline(0)
+
+
+# -- DenseVpnCache vs plain dict ----------------------------------------------
+
+_BASE = 1 << 20
+
+#: Operations: (kind, vpn-offset, ppn).  Offsets straddle the dense window
+#: boundary (capacity 64 below) and go negative, so both the dense vector
+#: and the overflow dict are exercised.
+_CACHE_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "get"]),
+        st.integers(min_value=-20, max_value=120),
+        st.integers(min_value=0, max_value=1 << 30),
+    ),
+    max_size=80,
+)
+
+
+class TestDenseVpnCache:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_CACHE_OPS)
+    def test_matches_dict_model(self, ops):
+        cache = DenseVpnCache(_BASE, capacity=64)
+        model = {}
+        for kind, offset, ppn in ops:
+            vpn = _BASE + offset
+            if kind == "set":
+                cache[vpn] = ppn
+                model[vpn] = ppn
+            else:
+                assert cache.get(vpn) == model.get(vpn)
+                assert (vpn in cache) == (vpn in model)
+        assert len(cache) == len(model)
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=_CACHE_OPS)
+    def test_lookup_many_matches_scalar_gets(self, ops):
+        cache = DenseVpnCache(_BASE, capacity=64)
+        probes = []
+        for kind, offset, ppn in ops:
+            vpn = _BASE + offset
+            probes.append(vpn)
+            if kind == "set":
+                cache[vpn] = ppn
+        if not probes:
+            probes = [_BASE]
+        vector = cache.lookup_many(np.asarray(probes, dtype=np.int64))
+        for vpn, got in zip(probes, vector.tolist()):
+            expected = cache.get(vpn)
+            assert got == (expected if expected is not None else -1)
+
+    def test_heap_base_window_matches_workloads(self):
+        """The OS model's dense-window base must equal the workloads' heap
+        base — the two constants live in different layers and cannot
+        import each other, so this test pins the agreement."""
+        from repro.common.addr import PAGE_SHIFT
+        from repro.vm.os_model import HEAP_BASE_VPN
+        from repro.workloads.synthetic import HEAP_BASE
+
+        assert HEAP_BASE_VPN == HEAP_BASE >> PAGE_SHIFT
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DenseVpnCache(0, capacity=0)

@@ -25,14 +25,31 @@ class TestBenchJson:
         document = json.loads((tmp_path / "BENCH_unit.json").read_text())
         assert document["label"] == "unit"
         assert set(document["params"]) == {
-            "scale", "warmup_ops", "measure_ops", "seed", "repeats"
+            "scale", "warmup_ops", "measure_ops", "seed", "repeats", "engines"
         }
         entry = document["results"]["noswap/milcx4"]
         assert entry["ops_per_sec"] > 0
         assert entry["ops"] == 200 * 4  # milcx4 runs four cores
         assert entry["wall_seconds_best"] <= entry["wall_seconds_total"]
         assert len(entry["stats_digest"]) == 16
+        assert entry["engine"] == "batched"
         assert isinstance(document["git_rev"], str)
+
+    def test_both_engines_benched_with_identical_digests(self, tmp_path):
+        """The default grid covers both engines; the scalar row carries
+        the @scalar key suffix and must agree bit-for-bit with batched."""
+        assert run_bench_cli(tmp_path, "--label", "eng") == 0
+        document = json.loads((tmp_path / "BENCH_eng.json").read_text())
+        batched = document["results"]["noswap/milcx4"]
+        scalar = document["results"]["noswap/milcx4@scalar"]
+        assert scalar["engine"] == "scalar"
+        assert scalar["stats_digest"] == batched["stats_digest"]
+
+    def test_single_engine_selection(self, tmp_path):
+        assert run_bench_cli(tmp_path, "--label", "solo",
+                             "--engines", "batched") == 0
+        document = json.loads((tmp_path / "BENCH_solo.json").read_text())
+        assert list(document["results"]) == ["noswap/milcx4"]
 
     def test_quick_flag_recorded(self, tmp_path):
         assert run_bench_cli(tmp_path, "--quick", "--label", "q") == 0

@@ -186,3 +186,131 @@ class TestIntrospection:
         for line in range(device.config.channels):
             device.access(0, line, False)
         assert device.earliest_bus_free(0) > 0
+
+
+class _InertInjector:
+    """An armed-but-silent injector: forces the per-line scalar transfer
+    walk (``_transfer_page_faulty``) without ever raising a fault."""
+
+    def check_access(self, device, now, line, is_write):
+        return None
+
+    def check_transfer(self, device, now, first_line, line_count, is_write):
+        return None
+
+
+def _device_state(device):
+    """Every observable piece of device state, for differential checks."""
+    return (
+        list(device._bank_demand_until),
+        list(device._bank_any_until),
+        list(device._bank_total_busy),
+        list(device._bus_demand_until),
+        list(device._bus_any_until),
+        list(device._bus_total_busy),
+        list(device._open_rows),
+        list(device._row_written),
+        device.reads,
+        device.writes,
+        device.row_hits,
+        device.queue_delay_total,
+        device.service_time_total,
+    )
+
+
+def _traffic(seed=7, count=400, lines=4096):
+    """A deterministic mixed demand/bulk access pattern."""
+    import random
+
+    rng = random.Random(seed)
+    now = 0
+    for _ in range(count):
+        now += rng.randrange(0, 30)
+        yield (now, rng.randrange(lines), rng.random() < 0.4,
+               rng.random() < 0.2)
+
+
+class TestAccessFinishDifferential:
+    """``access_finish`` is ``access`` minus the AccessResult allocation.
+
+    The rewrite inlined the two-priority reservation bodies into
+    ``access_finish``; this differential harness drives both entry points
+    with identical traffic on two identical devices and requires the
+    finish times and the complete internal state (bank/bus timelines,
+    open rows, write-recovery flags, counters) to stay bit-identical.
+    """
+
+    @pytest.mark.parametrize("nvm", [False, True])
+    @pytest.mark.parametrize("contention", [True, False])
+    def test_same_schedule_and_state(self, nvm, contention):
+        full = make_device(contention=contention, nvm=nvm)
+        fast = make_device(contention=contention, nvm=nvm)
+        for now, line, is_write, bulk in _traffic():
+            result = full.access(now, line, is_write, bulk=bulk)
+            finish = fast.access_finish(now, line, is_write, bulk=bulk)
+            assert finish == result.finish
+        assert _device_state(full)[:11] == _device_state(fast)[:11]
+
+    def test_queue_delay_only_tracked_by_access(self):
+        """The one intentional divergence: access_finish skips the
+        queue-delay aggregate (nothing on the hot path reads it)."""
+        full = make_device()
+        fast = make_device()
+        for now, line, is_write, bulk in _traffic(seed=3, count=100):
+            full.access(now, line, is_write, bulk=bulk)
+            fast.access_finish(now, line, is_write, bulk=bulk)
+        assert full.queue_delay_total >= 0
+
+
+class TestTransferPageDifferential:
+    """Closed-form transfer planning vs the per-line scalar walk.
+
+    With an injector armed, ``transfer_page`` falls back to the original
+    per-line/group walk (``_transfer_page_faulty``).  Arming an injector
+    that never fires therefore yields a scalar reference execution of the
+    same transfer; the closed-form planner must match its finish time and
+    every state mutation exactly, which is what makes the fallback a safe
+    batch boundary.
+    """
+
+    @pytest.mark.parametrize("is_write", [False, True])
+    @pytest.mark.parametrize("bulk", [False, True])
+    def test_matches_scalar_walk(self, is_write, bulk):
+        closed = make_device()
+        scalar = make_device()
+        scalar.injector = _InertInjector()
+        now = 0
+        for first_line, count in [(0, 64), (7, 64), (128, 32), (3, 1),
+                                  (200, 5), (64, 64)]:
+            now += 50
+            a = closed.transfer_page(now, first_line, count, is_write,
+                                     bulk=bulk)
+            b = scalar.transfer_page(now, first_line, count, is_write,
+                                     bulk=bulk)
+            assert a == b, (first_line, count)
+        scalar.injector = None
+        assert _device_state(closed)[:11] == _device_state(scalar)[:11]
+
+    def test_interleaved_with_demand_traffic(self):
+        closed = make_device()
+        scalar = make_device()
+        scalar.injector = _InertInjector()
+        import random
+
+        rng = random.Random(11)
+        now = 0
+        for _ in range(60):
+            now += rng.randrange(0, 100)
+            if rng.random() < 0.3:
+                first = rng.randrange(0, 4096 - 64)
+                count = rng.choice([1, 8, 32, 64])
+                a = closed.transfer_page(now, first, count, True, bulk=True)
+                b = scalar.transfer_page(now, first, count, True, bulk=True)
+            else:
+                line = rng.randrange(4096)
+                write = rng.random() < 0.5
+                a = closed.access_finish(now, line, write)
+                b = scalar.access_finish(now, line, write)
+            assert a == b
+        scalar.injector = None
+        assert _device_state(closed)[:11] == _device_state(scalar)[:11]

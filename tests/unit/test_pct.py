@@ -123,7 +123,7 @@ class TestFilterFlurries:
         triggers, evicted = filt.observe_miss(1, 100, PctEntry())
         assert filt.current_leader(1) == 100
         assert not evicted
-        assert triggers == []
+        assert list(triggers) == []
 
     def test_repeat_misses_accumulate(self):
         filt = make_filter()
@@ -170,7 +170,7 @@ class TestFilterTriggers:
     def test_cold_history_no_trigger(self):
         filt = make_filter()
         triggers, _ = filt.observe_miss(1, 100, PctEntry(THRESHOLD - 1, None, 0))
-        assert triggers == []
+        assert list(triggers) == []
 
     def test_follower_trigger(self):
         filt = make_filter()
@@ -190,7 +190,7 @@ class TestFilterTriggers:
         filt = make_filter()
         filt.observe_miss(1, 100, PctEntry(THRESHOLD, None, 0))
         triggers, _ = filt.observe_miss(1, 100, PctEntry(THRESHOLD, None, 0))
-        assert triggers == []
+        assert list(triggers) == []
 
 
 class TestFilterEviction:

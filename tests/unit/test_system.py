@@ -120,10 +120,16 @@ class _StubCore:
 
 
 class _StubSystem:
-    """Bare ``cores`` holder to drive ``System.run_ops`` in isolation."""
+    """Bare ``cores`` holder to drive ``System.run_ops`` in isolation.
+
+    Pinned to the scalar engine: these tests define the reference
+    interleaving the batched engine must reproduce (the batched side is
+    held to it by tests/integration/test_engine_equivalence.py).
+    """
 
     run_ops = System.run_ops
     _run_to_targets = System._run_to_targets
+    engine = "scalar"
 
     def __init__(self, cores):
         self.cores = cores
