@@ -147,6 +147,11 @@ class ProjectContext:
         self.root = root
         self.files: List[SourceFile] = []
         self.findings: List[Finding] = []
+        #: The whole-program model when ``--program`` is active (a
+        #: :class:`repro.lint.program.model.ProgramModel`); rules use it
+        #: both to emit RL1xx findings and to dedupe their per-file
+        #: approximations (RL002/RL006).
+        self.program_model: Optional[object] = None
 
     def emit(
         self,
@@ -263,9 +268,20 @@ class LintReport:
 class LintEngine:
     """Runs a rule set over a file tree and returns a :class:`LintReport`."""
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None, root: Optional[Path] = None):
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        root: Optional[Path] = None,
+        program: bool = False,
+        cache_path: Optional[Path] = None,
+    ):
         self.rules = list(rules) if rules is not None else all_rules()
         self.root = (root or Path.cwd()).resolve()
+        self.program = program
+        #: Facts-cache location for program mode; None disables caching.
+        self.cache_path = cache_path
+        #: The last run's program model (for --graph dumps and tests).
+        self.last_program_model: Optional[object] = None
 
     # -- file collection ---------------------------------------------------
     def collect_files(self, paths: Sequence[Union[str, Path]]) -> List[Path]:
@@ -305,10 +321,25 @@ class LintEngine:
             ctx.files.append(SourceFile(path, self._relpath(path), text, tree))
         report.files_checked = len(ctx.files)
 
-        for rule in self.rules:
+        rules = self.rules
+        if self.program:
+            # Build the whole-program model *before* any collect pass so
+            # per-file rules can already dedupe against it, then append
+            # the RL1xx rules to the dispatch list.
+            from repro.lint.program.base import all_program_rules
+            from repro.lint.program.cache import AnalysisCache
+            from repro.lint.program.model import build_program_model
+
+            cache = AnalysisCache(self.cache_path) if self.cache_path else None
+            model = build_program_model(self.root, ctx.files, cache)
+            ctx.program_model = model
+            self.last_program_model = model
+            rules = rules + all_program_rules()
+
+        for rule in rules:
             for source in ctx.files:
                 rule.collect(source, ctx)
-        for rule in self.rules:
+        for rule in rules:
             rule.finalize(ctx)
 
         for finding in sorted(
@@ -326,6 +357,10 @@ def lint_paths(
     paths: Sequence[Union[str, Path]],
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
+    program: bool = False,
+    cache_path: Optional[Path] = None,
 ) -> LintReport:
     """Convenience wrapper: lint *paths* with the default rule set."""
-    return LintEngine(rules=rules, root=root).run(paths)
+    return LintEngine(
+        rules=rules, root=root, program=program, cache_path=cache_path
+    ).run(paths)

@@ -1,0 +1,76 @@
+"""Base class and registry for whole-program (RL1xx) rules.
+
+A program rule is an ordinary engine :class:`~repro.lint.engine.Rule`
+whose ``collect`` pass is a no-op; all of its reasoning happens in
+``finalize`` against ``ctx.program_model`` (a
+:class:`~repro.lint.program.model.ProgramModel` the engine builds before
+dispatching rules when ``--program`` is active).
+
+Program rules must emit findings only into *linted* files: the model
+spans the full ``src/repro`` tree even when a subset is linted, and a
+finding in an un-linted file could never be suppressed or inspected by
+the user who asked for that subset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+from repro.lint.engine import Finding, ProjectContext, Rule, Severity, SourceFile
+from repro.lint.program.model import ProgramModel
+
+_PROGRAM_REGISTRY: List[Type["ProgramRule"]] = []
+
+
+def register_program_rule(cls: Type["ProgramRule"]) -> Type["ProgramRule"]:
+    """Class decorator adding a rule to the program (``--program``) set."""
+    _PROGRAM_REGISTRY.append(cls)
+    return cls
+
+
+def all_program_rules() -> List["ProgramRule"]:
+    """Fresh instances of every registered program rule."""
+    from repro.lint.program import rules  # noqa: F401  (registry import)
+
+    return [cls() for cls in _PROGRAM_REGISTRY]
+
+
+class ProgramRule(Rule):
+    """Base class for RL1xx rules; override :meth:`check`."""
+
+    def collect(self, source: SourceFile, ctx: ProjectContext) -> None:
+        """Program rules read extracted facts, not per-file ASTs."""
+
+    def finalize(self, ctx: ProjectContext) -> None:
+        model: Optional[ProgramModel] = getattr(ctx, "program_model", None)
+        if model is None:
+            return
+        self.check(model, ctx)
+
+    def check(self, model: ProgramModel, ctx: ProjectContext) -> None:
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+    def emit_at(
+        self,
+        ctx: ProjectContext,
+        relpath: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        """Emit a finding at a file position, linted files only."""
+        source = ctx.file_by_relpath(relpath)
+        if source is None:
+            return  # outside the linted set — the model is wider than it
+        ctx.findings.append(
+            Finding(
+                rule=self.rule_id,
+                severity=severity if severity is not None else self.default_severity,
+                path=source.relpath,
+                line=line,
+                col=col,
+                message=message,
+            )
+        )

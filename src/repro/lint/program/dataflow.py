@@ -1,0 +1,347 @@
+"""The flow-sensitive intraprocedural dataflow core.
+
+Two analyses share this module:
+
+* :class:`LocalStringBindings` — a reaching-definitions pass over string
+  locals, used by the extractor to resolve ``key = "hmc/x"``
+  ... ``stats.add(key)`` record sites to their literal keys;
+* :func:`analyze_function_taint` — a may-taint analysis over one
+  function.  Local names carry a set of *origins* (a concrete
+  nondeterminism source, a parameter index, or a callee whose return
+  value may be tainted); assignments gen/kill origins in program order,
+  branches fork the state and join by union, and loop bodies run twice so
+  loop-carried taint converges.  The output is a list of
+  :class:`~repro.lint.program.facts.TaintFlow` summaries — local facts
+  the model phase composes across the call graph.
+
+The environment (:class:`TaintEnv`) keeps this module policy-free: what
+counts as a source, a laundering call, or a sink is decided by the
+extractor, which knows the file's imports and package location.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.program.facts import Ref, SinkSite, TaintFlow
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: One taint origin: ("source", description), ("param", index), or
+#: ("call", *callee_ref).
+Origin = Tuple[str, ...]
+
+#: The per-name taint state: name -> set of origins (empty set == clean).
+TaintState = Dict[str, FrozenSet[Origin]]
+
+
+def _describe(origin: Origin) -> str:
+    if origin[0] == "source":
+        return origin[1]
+    if origin[0] == "param":
+        return f"parameter #{origin[1]}"
+    return "the return value of " + ".".join(origin[2:] or origin[1:])
+
+
+class LocalStringBindings:
+    """Reaching string-literal definitions of one function's locals.
+
+    Walks the statements in program order; a name assigned a string
+    literal (or a module-level string constant) *reaches* later uses
+    until any other assignment kills it.  Branches are approximated
+    lexically — good enough to resolve the ``key = "..."``/``record(key)``
+    idiom without a full CFG.
+    """
+
+    def __init__(self, constants: Optional[Dict[str, str]] = None):
+        self._constants = dict(constants or {})
+        #: name -> (value, assignment line); None value == killed.
+        self._bindings: Dict[str, Optional[str]] = {}
+
+    def assign(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            self._bindings[target.id] = value.value
+        elif isinstance(value, ast.Name) and value.id in self._constants:
+            self._bindings[target.id] = self._constants[value.id]
+        else:
+            self._bindings[target.id] = None
+
+    def lookup(self, name: str) -> Optional[str]:
+        if name in self._bindings:
+            return self._bindings[name]
+        return self._constants.get(name)
+
+
+class TaintEnv:
+    """Extraction-time policy callbacks for the taint walker."""
+
+    def __init__(
+        self,
+        source_of: Callable[[ast.Call], Optional[str]],
+        launders: Callable[[ast.Call], bool],
+        callee_ref: Callable[[ast.Call], Optional[Ref]],
+        sink_for_call: Callable[[ast.Call], Optional[SinkSite]],
+        sink_for_attr: Callable[[ast.Attribute], Optional[SinkSite]],
+    ):
+        self.source_of = source_of
+        self.launders = launders
+        self.callee_ref = callee_ref
+        self.sink_for_call = sink_for_call
+        self.sink_for_attr = sink_for_attr
+
+
+class _TaintWalker:
+    def __init__(self, env: TaintEnv):
+        self.env = env
+        self.flows: List[TaintFlow] = []
+        self._seen: Set[Tuple[Origin, Ref, int, int]] = set()
+
+    # -- flow emission -----------------------------------------------------
+    def _emit(self, origins: FrozenSet[Origin], dst: Ref, node: ast.AST) -> None:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0)
+        for origin in sorted(origins):
+            key = (origin, dst, line, col)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.flows.append(
+                TaintFlow(src=origin, dst=dst, line=line, col=col, origin=_describe(origin))
+            )
+
+    # -- expression origins ------------------------------------------------
+    def origins(self, node: Optional[ast.AST], state: TaintState) -> FrozenSet[Origin]:
+        if node is None:
+            return frozenset()
+        if isinstance(node, ast.Name):
+            return state.get(node.id, frozenset())
+        if isinstance(node, ast.Call):
+            return self._call_origins(node, state)
+        if isinstance(node, ast.BinOp):
+            return self.origins(node.left, state) | self.origins(node.right, state)
+        if isinstance(node, ast.UnaryOp):
+            return self.origins(node.operand, state)
+        if isinstance(node, ast.BoolOp):
+            out: FrozenSet[Origin] = frozenset()
+            for value in node.values:
+                out |= self.origins(value, state)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.origins(node.left, state)
+            for comparator in node.comparators:
+                out |= self.origins(comparator, state)
+            return out
+        if isinstance(node, ast.IfExp):
+            return self.origins(node.body, state) | self.origins(node.orelse, state)
+        if isinstance(node, ast.Subscript):
+            return self.origins(node.value, state) | self.origins(node.slice, state)
+        if isinstance(node, ast.Attribute):
+            return self.origins(node.value, state)
+        if isinstance(node, ast.Starred):
+            return self.origins(node.value, state)
+        if isinstance(node, ast.Await):
+            return self.origins(node.value, state)
+        if isinstance(node, ast.NamedExpr):
+            origins = self.origins(node.value, state)
+            state[node.target.id] = origins
+            return origins
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = frozenset()
+            for element in node.elts:
+                out |= self.origins(element, state)
+            return out
+        if isinstance(node, ast.Dict):
+            out = frozenset()
+            for key in node.keys:
+                if key is not None:
+                    out |= self.origins(key, state)
+            for value in node.values:
+                out |= self.origins(value, state)
+            return out
+        if isinstance(node, ast.JoinedStr):
+            out = frozenset()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.origins(value.value, state)
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            out = frozenset()
+            for comp in node.generators:
+                out |= self.origins(comp.iter, state)
+            out |= self.origins(node.elt, state)
+            return out
+        if isinstance(node, ast.DictComp):
+            out = frozenset()
+            for comp in node.generators:
+                out |= self.origins(comp.iter, state)
+            return out | self.origins(node.key, state) | self.origins(node.value, state)
+        return frozenset()
+
+    def _call_origins(self, node: ast.Call, state: TaintState) -> FrozenSet[Origin]:
+        source = self.env.source_of(node)
+        if source is not None:
+            return frozenset({("source", source)})
+        if self.env.launders(node):
+            # A DeterministicRng draw: sanctioned randomness, clean by
+            # definition — the laundering point of repro.common.rng.
+            for arg in node.args:
+                self.origins(arg, state)
+            return frozenset()
+        ref = self.env.callee_ref(node)
+        arg_origins: FrozenSet[Origin] = frozenset()
+        for index, arg in enumerate(node.args):
+            origins = self.origins(arg, state)
+            arg_origins |= origins
+            if origins and ref is not None:
+                self._emit(origins, ("call_arg", str(index), *ref), arg)
+        for keyword in node.keywords:
+            arg_origins |= self.origins(keyword.value, state)
+        sink = self.env.sink_for_call(node)
+        if sink is not None and arg_origins:
+            self._emit(arg_origins, ("sink", sink.kind, sink.detail), node)
+        # Conservative may-taint: a call's return carries its tainted
+        # arguments (wrappers like int()/min() preserve taint) plus, for
+        # project callees, whatever the callee itself returns — resolved
+        # transitively by the model phase via the ("call", ...) origin.
+        if ref is not None:
+            return arg_origins | frozenset({("call", *ref)})
+        return arg_origins
+
+    # -- statements --------------------------------------------------------
+    def exec_block(self, body: Sequence[ast.stmt], state: TaintState) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, state)
+
+    @staticmethod
+    def _merge(into: TaintState, *branches: TaintState) -> None:
+        names = set(into)
+        for branch in branches:
+            names |= set(branch)
+        for name in names:
+            merged = into.get(name, frozenset())
+            for branch in branches:
+                merged |= branch.get(name, frozenset())
+            into[name] = merged
+
+    def _assign_target(
+        self, target: ast.expr, origins: FrozenSet[Origin], state: TaintState, node: ast.AST
+    ) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = origins  # gen *and* kill: reassignment cleans
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign_target(element, origins, state, node)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, origins, state, node)
+        elif isinstance(target, ast.Attribute):
+            if origins:
+                sink = self.env.sink_for_attr(target)
+                if sink is not None:
+                    self._emit(origins, ("sink", sink.kind, sink.detail), node)
+        elif isinstance(target, ast.Subscript):
+            if origins:
+                base = target.value
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Attribute):
+                    sink = self.env.sink_for_attr(base)
+                    if sink is not None:
+                        self._emit(origins, ("sink", sink.kind, sink.detail), node)
+            # A tainted index poisons the container's determinism too.
+            self.origins(target.slice, state)
+
+    def exec_stmt(self, stmt: ast.stmt, state: TaintState) -> None:
+        if isinstance(stmt, ast.Assign):
+            origins = self.origins(stmt.value, state)
+            for target in stmt.targets:
+                self._assign_target(target, origins, state, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign_target(stmt.target, self.origins(stmt.value, state), state, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            origins = self.origins(stmt.value, state)
+            if isinstance(stmt.target, ast.Name):
+                state[stmt.target.id] = state.get(stmt.target.id, frozenset()) | origins
+            else:
+                self._assign_target(stmt.target, origins, state, stmt)
+        elif isinstance(stmt, ast.Return):
+            origins = self.origins(stmt.value, state)
+            if origins:
+                self._emit(origins, ("return",), stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.origins(stmt.value, state)
+        elif isinstance(stmt, ast.If):
+            then_state, else_state = dict(state), dict(state)
+            self.exec_block(stmt.body, then_state)
+            self.exec_block(stmt.orelse, else_state)
+            state.clear()
+            self._merge(state, then_state, else_state)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_origins = self.origins(stmt.iter, state)
+            body_state = dict(state)
+            # Two passes so taint assigned late in the body reaches uses
+            # early in the next iteration (loop-carried flows).
+            for _ in range(2):
+                self._assign_target(stmt.target, iter_origins, body_state, stmt)
+                self.exec_block(stmt.body, body_state)
+            self.exec_block(stmt.orelse, body_state)
+            self._merge(state, body_state)
+        elif isinstance(stmt, ast.While):
+            self.origins(stmt.test, state)
+            body_state = dict(state)
+            for _ in range(2):
+                self.exec_block(stmt.body, body_state)
+            self.exec_block(stmt.orelse, body_state)
+            self._merge(state, body_state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                origins = self.origins(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, origins, state, stmt)
+            self.exec_block(stmt.body, state)
+        elif isinstance(stmt, ast.Try):
+            body_state = dict(state)
+            self.exec_block(stmt.body, body_state)
+            handler_states = []
+            for handler in stmt.handlers:
+                handler_state = dict(state)
+                self.exec_block(handler.body, handler_state)
+                handler_states.append(handler_state)
+            self._merge(state, body_state, *handler_states)
+            self.exec_block(stmt.orelse, state)
+            self.exec_block(stmt.finalbody, state)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            if isinstance(stmt, ast.Assert):
+                self.origins(stmt.test, state)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+        # Nested function/class definitions are analyzed on their own;
+        # their bodies do not execute here.
+
+
+def analyze_function_taint(
+    func: FunctionNode,
+    env: TaintEnv,
+    *,
+    is_method: bool,
+) -> List[TaintFlow]:
+    """Run the may-taint walk over *func* and return its flow summaries.
+
+    Parameters are seeded with ``("param", i)`` origins, indexed as the
+    *caller* sees them (``self`` excluded for methods), so the model phase
+    can match call-site argument positions directly.
+    """
+    walker = _TaintWalker(env)
+    state: TaintState = {}
+    params = list(func.args.posonlyargs) + list(func.args.args)
+    if is_method and params:
+        params = params[1:]
+    for index, param in enumerate(params):
+        state[param.arg] = frozenset({("param", str(index))})
+    walker.exec_block(func.body, state)
+    return walker.flows

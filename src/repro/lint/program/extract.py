@@ -1,0 +1,834 @@
+"""Per-file fact extraction: one parsed source file → :class:`ModuleFacts`.
+
+This is the only program-analysis phase that looks at ASTs; everything
+downstream (symbol resolution, call-graph propagation, the RL1xx rules)
+consumes the serializable facts it produces, which is what makes the
+content-hash cache sound: same bytes, same facts.
+
+The extractor knows the file's *local* context — its imports, its
+package location, which receivers look like stats registries or
+DeterministicRng streams — and encodes policy for the taint walker
+through a :class:`~repro.lint.program.dataflow.TaintEnv`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.engine import SIM_PACKAGES
+from repro.lint.program.dataflow import (
+    FunctionNode,
+    LocalStringBindings,
+    TaintEnv,
+    analyze_function_taint,
+)
+from repro.lint.program.facts import (
+    ArrayFact,
+    AttrEdge,
+    ClassFacts,
+    FunctionFacts,
+    KeySite,
+    ModuleFacts,
+    NumpyEvent,
+    Ref,
+    SinkSite,
+    UnsafeAssign,
+)
+from repro.lint.program.symbols import module_name_for
+from repro.lint.rules.hot_path import _marked_hot, _numpy_aliases
+from repro.lint.rules.snapshot_safety import (
+    _EXEMPT_METHODS,
+    SnapshotSafetyRule,
+    _returns_nested_function,
+    _rooted_at_self,
+)
+
+#: Mirrors RL001/RL002: stats record/read method names and receivers.
+_RECORD_METHODS = frozenset({"add", "observe", "counter", "observer"})
+_READ_METHODS = frozenset({"get", "mean", "total", "count", "maximum"})
+
+#: Wall-clock/entropy attributes per source module.
+_SOURCE_ATTRS: Dict[str, "frozenset[str]"] = {
+    "time": frozenset(
+        {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+    ),
+    "os": frozenset({"urandom", "getrandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+    "secrets": frozenset(
+        {"token_bytes", "token_hex", "token_urlsafe", "randbits", "randbelow", "choice"}
+    ),
+}
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+_NUMPY_ALLOCATORS = frozenset({"zeros", "ones", "empty", "full", "arange"})
+_NUMPY_DEFAULT_FLOAT = frozenset({"zeros", "ones", "empty", "full"})
+_NUMPY_HOT_ALLOC = frozenset({"append", "concatenate", "copy", "hstack", "vstack", "stack"})
+
+#: Known numpy dtype widths, for the RL104 widening check.
+DTYPE_ORDER: Dict[str, int] = {
+    "bool": 1, "bool_": 1,
+    "int8": 8, "uint8": 8, "int16": 16, "uint16": 16,
+    "int32": 32, "uint32": 32, "int64": 64, "uint64": 64, "intp": 64, "int": 64,
+    "float16": 17, "float32": 33, "float64": 65, "float": 65, "double": 65,
+    "complex64": 66, "complex128": 130,
+}
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` → ["a", "b", "c"]; None when the root is not a Name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _is_stats_receiver(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "stats"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "stats"
+    return False
+
+
+def _annotation_class_leaves(node: Optional[ast.AST]) -> List[str]:
+    """Capitalized Name/dotted leaves inside an annotation expression.
+
+    ``Optional[List[Core]]`` → ["Core"]; ``Dict[str, WalkResult]`` →
+    ["WalkResult"].  Lowercase names (``int``, ``str``) are dropped.
+    """
+    if node is None:
+        return []
+    out: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            if child.id[:1].isupper() and child.id not in (
+                "List", "Dict", "Set", "Tuple", "Optional", "Union",
+                "Sequence", "Mapping", "Iterable", "Callable", "Type",
+                "FrozenSet", "Deque", "DefaultDict", "Any", "None",
+            ):
+                out.append(child.id)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            # String annotation: recurse into its parsed form.
+            try:
+                inner = ast.parse(child.value, mode="eval").body
+            except SyntaxError:
+                continue
+            out.extend(_annotation_class_leaves(inner))
+    return out
+
+
+class _Extractor:
+    """Stateful single-file extraction (one instance per file)."""
+
+    def __init__(self, relpath: str, text: str, tree: ast.Module):
+        self.relpath = relpath
+        self.lines = text.splitlines()
+        self.tree = tree
+        self.module = module_name_for(relpath)
+        parts = tuple(part for part in relpath.split("/") if part)
+        self.in_sim_package = any(part in SIM_PACKAGES for part in parts)
+        self.facts = ModuleFacts(
+            relpath=relpath, module=self.module, in_sim_package=self.in_sim_package
+        )
+        self.np_modules: Set[str] = set()
+        self.np_names: Set[str] = set()
+        #: Local names known to be DeterministicRng-ish (laundering).
+        self.rng_names: Set[str] = set()
+        #: self attrs assigned a DeterministicRng in this file.
+        self.rng_attrs: Set[str] = set()
+        #: names bound by `from random import name`.
+        self.random_imports: Set[str] = set()
+        #: alias -> source module for wall-clock imports (time as t).
+        self.module_aliases: Dict[str, str] = {}
+        #: names bound by `from time import perf_counter` etc.
+        self.source_name_imports: Dict[str, str] = {}
+        #: self._key_* attrs -> literal key (record-site resolution).
+        self.key_attrs: Dict[str, str] = {}
+
+    # -- entry point -------------------------------------------------------
+    def run(self) -> ModuleFacts:
+        self._collect_imports()
+        self.np_modules, self.np_names = _numpy_aliases(self.tree)
+        self._collect_module_level()
+        self._collect_rng_bindings()
+        self._collect_key_attrs()
+        self._collect_codec_registrations()
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self._collect_class(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_function(node, class_name=None)
+        self._collect_stats_sites()
+        self._collect_arrays()
+        return self.facts
+
+    # -- imports -----------------------------------------------------------
+    def _collect_imports(self) -> None:
+        package_parts = self.module.split(".")[:-1] if self.module else []
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.facts.imports[local] = target
+                    root = alias.name.split(".")[0]
+                    if root in ("time", "os", "datetime", "uuid", "secrets", "random"):
+                        self.module_aliases[local] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base_parts = package_parts[: len(package_parts) - (node.level - 1)]
+                    prefix = ".".join(base_parts + ([node.module] if node.module else []))
+                else:
+                    prefix = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.facts.imports[local] = f"{prefix}.{alias.name}" if prefix else alias.name
+                    if prefix == "random":
+                        self.random_imports.add(local)
+                    elif prefix in _SOURCE_ATTRS and alias.name in _SOURCE_ATTRS[prefix]:
+                        self.source_name_imports[local] = f"{prefix}.{alias.name}"
+                    elif prefix == "datetime" and alias.name in ("datetime", "date"):
+                        self.module_aliases[local] = f"datetime.{alias.name}"
+
+    # -- module level ------------------------------------------------------
+    def _collect_module_level(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                self.facts.constants[target.id] = value.value
+                continue
+            elements: Sequence[ast.expr]
+            if isinstance(value, ast.Dict):
+                elements = [v for v in value.values if v is not None]
+            elif isinstance(value, (ast.Tuple, ast.List)):
+                elements = value.elts
+            else:
+                continue
+            if elements and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str) for e in elements
+            ):
+                self.facts.key_tables[target.id] = [
+                    e.value for e in elements
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                ]
+            elif (
+                isinstance(value, ast.Dict)
+                and elements
+                and all(isinstance(e, ast.Name) for e in elements)
+            ):
+                self.facts.class_tables[target.id] = [
+                    e.id for e in elements if isinstance(e, ast.Name)
+                ]
+
+    # -- DeterministicRng laundering bindings ------------------------------
+    def _looks_like_rng_call(self, node: ast.Call) -> bool:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return False
+        leaf = chain[-1]
+        if leaf == "DeterministicRng" or leaf == "derive":
+            return True
+        imported = self.facts.imports.get(chain[0], "")
+        return leaf == "DeterministicRng" or imported.endswith("DeterministicRng")
+
+    def _collect_rng_bindings(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            if not self._looks_like_rng_call(node.value):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.rng_names.add(target.id)
+                elif isinstance(target, ast.Attribute) and _rooted_at_self(target):
+                    self.rng_attrs.add(target.attr)
+
+    def _collect_key_attrs(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not (isinstance(node.value, ast.Constant) and isinstance(node.value.value, str)):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and _rooted_at_self(target)
+                    and target.attr.startswith("_key_")
+                ):
+                    self.key_attrs[target.attr] = node.value.value
+
+    def _collect_codec_registrations(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name != "register_codec":
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Name):
+                self.facts.codec_registered.append(first.id)
+
+    # -- references --------------------------------------------------------
+    def _callee_ref(self, node: ast.Call) -> Optional[Ref]:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return None
+        if len(chain) == 1:
+            return ("local", chain[0])
+        if chain[0] == "self":
+            if len(chain) == 2:
+                return ("self", chain[1])
+            return ("self_attr", *chain[1:])
+        return ("dotted", *chain)
+
+    # -- classes -----------------------------------------------------------
+    def _collect_class(self, cls: ast.ClassDef) -> None:
+        methods = [
+            child for child in cls.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        class_facts = ClassFacts(
+            name=cls.name,
+            line=cls.lineno,
+            bases=[ref for ref in (self._base_ref(base) for base in cls.bases) if ref],
+            methods=[method.name for method in methods],
+            exempt=any(method.name in _EXEMPT_METHODS for method in methods),
+        )
+        self._collect_attr_edges(cls, methods, class_facts)
+        self._collect_unsafe(cls, methods, class_facts)
+        self.facts.classes[cls.name] = class_facts
+        for method in methods:
+            self._collect_function(method, class_name=cls.name)
+
+    @staticmethod
+    def _base_ref(base: ast.expr) -> Optional[Ref]:
+        chain = _attr_chain(base)
+        if chain is None:
+            return None
+        if len(chain) == 1:
+            return ("local", chain[0])
+        return ("dotted", *chain)
+
+    def _constructor_ref(self, value: ast.expr) -> Optional[Ref]:
+        """A Ref when *value* may construct a project class instance."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        # SCHEMES[scheme](...) — a class-table dispatch.  The table may be
+        # local or imported; the model resolves either way.
+        if isinstance(func, ast.Subscript) and isinstance(func.value, ast.Name):
+            name = func.value.id
+            if name in self.facts.class_tables or name.isupper():
+                return ("table", name)
+        chain = _attr_chain(func)
+        if chain is None:
+            return None
+        if chain[0] == "self" and len(chain) == 2:
+            return ("self", chain[1])  # factory method — resolved via returns_new
+        if chain[-1][:1].isupper():
+            if len(chain) == 1:
+                return ("local", chain[0])
+            return ("dotted", *chain)
+        return None
+
+    def _collect_attr_edges(
+        self,
+        cls: ast.ClassDef,
+        methods: Sequence[FunctionNode],
+        class_facts: ClassFacts,
+    ) -> None:
+        # Class-level annotated fields (dataclasses included).
+        for child in cls.body:
+            if isinstance(child, ast.AnnAssign) and isinstance(child.target, ast.Name):
+                for leaf in _annotation_class_leaves(child.annotation):
+                    class_facts.attr_edges.append(
+                        AttrEdge(attr=child.target.id, target=("local", leaf), line=child.lineno)
+                    )
+        for method in methods:
+            params = {
+                arg.arg: _annotation_class_leaves(arg.annotation)
+                for arg in list(method.args.posonlyargs) + list(method.args.args)
+            }
+            for node in ast.walk(method):
+                if isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        for leaf in _annotation_class_leaves(node.annotation):
+                            class_facts.attr_edges.append(
+                                AttrEdge(attr=target.attr, target=("local", leaf), line=node.lineno)
+                            )
+                        if node.value is not None:
+                            self._value_edges(target.attr, node.value, params, class_facts, node)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            self._value_edges(target.attr, node.value, params, class_facts, node)
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    # self.<attr>.append(Ctor(...)) — container population.
+                    func = node.func
+                    if (
+                        func.attr in ("append", "add", "appendleft", "insert")
+                        and isinstance(func.value, ast.Attribute)
+                        and isinstance(func.value.value, ast.Name)
+                        and func.value.value.id == "self"
+                        and node.args
+                    ):
+                        ref = self._constructor_ref(node.args[-1])
+                        if ref is not None:
+                            class_facts.attr_edges.append(
+                                AttrEdge(attr=func.value.attr, target=ref, line=node.lineno)
+                            )
+
+    def _value_edges(
+        self,
+        attr: str,
+        value: ast.expr,
+        params: Dict[str, List[str]],
+        class_facts: ClassFacts,
+        node: ast.stmt,
+    ) -> None:
+        candidates: List[ast.expr] = [value]
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+            candidates = list(value.elts)
+        elif isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            candidates = [value.elt]
+        elif isinstance(value, ast.Dict):
+            candidates = [v for v in value.values if v is not None]
+        elif isinstance(value, ast.IfExp):
+            candidates = [value.body, value.orelse]
+        for candidate in candidates:
+            ref = self._constructor_ref(candidate)
+            if ref is not None:
+                class_facts.attr_edges.append(AttrEdge(attr=attr, target=ref, line=node.lineno))
+            elif isinstance(candidate, ast.Name) and candidate.id in params:
+                for leaf in params[candidate.id]:
+                    class_facts.attr_edges.append(
+                        AttrEdge(attr=attr, target=("local", leaf), line=node.lineno)
+                    )
+
+    def _collect_unsafe(
+        self,
+        cls: ast.ClassDef,
+        methods: Sequence[FunctionNode],
+        class_facts: ClassFacts,
+    ) -> None:
+        if class_facts.exempt:
+            return
+        factories = {
+            method.name for method in methods if _returns_nested_function(method)
+        }
+        for method in methods:
+            local_functions: Set[str] = {
+                child.name
+                for child in ast.walk(method)
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child is not method
+            }
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                if node.value is None or not any(
+                    _rooted_at_self(target) for target in targets
+                ):
+                    continue
+                problem = SnapshotSafetyRule._classify(node.value, local_functions, factories)
+                if problem is not None:
+                    class_facts.unsafe.append(
+                        UnsafeAssign(
+                            method=method.name,
+                            problem=problem,
+                            line=node.lineno,
+                            col=node.col_offset,
+                        )
+                    )
+
+    # -- functions ---------------------------------------------------------
+    def _source_of(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "id":
+                return "id()"
+            if func.id in self.random_imports:
+                return f"random.{func.id}"
+            if func.id in self.source_name_imports:
+                return f"{self.source_name_imports[func.id]}()"
+            return None
+        chain = _attr_chain(func)
+        if chain is None or len(chain) < 2:
+            return None
+        root_target = self.module_aliases.get(chain[0])
+        if root_target is None:
+            return None
+        root = root_target.split(".")[0]
+        attr = chain[-1]
+        if root == "random":
+            return f"random.{attr}()"
+        if root in _SOURCE_ATTRS and attr in _SOURCE_ATTRS[root]:
+            return f"{root}.{attr}()"
+        if root == "datetime" and attr in _DATETIME_ATTRS:
+            return f"{'.'.join(chain)}()"
+        return None
+
+    def _launders(self, node: ast.Call) -> bool:
+        chain = _attr_chain(node.func)
+        if chain is None or len(chain) < 2:
+            return (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "DeterministicRng"
+            )
+        # The receiver one hop above the method: self._rng.randint ->
+        # "_rng"; rng.random -> "rng".
+        receiver = chain[-2]
+        if "rng" in receiver.lower():
+            return True
+        if receiver in self.rng_names:
+            return True
+        if chain[0] == "self" and len(chain) >= 3 and chain[1] in self.rng_attrs:
+            return True
+        return chain[-1] == "DeterministicRng"
+
+    def _sink_for_call(self, node: ast.Call) -> Optional[SinkSite]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr not in ("add", "observe") or not _is_stats_receiver(func.value):
+            return None
+        detail = f"stats.{func.attr}(...)"
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                detail = f'stats key "{value}"'
+        return SinkSite(kind="stats", detail=detail, line=node.lineno, col=node.col_offset)
+
+    def _make_sink_for_attr(
+        self, class_name: Optional[str]
+    ) -> Callable[[ast.Attribute], Optional[SinkSite]]:
+        def sink_for_attr(node: ast.Attribute) -> Optional[SinkSite]:
+            if class_name is None or not self.in_sim_package:
+                return None
+            if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+                return None
+            return SinkSite(
+                kind="state",
+                detail=f"{class_name}.{node.attr}",
+                line=node.lineno,
+                col=node.col_offset,
+            )
+
+        return sink_for_attr
+
+    def _collect_function(self, func: FunctionNode, class_name: Optional[str]) -> None:
+        qualname = f"{class_name}.{func.name}" if class_name else func.name
+        source_lines = self.lines
+        hot = _marked_hot_lines(source_lines, func)
+        env = TaintEnv(
+            source_of=self._source_of,
+            launders=self._launders,
+            callee_ref=self._callee_ref,
+            sink_for_call=self._sink_for_call,
+            sink_for_attr=self._make_sink_for_attr(class_name),
+        )
+        flows = analyze_function_taint(func, env, is_method=class_name is not None)
+        calls: List[Tuple[Ref, int, int]] = []
+        returns_new: List[Ref] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                ref = self._callee_ref(node)
+                if ref is not None:
+                    calls.append((ref, node.lineno, node.col_offset))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                ctor = self._constructor_ref(node.value)
+                if ctor is not None:
+                    returns_new.append(ctor)
+        self.facts.functions[qualname] = FunctionFacts(
+            qualname=qualname,
+            line=func.lineno,
+            calls=calls,
+            flows=flows,
+            hot=hot,
+            returns_new=returns_new,
+            return_annotation=_annotation_class_leaves(func.returns),
+        )
+        if hot:
+            self._collect_numpy_events(func, qualname)
+
+    # -- stats sites -------------------------------------------------------
+    def _collect_stats_sites(self) -> None:
+        for owner in self._walk_function_scopes():
+            func, _ = owner
+            bindings = LocalStringBindings(self.facts.constants)
+            for node in _ordered_statements(func):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        bindings.assign(target, node.value)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    bindings.assign(node.target, node.value)
+                for call in _calls_of(node):
+                    self._classify_stats_call(call, bindings)
+
+    def _walk_function_scopes(self) -> List[Tuple[FunctionNode, Optional[str]]]:
+        out: List[Tuple[FunctionNode, Optional[str]]] = []
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append((node, None))
+            elif isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        out.append((child, node.name))
+        return out
+
+    def _classify_stats_call(self, node: ast.Call, bindings: LocalStringBindings) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or not node.args:
+            return
+        method = func.attr
+        key_node = node.args[0]
+        if method in _RECORD_METHODS and _is_stats_receiver(func.value):
+            self._record_site(node, key_node, bindings)
+        elif method in _READ_METHODS:
+            key = self._literal_of(key_node, bindings)
+            if key is None:
+                return
+            if _is_stats_receiver(func.value):
+                self._add_read(key, node)
+            elif "/" in key:
+                # Heuristic widening: a slash-shaped literal read through
+                # any .get()/.mean()-style accessor (StatsSnapshot copies,
+                # metric dicts) still participates in liveness.
+                self._add_read(key, node)
+
+    def _literal_of(
+        self, node: ast.expr, bindings: LocalStringBindings
+    ) -> Optional[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            return bindings.lookup(node.id)
+        if isinstance(node, ast.Attribute) and node.attr in self.key_attrs:
+            return self.key_attrs[node.attr]
+        return None
+
+    def _record_site(
+        self, call: ast.Call, key_node: ast.expr, bindings: LocalStringBindings
+    ) -> None:
+        key = self._literal_of(key_node, bindings)
+        if key is not None:
+            kind = "literal" if isinstance(key_node, ast.Constant) else "var"
+            self.facts.stats_records.append(
+                KeySite(key=key, line=call.lineno, col=call.col_offset, kind=kind)
+            )
+            return
+        if (
+            isinstance(key_node, ast.Subscript)
+            and isinstance(key_node.value, ast.Name)
+            and key_node.value.id in self.facts.key_tables
+        ):
+            for key in self.facts.key_tables[key_node.value.id]:
+                self.facts.stats_records.append(
+                    KeySite(key=key, line=call.lineno, col=call.col_offset, kind="table")
+                )
+            return
+        if isinstance(key_node, ast.JoinedStr):
+            prefix = ""
+            if key_node.values and isinstance(key_node.values[0], ast.Constant):
+                prefix = str(key_node.values[0].value)
+            if prefix:
+                self.facts.stats_records.append(
+                    KeySite(key=prefix, line=call.lineno, col=call.col_offset, kind="pattern")
+                )
+
+    def _add_read(self, key: str, node: ast.Call) -> None:
+        self.facts.stats_reads.append(
+            KeySite(key=key, line=node.lineno, col=node.col_offset, kind="literal")
+        )
+
+    # -- numpy -------------------------------------------------------------
+    def _numpy_call_name(self, node: ast.Call) -> Optional[str]:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return None
+        if len(chain) == 1:
+            return chain[0] if chain[0] in self.np_names else None
+        if chain[0] in self.np_modules:
+            return chain[-1]
+        return None
+
+    def _dtype_of_call(self, node: ast.Call) -> Tuple[Optional[str], bool]:
+        """(dtype, explicit) of a numpy allocator call, or (None, False)."""
+        for keyword in node.keywords:
+            if keyword.arg != "dtype":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                return value.value, True
+            chain = _attr_chain(value)
+            if chain is not None:
+                return chain[-1], True
+            return None, False
+        name = self._numpy_call_name(node)
+        if name in _NUMPY_DEFAULT_FLOAT:
+            return "float64", False
+        return None, False
+
+    def _collect_arrays(self) -> None:
+        if not (self.np_modules or self.np_names):
+            return
+        for func, class_name in self._walk_function_scopes():
+            for node in ast.walk(func):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                value = node.value
+                if value is None or not isinstance(value, ast.Call):
+                    continue
+                name = self._numpy_call_name(value)
+                if name not in _NUMPY_ALLOCATORS and name != "asarray" and name != "array":
+                    continue
+                dtype, explicit = self._dtype_of_call(value)
+                if dtype is None:
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and class_name is not None
+                    ):
+                        self.facts.arrays.append(
+                            ArrayFact(
+                                target=f"{class_name}.{target.attr}",
+                                dtype=dtype,
+                                explicit=explicit,
+                                line=node.lineno,
+                                col=node.col_offset,
+                            )
+                        )
+
+    def _collect_numpy_events(self, func: FunctionNode, qualname: str) -> None:
+        """RL104 raw material: suspicious numpy shapes in a hot function."""
+        loop_depth_of = _loop_depths(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            func_expr = node.func
+            np_name = self._numpy_call_name(node)
+            if np_name in _NUMPY_HOT_ALLOC:
+                self.facts.numpy_events.append(
+                    NumpyEvent(
+                        kind="alloc", function=qualname, target="",
+                        detail=f"np.{np_name}", line=node.lineno, col=node.col_offset,
+                    )
+                )
+                continue
+            if not isinstance(func_expr, ast.Attribute):
+                continue
+            target = _operand_name(func_expr.value)
+            if func_expr.attr == "astype":
+                dtype = ""
+                if node.args:
+                    chain = _attr_chain(node.args[0])
+                    if chain is not None:
+                        dtype = chain[-1]
+                    elif isinstance(node.args[0], ast.Constant):
+                        dtype = str(node.args[0].value)
+                self.facts.numpy_events.append(
+                    NumpyEvent(
+                        kind="astype", function=qualname, target=target,
+                        detail=dtype, line=node.lineno, col=node.col_offset,
+                    )
+                )
+            elif func_expr.attr in ("item", "tolist") and loop_depth_of.get(id(node), 0) > 0:
+                self.facts.numpy_events.append(
+                    NumpyEvent(
+                        kind="scalar_loop", function=qualname, target=target,
+                        detail=f".{func_expr.attr}()", line=node.lineno, col=node.col_offset,
+                    )
+                )
+
+
+def _operand_name(node: ast.expr) -> str:
+    """The attribute/local name a numpy method call operates on."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):
+        return _operand_name(node.value)
+    return ""
+
+
+def _loop_depths(func: FunctionNode) -> Dict[int, int]:
+    """Map ``id(node)`` → enclosing loop depth inside *func*."""
+    depths: Dict[int, int] = {}
+
+    def visit(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_depth = depth + (
+                1 if isinstance(child, (ast.For, ast.AsyncFor, ast.While)) else 0
+            )
+            depths[id(child)] = child_depth
+            visit(child, child_depth)
+
+    visit(func, 0)
+    return depths
+
+
+def _ordered_statements(func: FunctionNode) -> List[ast.stmt]:
+    """Every statement inside *func*, in source order."""
+    out: List[ast.stmt] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.stmt) and node is not func:
+            out.append(node)
+    out.sort(key=lambda stmt: (stmt.lineno, stmt.col_offset))
+    return out
+
+
+def _calls_of(stmt: ast.stmt) -> List[ast.Call]:
+    """Call expressions attached directly to *stmt* (not nested stmts)."""
+    out: List[ast.Call] = []
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            out.append(node)
+        if isinstance(node, ast.stmt) and node is not stmt:
+            break
+    return out
+
+
+def _marked_hot_lines(lines: Sequence[str], func: FunctionNode) -> bool:
+    """``# repro-hot`` directly above the definition (RL005's marker)."""
+
+    class _Shim:
+        def __init__(self, source_lines: Sequence[str]):
+            self.lines = list(source_lines)
+
+    return bool(_marked_hot(_Shim(lines), func))  # type: ignore[arg-type]
+
+
+def extract_module_facts(relpath: str, text: str, tree: ast.Module) -> ModuleFacts:
+    """Extract the whole-program facts of one parsed source file."""
+    return _Extractor(relpath, text, tree).run()

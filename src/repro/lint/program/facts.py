@@ -1,0 +1,355 @@
+"""Serializable per-file facts — the unit the analysis cache stores.
+
+The whole-program analyzer never caches ASTs: it caches *facts*, the
+distilled per-file summaries that the cross-module phases (symbol
+resolution, call-graph propagation, rule evaluation) consume.  Facts are
+plain dataclasses with lossless ``to_dict``/``from_dict`` round-trips, so
+an incremental run can skip parsing and extraction for every file whose
+content hash is unchanged (see :mod:`repro.lint.program.cache`).
+
+Everything in here is *local* to one file: imports are recorded as raw
+dotted targets, call sites as unresolved reference descriptors, taint
+summaries in terms of parameter indices and callee references.  Turning
+those local facts into whole-program conclusions is the job of
+:mod:`repro.lint.program.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bump when the extraction schema changes; invalidates every cache entry.
+FACTS_VERSION = 1
+
+#: An unresolved reference to a called/constructed symbol, e.g.
+#: ``("local", "Core")``, ``("self", "reset")``, or
+#: ``("dotted", "np", "zeros")``.  Resolution happens in the model phase.
+Ref = Tuple[str, ...]
+
+
+def _refs_to_json(refs: List[Ref]) -> List[List[str]]:
+    return [list(ref) for ref in refs]
+
+
+def _refs_from_json(raw: List[List[str]]) -> List[Ref]:
+    return [tuple(item) for item in raw]
+
+
+@dataclass
+class KeySite:
+    """One stats-key record or read site."""
+
+    key: str
+    line: int
+    col: int
+    #: "literal" | "table" | "var" | "const" | "pattern" (f-string prefix).
+    kind: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"key": self.key, "line": self.line, "col": self.col, "kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "KeySite":
+        return cls(str(raw["key"]), int(raw["line"]), int(raw["col"]), str(raw["kind"]))
+
+
+@dataclass
+class SinkSite:
+    """A taint sink inside one function: a stats record or sim-state write."""
+
+    #: "stats" (argument of a stats record call) or "state"
+    #: (``self.<attr> = ...`` in a simulation-package class).
+    kind: str
+    detail: str
+    line: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "detail": self.detail, "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "SinkSite":
+        return cls(str(raw["kind"]), str(raw["detail"]), int(raw["line"]), int(raw["col"]))
+
+
+@dataclass
+class TaintFlow:
+    """One locally-observed taint flow, in summary form.
+
+    ``src`` describes where the taint came from: a concrete source
+    (``("source", "time.time")``) , a parameter (``("param", "2")``), or a
+    call whose return value may be tainted (``("call",) + callee ref``).
+    ``dst`` describes where it went: a sink (``("sink", kind, detail)``)
+    with the site position, a call argument (``("call_arg", index) +
+    callee ref``), or the function's return (``("return",)``).
+    """
+
+    src: Ref
+    dst: Ref
+    line: int
+    col: int
+    #: Human-readable description of the tainted value's origin.
+    origin: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "src": list(self.src),
+            "dst": list(self.dst),
+            "line": self.line,
+            "col": self.col,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "TaintFlow":
+        return cls(
+            tuple(raw["src"]), tuple(raw["dst"]),
+            int(raw["line"]), int(raw["col"]), str(raw["origin"]),
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Call sites plus the intraprocedural taint summary of one function."""
+
+    qualname: str
+    line: int
+    #: Call sites: (ref, line, col) for the call-graph builder.
+    calls: List[Tuple[Ref, int, int]] = field(default_factory=list)
+    #: Locally-observed taint flows (see :class:`TaintFlow`).
+    flows: List[TaintFlow] = field(default_factory=list)
+    #: True when the ``# repro-hot`` marker sits above the definition.
+    hot: bool = False
+    #: Constructor-shaped references this function may return.
+    returns_new: List[Ref] = field(default_factory=list)
+    #: The declared return annotation's class-name leaves, if any.
+    return_annotation: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "calls": [[list(ref), line, col] for ref, line, col in self.calls],
+            "flows": [flow.to_dict() for flow in self.flows],
+            "hot": self.hot,
+            "returns_new": _refs_to_json(self.returns_new),
+            "return_annotation": list(self.return_annotation),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FunctionFacts":
+        return cls(
+            qualname=str(raw["qualname"]),
+            line=int(raw["line"]),
+            calls=[(tuple(ref), int(line), int(col)) for ref, line, col in raw["calls"]],
+            flows=[TaintFlow.from_dict(flow) for flow in raw["flows"]],
+            hot=bool(raw["hot"]),
+            returns_new=_refs_from_json(raw["returns_new"]),
+            return_annotation=[str(name) for name in raw["return_annotation"]],
+        )
+
+
+@dataclass
+class AttrEdge:
+    """One reason a class attribute may hold an instance of another class."""
+
+    attr: str
+    #: The unresolved class reference (constructor call, annotation leaf,
+    #: container element, class-table value, or factory method name).
+    target: Ref
+    line: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"attr": self.attr, "target": list(self.target), "line": self.line}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "AttrEdge":
+        return cls(str(raw["attr"]), tuple(raw["target"]), int(raw["line"]))
+
+
+@dataclass
+class UnsafeAssign:
+    """An RL006-style snapshot-unsafe ``self.<attr> = ...`` assignment."""
+
+    method: str
+    problem: str
+    line: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "method": self.method, "problem": self.problem,
+            "line": self.line, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "UnsafeAssign":
+        return cls(str(raw["method"]), str(raw["problem"]), int(raw["line"]), int(raw["col"]))
+
+
+@dataclass
+class ClassFacts:
+    """Attribute graph edges plus snapshot-safety facts for one class."""
+
+    name: str
+    line: int
+    bases: List[Ref] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    #: Why instances of other classes may be reachable through attributes.
+    attr_edges: List[AttrEdge] = field(default_factory=list)
+    #: Snapshot-unsafe assignments (empty for safe classes).
+    unsafe: List[UnsafeAssign] = field(default_factory=list)
+    #: Defines __getstate__/__reduce__/__reduce_ex__/snapshot_detach.
+    exempt: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": _refs_to_json(self.bases),
+            "methods": list(self.methods),
+            "attr_edges": [edge.to_dict() for edge in self.attr_edges],
+            "unsafe": [entry.to_dict() for entry in self.unsafe],
+            "exempt": self.exempt,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ClassFacts":
+        return cls(
+            name=str(raw["name"]),
+            line=int(raw["line"]),
+            bases=_refs_from_json(raw["bases"]),
+            methods=[str(name) for name in raw["methods"]],
+            attr_edges=[AttrEdge.from_dict(edge) for edge in raw["attr_edges"]],
+            unsafe=[UnsafeAssign.from_dict(entry) for entry in raw["unsafe"]],
+            exempt=bool(raw["exempt"]),
+        )
+
+
+@dataclass
+class ArrayFact:
+    """One numpy array creation bound to an attribute or local name."""
+
+    #: "ClassName.attr" for ``self.attr = np.zeros(...)``, else the name.
+    target: str
+    dtype: str
+    #: True when the dtype was spelled out (dtype=np.int64), False when it
+    #: is numpy's silent float64 default.
+    explicit: bool
+    line: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target, "dtype": self.dtype,
+            "explicit": self.explicit, "line": self.line, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ArrayFact":
+        return cls(
+            str(raw["target"]), str(raw["dtype"]),
+            bool(raw["explicit"]), int(raw["line"]), int(raw["col"]),
+        )
+
+
+@dataclass
+class NumpyEvent:
+    """A suspicious numpy operation inside a ``# repro-hot`` function."""
+
+    #: "astype" | "alloc" | "scalar_loop"
+    kind: str
+    function: str
+    #: The array operand's attribute/local name ("" when unknown).
+    target: str
+    #: astype: the destination dtype; alloc: the allocating callable.
+    detail: str
+    line: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind, "function": self.function, "target": self.target,
+            "detail": self.detail, "line": self.line, "col": self.col,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "NumpyEvent":
+        return cls(
+            str(raw["kind"]), str(raw["function"]), str(raw["target"]),
+            str(raw["detail"]), int(raw["line"]), int(raw["col"]),
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the whole-program phases need to know about one file."""
+
+    relpath: str
+    module: str
+    #: Local name -> dotted import target ("Core" -> "repro.sim.cpu.Core").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Module-level string constants (NAME = "literal").
+    constants: Dict[str, str] = field(default_factory=dict)
+    #: Module-level all-literal-string key tables (dicts/tuples/lists).
+    key_tables: Dict[str, List[str]] = field(default_factory=dict)
+    #: Module-level dicts whose values are all bare class-like Names.
+    class_tables: Dict[str, List[str]] = field(default_factory=dict)
+    classes: Dict[str, ClassFacts] = field(default_factory=dict)
+    functions: Dict[str, FunctionFacts] = field(default_factory=dict)
+    stats_records: List[KeySite] = field(default_factory=list)
+    stats_reads: List[KeySite] = field(default_factory=list)
+    #: Class names registered with repro.snapshot.codec.register_codec.
+    codec_registered: List[str] = field(default_factory=list)
+    arrays: List[ArrayFact] = field(default_factory=list)
+    numpy_events: List[NumpyEvent] = field(default_factory=list)
+    #: Relpath segments place the file inside the simulation packages.
+    in_sim_package: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": FACTS_VERSION,
+            "relpath": self.relpath,
+            "module": self.module,
+            "imports": dict(self.imports),
+            "constants": dict(self.constants),
+            "key_tables": {name: list(keys) for name, keys in self.key_tables.items()},
+            "class_tables": {name: list(vals) for name, vals in self.class_tables.items()},
+            "classes": {name: cls.to_dict() for name, cls in self.classes.items()},
+            "functions": {name: fn.to_dict() for name, fn in self.functions.items()},
+            "stats_records": [site.to_dict() for site in self.stats_records],
+            "stats_reads": [site.to_dict() for site in self.stats_reads],
+            "codec_registered": list(self.codec_registered),
+            "arrays": [fact.to_dict() for fact in self.arrays],
+            "numpy_events": [event.to_dict() for event in self.numpy_events],
+            "in_sim_package": self.in_sim_package,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> Optional["ModuleFacts"]:
+        """Rebuild facts from a cache entry; None on schema mismatch."""
+        if raw.get("version") != FACTS_VERSION:
+            return None
+        return cls(
+            relpath=str(raw["relpath"]),
+            module=str(raw["module"]),
+            imports={str(k): str(v) for k, v in raw["imports"].items()},
+            constants={str(k): str(v) for k, v in raw["constants"].items()},
+            key_tables={str(k): [str(x) for x in v] for k, v in raw["key_tables"].items()},
+            class_tables={str(k): [str(x) for x in v] for k, v in raw["class_tables"].items()},
+            classes={
+                str(name): ClassFacts.from_dict(sub)
+                for name, sub in raw["classes"].items()
+            },
+            functions={
+                str(name): FunctionFacts.from_dict(sub)
+                for name, sub in raw["functions"].items()
+            },
+            stats_records=[KeySite.from_dict(site) for site in raw["stats_records"]],
+            stats_reads=[KeySite.from_dict(site) for site in raw["stats_reads"]],
+            codec_registered=[str(name) for name in raw["codec_registered"]],
+            arrays=[ArrayFact.from_dict(fact) for fact in raw["arrays"]],
+            numpy_events=[NumpyEvent.from_dict(event) for event in raw["numpy_events"]],
+            in_sim_package=bool(raw["in_sim_package"]),
+        )

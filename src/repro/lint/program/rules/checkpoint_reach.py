@@ -1,0 +1,51 @@
+"""RL103 — checkpoint reachability proof.
+
+RL006 checks snapshot safety for classes *lexically* inside the
+simulation packages.  This rule instead proves the property that
+actually matters: every class **transitively reachable from
+``System``** through attribute assignments, container population,
+class-table dispatch, factory-method returns, and type annotations is
+snapshot-safe.  Reachable classes with RL006-style unsafe assignments
+(lambdas, closures, file handles, threading primitives on ``self``) are
+flagged with the attribute chain that witnesses their reachability;
+classes that own their snapshot encoding (``__getstate__`` and friends,
+or a registered snapshot codec) terminate the traversal.
+
+When the program defines no root class the rule is silent — fixture
+projects opt in by defining a ``System``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import ProjectContext, Severity
+from repro.lint.program.base import ProgramRule, register_program_rule
+from repro.lint.program.model import ProgramModel
+
+
+@register_program_rule
+class CheckpointReachRule(ProgramRule):
+    """RL103: the object graph under ``System`` must checkpoint cleanly."""
+
+    rule_id = "RL103"
+    name = "program-checkpoint-reachability"
+    default_severity = Severity.WARNING
+
+    def check(self, model: ProgramModel, ctx: ProjectContext) -> None:
+        for symbol in sorted(model.reachable):
+            if model.class_is_snapshot_handled(symbol):
+                continue
+            cls = model.table.class_named(symbol)
+            relpath = model.relpath_of(symbol)
+            if cls is None or relpath is None:
+                continue
+            via = model.reachable[symbol]
+            for unsafe in cls.unsafe:
+                self.emit_at(
+                    ctx, relpath, unsafe.line, unsafe.col,
+                    f"{cls.name}.{unsafe.method} stores {unsafe.problem} on "
+                    f"self, and {cls.name} is checkpoint-reachable "
+                    f"({via}) — snapshotting System would fail or "
+                    "silently capture stale state; move it off the instance, "
+                    "rebuild it after restore, or define __getstate__",
+                    severity=Severity.ERROR,
+                )

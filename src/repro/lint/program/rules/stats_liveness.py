@@ -1,0 +1,67 @@
+"""RL101 — cross-module stats-key liveness.
+
+The whole-program replacement for RL002's per-file liveness
+approximation: every record site and every read site in the entire
+program participates, including reads through ``StatsSnapshot`` copies
+and metric dictionaries in the experiments/report layers that RL002's
+``stats``-receiver heuristic cannot see.  A key read anywhere but
+recorded nowhere is a silent zero in a figure (typically a typo'd key
+straddling the sim/report module boundary); a key recorded but read
+nowhere is dead instrumentation weight.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import ProjectContext, Severity
+from repro.lint.program.base import ProgramRule, register_program_rule
+from repro.lint.program.model import ProgramModel
+from repro.lint.rules.stats_keys import _edit_distance
+
+
+@register_program_rule
+class StatsLivenessRule(ProgramRule):
+    """RL101: record/read liveness over the whole program's key space."""
+
+    rule_id = "RL101"
+    name = "program-stats-liveness"
+    default_severity = Severity.WARNING
+
+    def check(self, model: ProgramModel, ctx: ProjectContext) -> None:
+        self._reads_without_records(model, ctx)
+        self._records_without_reads(model, ctx)
+
+    @staticmethod
+    def _nearest(model: ProgramModel, key: str) -> str:
+        best, best_distance = None, 3
+        for candidate in model.recorded:
+            distance = _edit_distance(key, candidate, limit=2)
+            if distance < best_distance:
+                best, best_distance = candidate, distance
+        return f'; did you mean "{best}"?' if best else ""
+
+    def _reads_without_records(self, model: ProgramModel, ctx: ProjectContext) -> None:
+        for key in sorted(model.read):
+            if key in model.recorded:
+                continue
+            if any(key.startswith(prefix) for prefix, _, _ in model.record_patterns):
+                continue
+            for relpath, site in model.read[key]:
+                self.emit_at(
+                    ctx, relpath, site.line, site.col,
+                    f'stats key "{key}" is read here but recorded nowhere in '
+                    f"the program — the consumer silently sees zero"
+                    f"{self._nearest(model, key)}",
+                )
+
+    def _records_without_reads(self, model: ProgramModel, ctx: ProjectContext) -> None:
+        for key in sorted(model.recorded):
+            if key in model.read:
+                continue
+            relpath, site = model.recorded[key][0]
+            self.emit_at(
+                ctx, relpath, site.line, site.col,
+                f'stats key "{key}" is recorded but never read anywhere in '
+                "the program (only surfaced via the raw dump); wire it into "
+                "a consumer or drop it",
+                severity=Severity.INFO,
+            )

@@ -193,9 +193,16 @@ class StatsKeyRule(Rule):
 
     # -- cross-file checks -------------------------------------------------
     def finalize(self, ctx: ProjectContext) -> None:
-        self._check_reads_without_records(ctx)
+        # Under --program, RL101 subsumes both liveness checks with true
+        # whole-program record/read sets (including reads RL002's
+        # stats-receiver heuristic cannot see); emitting here too would
+        # double-report the same defect under two rule ids.
+        program_active = getattr(ctx, "program_model", None) is not None
+        if not program_active:
+            self._check_reads_without_records(ctx)
         self._check_near_duplicates(ctx)
-        self._check_unread_records(ctx)
+        if not program_active:
+            self._check_unread_records(ctx)
 
     def _matches_pattern(self, key: str) -> bool:
         return any(key.startswith(prefix) for prefix in self.patterns)

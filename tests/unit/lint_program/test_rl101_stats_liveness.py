@@ -1,0 +1,103 @@
+"""RL101: cross-module stats liveness (positive and negative fixtures)."""
+
+from tests.unit.lint_program.helpers import findings_for, lint_project, write_project
+
+
+def test_positive_typo_between_sim_and_report_layers(tmp_path):
+    write_project(tmp_path, {
+        "sim/model.py": (
+            "def tick(stats):\n"
+            "    stats.add('sim/requests', 1)\n"
+        ),
+        "report/figs.py": (
+            "def table(stats):\n"
+            "    return stats.get('sim/reqests')\n"  # typo'd key
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    findings = findings_for(report, "RL101")
+    warning = [f for f in findings if f.severity.label == "warning"]
+    assert len(warning) == 1
+    assert warning[0].path == "report/figs.py"
+    assert 'sim/reqests' in warning[0].message
+    assert 'did you mean "sim/requests"?' in warning[0].message
+    assert report.exit_code == 1
+
+
+def test_negative_matching_keys_pass(tmp_path):
+    write_project(tmp_path, {
+        "sim/model.py": (
+            "def tick(stats):\n"
+            "    stats.add('sim/requests', 1)\n"
+        ),
+        "report/figs.py": (
+            "def table(stats):\n"
+            "    return stats.get('sim/requests')\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    assert findings_for(report, "RL101") == []
+    assert report.exit_code == 0
+
+
+def test_reads_through_snapshot_copies_count(tmp_path):
+    # RL002's heuristic only sees `stats`-named receivers; RL101 also
+    # credits slash-literal reads through snapshot/metric objects.
+    write_project(tmp_path, {
+        "sim/model.py": (
+            "def tick(stats):\n"
+            "    stats.add('sim/requests', 1)\n"
+        ),
+        "report/figs.py": (
+            "def table(snapshot):\n"
+            "    return snapshot.get('sim/requests')\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    assert findings_for(report, "RL101") == []
+
+
+def test_fstring_pattern_prefix_satisfies_reads(tmp_path):
+    write_project(tmp_path, {
+        "report/model.py": (  # outside sim packages: f-string keys allowed
+            "def tick(stats, kind):\n"
+            "    stats.add(f'sim/req_{kind}', 1)\n"
+        ),
+        "report/figs.py": (
+            "def table(stats):\n"
+            "    return stats.get('sim/req_load')\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    warning = [f for f in findings_for(report, "RL101") if f.severity.label == "warning"]
+    assert warning == []
+
+
+def test_recorded_never_read_is_informational(tmp_path):
+    write_project(tmp_path, {
+        "sim/model.py": (
+            "def tick(stats):\n"
+            "    stats.add('sim/orphan', 1)\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    findings = findings_for(report, "RL101")
+    assert len(findings) == 1
+    assert findings[0].severity.label == "info"
+    assert "sim/orphan" in findings[0].message
+    assert report.exit_code == 0
+
+
+def test_rl002_liveness_is_deduped_under_program_mode(tmp_path):
+    files = {
+        "sim/model.py": (
+            "def tick(stats):\n"
+            "    stats.add('sim/orphan', 1)\n"
+        ),
+    }
+    write_project(tmp_path, files)
+    with_program, _ = lint_project(tmp_path, program=True)
+    without_program, _ = lint_project(tmp_path, program=False)
+    # Same defect, exactly one rule id each way.
+    assert [f.rule for f in with_program.findings] == ["RL101"]
+    assert [f.rule for f in without_program.findings] == ["RL002"]

@@ -1,0 +1,96 @@
+"""RL102: whole-program determinism taint (positive and negative)."""
+
+from tests.unit.lint_program.helpers import findings_for, lint_project, write_project
+
+
+def test_positive_cross_module_source_to_stats(tmp_path):
+    write_project(tmp_path, {
+        "sim/clock.py": (
+            "import time\n"
+            "def wall_now():\n"
+            "    return time.time()\n"
+        ),
+        "sim/model.py": (
+            "from sim.clock import wall_now\n"
+            "class Engine:\n"
+            "    def tick(self, stats):\n"
+            "        stats.add('sim/tick_time', wall_now())\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    findings = findings_for(report, "RL102")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.path == "sim/model.py"
+    assert "time.time()" in finding.message
+    assert 'stats key "sim/tick_time"' in finding.message
+    assert report.exit_code == 1
+
+
+def test_positive_source_into_callee_that_records(tmp_path):
+    # The source and the sink live in *different* functions: the taint
+    # enters a helper's parameter and the helper records it.
+    write_project(tmp_path, {
+        "sim/model.py": (
+            "import random\n"
+            "class Engine:\n"
+            "    def record(self, stats, value):\n"
+            "        stats.add('sim/noise', value)\n"
+            "    def tick(self, stats):\n"
+            "        self.record(stats, random.random())\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    findings = findings_for(report, "RL102")
+    assert len(findings) == 1
+    assert "random.random()" in findings[0].message
+    assert "Engine.tick → Engine.record" in findings[0].message
+
+
+def test_positive_id_into_device_state(tmp_path):
+    write_project(tmp_path, {
+        "mem/device.py": (
+            "class Device:\n"
+            "    def __init__(self):\n"
+            "        self.tag = id(self)\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    findings = findings_for(report, "RL102")
+    assert len(findings) == 1
+    assert "id()" in findings[0].message
+    assert "Device.tag" in findings[0].message
+
+
+def test_negative_laundered_through_deterministic_rng(tmp_path):
+    write_project(tmp_path, {
+        "sim/model.py": (
+            "from repro.common.rng import DeterministicRng\n"
+            "class Engine:\n"
+            "    def __init__(self, seed):\n"
+            "        self.rng = DeterministicRng('engine', seed)\n"
+            "    def tick(self, stats):\n"
+            "        stats.add('sim/jitter', self.rng.randint(0, 4))\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    assert findings_for(report, "RL102") == []
+    assert report.exit_code == 0
+
+
+def test_negative_watchdog_wall_clock_never_reaches_a_sink(tmp_path):
+    # Flow-sensitivity over RL001's import-sensitivity: wall-clock reads
+    # that stay in supervision logic are fine.
+    write_project(tmp_path, {
+        "report/supervisor.py": (
+            "import time\n"
+            "def watch(budget):\n"
+            "    start = time.perf_counter()\n"
+            "    ticks = 0\n"
+            "    while time.perf_counter() - start < budget:\n"
+            "        ticks += 1\n"
+            "    return ticks\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    assert findings_for(report, "RL102") == []

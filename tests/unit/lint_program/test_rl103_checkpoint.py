@@ -1,0 +1,141 @@
+"""RL103: checkpoint reachability proof (positive and negative)."""
+
+from tests.unit.lint_program.helpers import findings_for, lint_project, write_project
+
+
+def test_positive_reachable_class_with_lambda_attr(tmp_path):
+    write_project(tmp_path, {
+        "sim/system.py": (
+            "from sim.parts import Pipeline\n"
+            "class System:\n"
+            "    def __init__(self):\n"
+            "        self.pipeline = Pipeline()\n"
+        ),
+        "sim/parts.py": (
+            "class Pipeline:\n"
+            "    def __init__(self):\n"
+            "        self.flush = lambda: None\n"
+        ),
+    })
+    report, engine = lint_project(tmp_path)
+    findings = findings_for(report, "RL103")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.severity.label == "error"
+    assert finding.path == "sim/parts.py"
+    assert "System.pipeline → Pipeline" in finding.message
+    assert "lambda" in finding.message
+    # RL006's per-file approximation must not double-report it.
+    assert findings_for(report, "RL006") == []
+    assert "sim.parts:Pipeline" in engine.last_program_model.reachable
+
+
+def test_positive_reachability_through_class_table_and_container(tmp_path):
+    write_project(tmp_path, {
+        "sim/system.py": (
+            "from sim.schemes import SCHEMES\n"
+            "class System:\n"
+            "    def __init__(self, name):\n"
+            "        self.hmc = SCHEMES[name]()\n"
+        ),
+        "sim/schemes.py": (
+            "from sim.queue import Queue\n"
+            "class BaseHmc:\n"
+            "    def __init__(self):\n"
+            "        self.queues = []\n"
+            "        self.queues.append(Queue())\n"
+            "class FastHmc(BaseHmc):\n"
+            "    pass\n"
+            "SCHEMES = {'fast': FastHmc}\n"
+        ),
+        "sim/queue.py": (
+            "import threading\n"
+            "class Queue:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+        ),
+    })
+    report, engine = lint_project(tmp_path)
+    findings = findings_for(report, "RL103")
+    assert len(findings) == 1
+    assert findings[0].path == "sim/queue.py"
+    assert "threading.Lock" in findings[0].message
+    model = engine.last_program_model
+    assert "sim.schemes:FastHmc" in model.reachable
+    assert "sim.queue:Queue" in model.reachable
+
+
+def test_negative_getstate_terminates_traversal(tmp_path):
+    write_project(tmp_path, {
+        "sim/system.py": (
+            "from sim.parts import Pipeline\n"
+            "class System:\n"
+            "    def __init__(self):\n"
+            "        self.pipeline = Pipeline()\n"
+        ),
+        "sim/parts.py": (
+            "class Pipeline:\n"
+            "    def __init__(self):\n"
+            "        self.flush = lambda: None\n"
+            "    def __getstate__(self):\n"
+            "        return {}\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    assert findings_for(report, "RL103") == []
+    assert report.exit_code == 0
+
+
+def test_negative_codec_registered_class_is_trusted(tmp_path):
+    write_project(tmp_path, {
+        "sim/system.py": (
+            "from sim.parts import Pipeline\n"
+            "class System:\n"
+            "    def __init__(self):\n"
+            "        self.pipeline = Pipeline()\n"
+        ),
+        "sim/parts.py": (
+            "from repro.snapshot import register_codec\n"
+            "class Pipeline:\n"
+            "    def __init__(self):\n"
+            "        self.flush = lambda: None\n"
+            "register_codec(Pipeline, None, None)\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    assert findings_for(report, "RL103") == []
+
+
+def test_unreachable_class_still_covered_by_rl006(tmp_path):
+    # Dedupe only hands over classes RL103 actually proves reachable;
+    # dead in-scope classes keep their per-file check.
+    write_project(tmp_path, {
+        "sim/system.py": (
+            "class System:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+        ),
+        "sim/orphan.py": (
+            "class Orphan:\n"
+            "    def __init__(self):\n"
+            "        self.cb = lambda: None\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path)
+    assert findings_for(report, "RL103") == []
+    rl006 = findings_for(report, "RL006")
+    assert len(rl006) == 1
+    assert rl006[0].path == "sim/orphan.py"
+
+
+def test_no_root_class_means_silence(tmp_path):
+    write_project(tmp_path, {
+        "sim/parts.py": (
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+        ),
+    })
+    report, engine = lint_project(tmp_path)
+    assert findings_for(report, "RL103") == []
+    assert engine.last_program_model.root_symbols == []
