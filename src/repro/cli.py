@@ -5,6 +5,10 @@ Commands:
 * ``run``             simulate one (scheme, workload) pair and print metrics
                       (``--checkpoint-every``/``--resume``: crash-safe runs)
 * ``sweep``           supervised parallel sweep with watchdog + resume
+                      (``--distributed``: server + worker fleet, see
+                      docs/SWEEP_SERVICE.md)
+* ``sweepd``          the distributed sweep service itself
+                      (``serve``/``work``/``submit``/``status``)
 * ``report``          regenerate every table/figure (cached)
 * ``energy``          run PageSeer and print the Table II energy report
 * ``golden``          verify (or ``--update``) the golden regression matrix
@@ -23,7 +27,11 @@ import sys
 from typing import List, Optional
 
 from repro.common.config import CHECK_LEVELS, ENGINES, CheckConfig, FaultConfig
-from repro.common.errors import CheckpointError, CheckpointInterrupt
+from repro.common.errors import (
+    CheckpointError,
+    CheckpointInterrupt,
+    ManifestVersionError,
+)
 from repro.snapshot.signals import EXIT_CHECKPOINTED
 from repro.experiments import ExperimentRunner
 from repro.experiments.runner import VARIANTS
@@ -72,6 +80,33 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
 def _resolve_faults(args: argparse.Namespace) -> Optional[FaultConfig]:
     """Turn ``--faults`` / ``--fault-seed`` into a FaultConfig (or None)."""
     return resolve_profile(args.faults, fault_seed=args.fault_seed)
+
+
+def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    """Deterministic chaos knobs for the distributed sweep service."""
+    parser.add_argument("--chaos-seed", type=int, default=0,
+                        help="seed for the protocol chaos RNG streams")
+    parser.add_argument("--chaos-drop", type=float, default=0.0, metavar="RATE",
+                        help="probability a protocol frame is dropped")
+    parser.add_argument("--chaos-duplicate", type=float, default=0.0,
+                        metavar="RATE",
+                        help="probability a protocol frame is duplicated")
+    parser.add_argument("--chaos-reorder", type=float, default=0.0,
+                        metavar="RATE",
+                        help="probability adjacent frames swap order")
+    parser.add_argument("--chaos-stall", type=float, default=0.0,
+                        metavar="RATE",
+                        help="probability a message batch stalls the server")
+    parser.add_argument("--chaos-stall-seconds", type=float, default=0.0)
+    parser.add_argument("--chaos-kill-worker", action="append", default=None,
+                        metavar="SLOT:STEPS",
+                        help="SIGKILL worker SLOT once it heartbeats past "
+                             "STEPS simulated ops (repeatable; "
+                             "--distributed only)")
+    parser.add_argument("--chaos-restart-server-after", type=int, default=None,
+                        metavar="N",
+                        help="SIGKILL + relaunch the server after N results "
+                             "(--distributed only)")
 
 
 def _add_checkpoint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -190,6 +225,76 @@ def _print_run_summary(system, metrics) -> None:
               f"degraded={metrics.degraded_services}")
 
 
+#: Exit code for a manifest written by an incompatible build (satellite
+#: of docs/SWEEP_SERVICE.md's failure model): distinguishable from the
+#: generic checkpoint-error exit so wrappers can react differently.
+EXIT_MANIFEST_VERSION = 4
+
+
+def _results_digest(results) -> str:
+    """Order-independent digest of a sweep's aggregated result set.
+
+    The same digest is printed by the serial, supervised, and distributed
+    sweep paths, so CI can gate on bit-identical aggregation across them.
+    """
+    import hashlib
+    import json
+
+    from repro.experiments.runner import _METRIC_FIELDS
+
+    payload = {
+        "/".join(request): {
+            name: getattr(metrics, name) for name in _METRIC_FIELDS
+        }
+        for request, metrics in results.items()
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _sweep_requests(args: argparse.Namespace):
+    workloads = args.workloads or [spec.name for spec in all_workloads()]
+    return [
+        (scheme, workload, variant)
+        for scheme in args.schemes
+        for workload in workloads
+        for variant in args.variants
+    ]
+
+
+def _fleet_chaos_from_args(args: argparse.Namespace):
+    from repro.faults.chaos import FleetChaos
+
+    kills = {}
+    for spec in args.chaos_kill_worker or []:
+        slot, sep, steps = spec.partition(":")
+        if not sep or not slot.isdigit() or not steps.isdigit():
+            raise SystemExit(
+                f"error: --chaos-kill-worker expects SLOT:STEPS, got {spec!r}"
+            )
+        kills[int(slot)] = int(steps)
+    return FleetChaos(
+        kill_worker_mid_job=kills,
+        restart_server_after_results=args.chaos_restart_server_after,
+    )
+
+
+def _message_chaos_from_args(args: argparse.Namespace):
+    from repro.faults.chaos import ChaosConfig
+
+    chaos = ChaosConfig(
+        enabled=True,
+        chaos_seed=args.chaos_seed,
+        drop_rate=args.chaos_drop,
+        duplicate_rate=args.chaos_duplicate,
+        reorder_rate=args.chaos_reorder,
+        stall_rate=args.chaos_stall,
+        stall_seconds=args.chaos_stall_seconds,
+    )
+    return chaos if chaos.active else None
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro.common.errors import SweepError
     from repro.experiments.supervisor import SweepSupervisor
@@ -203,6 +308,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         faults=_resolve_faults(args),
         max_attempts=args.max_attempts,
     )
+    if args.distributed:
+        return _sweep_distributed(args, runner)
     supervisor = SweepSupervisor(
         runner,
         args.checkpoint_root,
@@ -214,16 +321,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
         if args.resume:
             results = supervisor.resume(jobs=args.jobs)
         else:
-            workloads = args.workloads or [
-                spec.name for spec in all_workloads()
-            ]
-            requests = [
-                (scheme, workload, variant)
-                for scheme in args.schemes
-                for workload in workloads
-                for variant in args.variants
-            ]
-            results = supervisor.run(requests, jobs=args.jobs)
+            results = supervisor.run(_sweep_requests(args), jobs=args.jobs)
+    except ManifestVersionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.hint:
+            print(f"hint: {error.hint}", file=sys.stderr)
+        return EXIT_MANIFEST_VERSION
     except CheckpointError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -235,7 +338,164 @@ def _command_sweep(args: argparse.Namespace) -> int:
     print(f"sweep complete: {len(results)} result(s) "
           f"(workers killed by watchdog: {supervisor.kills}, "
           f"resumed from checkpoint: {sum(supervisor.resumes.values())})")
+    print(f"results digest: {_results_digest(results)}")
     return 0
+
+
+def _sweep_distributed(args: argparse.Namespace, runner) -> int:
+    from repro.common.errors import SweepdError, SweepError
+    from repro.sweepd.fleet import run_distributed_sweep
+
+    try:
+        results, report = run_distributed_sweep(
+            runner,
+            _sweep_requests(args),
+            args.checkpoint_root,
+            workers=args.workers,
+            chaos=_message_chaos_from_args(args),
+            fleet_chaos=_fleet_chaos_from_args(args),
+            lease_seconds=args.lease_seconds,
+            checkpoint_every=args.checkpoint_every,
+            heartbeat_seconds=args.heartbeat_seconds,
+        )
+    except ManifestVersionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.hint:
+            print(f"hint: {error.hint}", file=sys.stderr)
+        return EXIT_MANIFEST_VERSION
+    except SweepdError as error:
+        print(f"sweep service error: {error}", file=sys.stderr)
+        return 1
+    except SweepError as error:
+        print(f"sweep incomplete: {error}", file=sys.stderr)
+        return 1
+    print(f"distributed sweep complete: {len(results)} result(s) "
+          f"(workers: {args.workers}, relaunches: {report.worker_relaunches}, "
+          f"lease reclaims: {report.reclaims}, "
+          f"chaos kills: {report.chaos_worker_kills}, "
+          f"server restarts: {report.chaos_server_restarts})")
+    print(f"results digest: {_results_digest(results)}")
+    return 0
+
+
+def _command_sweepd(args: argparse.Namespace) -> int:
+    from repro.common.errors import SweepdError
+
+    try:
+        return args.sweepd_handler(args)
+    except ManifestVersionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.hint:
+            print(f"hint: {error.hint}", file=sys.stderr)
+        return EXIT_MANIFEST_VERSION
+    except SweepdError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _sweepd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.sweepd.server import SweepdServer
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    if cache_dir is None:
+        cache_dir = ExperimentRunner().cache_dir
+    server = SweepdServer(
+        args.root, cache_dir,
+        address=args.address,
+        max_attempts=args.max_attempts,
+        lease_seconds=args.lease_seconds,
+        chaos=_message_chaos_from_args(args),
+    )
+    print(f"sweepd serving on {server.address} (root {args.root})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    return 0
+
+
+def _sweepd_work(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    from repro.sweepd.fleet import JOBS_DIRNAME
+    from repro.sweepd.protocol import read_address_file
+    from repro.sweepd.worker import SweepdWorker
+
+    address = args.address or read_address_file(args.root)
+    name = args.name or f"w{os.getpid()}"
+    worker = SweepdWorker(
+        name, address, Path(args.root) / JOBS_DIRNAME,
+        checkpoint_every=args.checkpoint_every,
+        heartbeat_seconds=args.heartbeat_seconds,
+    )
+    completed = worker.run()
+    print(f"worker {name} drained after {completed} job(s)")
+    return 0
+
+
+def _sweepd_submit(args: argparse.Namespace) -> int:
+    from repro.sweepd.jobs import build_job
+    from repro.sweepd.protocol import RpcClient, read_address_file
+
+    runner = ExperimentRunner(
+        scale=args.scale,
+        measure_ops=args.measure_ops,
+        warmup_ops=args.warmup_ops,
+        seed=args.seed,
+        faults=_resolve_faults(args),
+        worker_check_level=args.worker_check_level,
+    )
+    records = [
+        build_job(request, runner._sizing(), runner.faults)
+        for request in _sweep_requests(args)
+    ]
+    address = args.address or read_address_file(args.root)
+    with RpcClient(address) as rpc:
+        reply = rpc.call({
+            "type": "submit",
+            "priority": args.priority,
+            "jobs": [record.to_json() for record in records],
+        })
+    if reply.get("type") == "error":
+        print(f"error: {reply.get('error')}", file=sys.stderr)
+        return 1
+    print(f"submitted {len(records)} job(s) on the {args.priority} lane: "
+          f"{len(reply.get('new', []))} new, "
+          f"{len(reply.get('known', []))} already queued, "
+          f"{len(reply.get('already_done', []))} already cached")
+    return 0
+
+
+def _sweepd_status(args: argparse.Namespace) -> int:
+    from repro.sweepd.protocol import RpcClient, read_address_file
+
+    address = args.address or read_address_file(args.root)
+    with RpcClient(address) as rpc:
+        status = rpc.call({"type": "status"})
+    counts = status.get("counts", {})
+    print(f"sweepd at {status.get('address')}: "
+          f"{counts.get('pending', 0)} pending, "
+          f"{counts.get('leased', 0)} leased, "
+          f"{counts.get('done', 0)} done, "
+          f"{counts.get('quarantined', 0)} quarantined "
+          f"(lease reclaims: {status.get('reclaims', 0)})")
+    eta = status.get("eta_seconds")
+    if eta is not None:
+        print(f"estimated time remaining: {eta:.1f}s")
+    if args.verbose:
+        for job in status.get("jobs", []):
+            request = "/".join(job.get("request", []))
+            line = (f"  {job.get('job_id')} {request:40s} "
+                    f"{job.get('state'):11s} attempts={job.get('attempts')}")
+            if job.get("worker"):
+                line += f" worker={job.get('worker')}"
+            print(line)
+            for error in job.get("errors", []):
+                print(f"      {error}")
+    return 0 if not counts.get("quarantined") else 1
 
 
 def _command_report(args: argparse.Namespace) -> int:
@@ -395,9 +655,88 @@ def build_parser() -> argparse.ArgumentParser:
                               help="continue the sweep recorded in "
                                    "--checkpoint-root's manifest")
     sweep_parser.add_argument("--quiet", action="store_true")
+    sweep_parser.add_argument("--distributed", action="store_true",
+                              help="run through the sweepd service: a local "
+                                   "work-queue server plus --workers worker "
+                                   "processes (docs/SWEEP_SERVICE.md)")
+    sweep_parser.add_argument("--workers", type=int, default=2,
+                              help="worker processes for --distributed")
+    sweep_parser.add_argument("--lease-seconds", type=float, default=5.0,
+                              help="job lease duration; an expired lease is "
+                                   "reclaimed from its (dead or hung) worker")
+    _add_chaos_arguments(sweep_parser)
     _add_sizing_arguments(sweep_parser)
     _add_fault_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
+
+    sweepd_parser = commands.add_parser(
+        "sweepd", help="distributed sweep service (docs/SWEEP_SERVICE.md)"
+    )
+    sweepd_commands = sweepd_parser.add_subparsers(
+        dest="sweepd_command", required=True
+    )
+
+    serve_parser = sweepd_commands.add_parser(
+        "serve", help="run the work-queue server in the foreground"
+    )
+    serve_parser.add_argument("--root", default="checkpoints/sweepd",
+                              help="service root: manifest, address file, "
+                                   "per-job checkpoint directories")
+    serve_parser.add_argument("--address", default=None,
+                              help="unix:/path or host:port (default: a unix "
+                                   "socket under --root, TCP fallback)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="result cache directory (default: the "
+                                   "runner's, honouring REPRO_CACHE_DIR)")
+    serve_parser.add_argument("--max-attempts", type=int, default=3)
+    serve_parser.add_argument("--lease-seconds", type=float, default=15.0)
+    _add_chaos_arguments(serve_parser)
+    serve_parser.set_defaults(sweepd_handler=_sweepd_serve)
+
+    work_parser = sweepd_commands.add_parser(
+        "work", help="run one worker against a server"
+    )
+    work_parser.add_argument("--root", default="checkpoints/sweepd")
+    work_parser.add_argument("--address", default=None,
+                             help="server address (default: --root's "
+                                  "address file)")
+    work_parser.add_argument("--name", default=None,
+                             help="worker name (default: w<pid>)")
+    work_parser.add_argument("--checkpoint-every", type=int, default=20_000,
+                             metavar="OPS")
+    work_parser.add_argument("--heartbeat-seconds", type=float, default=0.5)
+    work_parser.set_defaults(sweepd_handler=_sweepd_work)
+
+    submit_parser = sweepd_commands.add_parser(
+        "submit", help="enqueue sweep jobs on a running server"
+    )
+    submit_parser.add_argument("--root", default="checkpoints/sweepd")
+    submit_parser.add_argument("--address", default=None)
+    submit_parser.add_argument("--schemes", nargs="+",
+                               default=["pageseer", "pom", "mempod"],
+                               choices=sorted(SCHEMES))
+    submit_parser.add_argument("--workloads", nargs="*", default=None)
+    submit_parser.add_argument("--variants", nargs="+", default=["default"],
+                               choices=sorted(VARIANTS))
+    submit_parser.add_argument("--priority", default="bulk",
+                               choices=["interactive", "bulk"],
+                               help="interactive jobs preempt queued bulk "
+                                    "jobs at every lease decision")
+    submit_parser.add_argument("--worker-check-level", default="full",
+                               choices=CHECK_LEVELS)
+    _add_sizing_arguments(submit_parser)
+    _add_fault_arguments(submit_parser)
+    submit_parser.set_defaults(sweepd_handler=_sweepd_submit)
+
+    status_parser = sweepd_commands.add_parser(
+        "status", help="query a running server"
+    )
+    status_parser.add_argument("--root", default="checkpoints/sweepd")
+    status_parser.add_argument("--address", default=None)
+    status_parser.add_argument("--verbose", action="store_true",
+                               help="per-job states and error histories")
+    status_parser.set_defaults(sweepd_handler=_sweepd_status)
+    sweepd_parser.set_defaults(handler=_command_sweepd)
 
     report_parser = commands.add_parser(
         "report", help="regenerate every table and figure"

@@ -42,6 +42,30 @@ class CheckpointError(ReproError):
     """
 
 
+class ManifestVersionError(CheckpointError):
+    """A sweep manifest's schema does not match this build.
+
+    Raised instead of letting an old (or foreign) manifest surface as a
+    raw JSON/pickle traceback deep inside resume.  ``hint`` carries a
+    one-line remediation the CLI prints under the error; the sweep
+    command maps this class to its own exit code so scripts can
+    distinguish "wrong manifest version" from "sweep failed".
+    """
+
+    def __init__(self, message, hint=None):
+        self.hint = hint
+        super().__init__(message)
+
+
+class SweepdError(ReproError):
+    """The distributed sweep service failed at the protocol/service layer.
+
+    Covers unreachable servers (an RPC exhausted its retry window),
+    malformed frames, and replies the client cannot interpret.  Job
+    *failures* are not SweepdErrors — they travel through the manifest's
+    quarantine machinery and surface as :class:`SweepError`."""
+
+
 class CheckpointInterrupt(ReproError):
     """A run was interrupted by SIGINT/SIGTERM after writing a final
     checkpoint.

@@ -1,0 +1,289 @@
+"""Shared job-execution core for the supervised and distributed sweeps.
+
+``SweepSupervisor`` (single node, ``repro sweep``) and the ``sweepd``
+service (work-queue server + socket workers, ``repro sweep
+--distributed`` / ``repro sweepd``) run the *same* unit of work: one
+(scheme, workload, variant) simulation that checkpoints into a private
+directory, resumes from ``latest.ckpt`` after a crash or SIGKILL, and
+lands its metrics as an atomically-written JSON payload.  This module is
+that unit, extracted so the two schedulers cannot drift:
+
+* :func:`execute_job` — resume-or-build, arm a checkpointer (with an
+  optional over-the-wire heartbeat hook), run to completion, return the
+  metrics payload;
+* :func:`write_json_atomic` / :func:`load_result` — crash-safe result
+  files and the salvage read that lets a relaunched worker ship a
+  finished result without re-simulating;
+* :func:`cache_key` / :func:`fault_signature` — the canonical result
+  cache key (shared with :class:`repro.experiments.runner
+  .ExperimentRunner`), which also seeds deterministic ``sweepd`` job
+  ids;
+* :func:`sizing_signature` / :func:`request_dirname` — collision-free
+  per-request checkpoint/heartbeat directory names (two sweeps that
+  differ only in seed or sizing must never share a heartbeat file);
+* :func:`inject_worker_crash` / :func:`backoff_seconds` — the
+  deterministic infrastructure-fault draw and the retry backoff curve
+  both schedulers honour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.common.config import CheckConfig, FaultConfig
+from repro.common.errors import WorkerFaultError
+from repro.common.rng import DeterministicRng
+
+#: ``(scheme, workload, variant)`` — the unit every sweep is made of.
+Request = Tuple[str, str, str]
+
+#: ``(scale, measure_ops, warmup_ops, seed, check_level)`` as threaded
+#: through worker processes.
+Sizing = Tuple[int, int, int, int, str]
+
+#: Conventional name for a job's completed-metrics file.
+RESULT_NAME = "result.json"
+
+#: First retry waits this long; attempt ``n`` waits ``base << n`` seconds.
+#: Kept tiny: the backoff is for scheduling fairness (and testability),
+#: not for placating a remote service.
+BACKOFF_BASE_SECONDS = 0.01
+
+
+def backoff_seconds(attempt: int, base: float = BACKOFF_BASE_SECONDS) -> float:
+    """Exponential retry backoff: ``base * 2**attempt`` seconds."""
+    return base * (1 << attempt)
+
+
+def write_json_atomic(path: Union[str, Path], payload: Dict[str, object]) -> Path:
+    """Write *payload* as JSON via a same-directory temp + ``os.replace``.
+
+    A reader never sees a torn file: it observes either the previous
+    complete content or the new one, even if the writer is SIGKILLed
+    mid-write.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        temp.write_text(json.dumps(payload))
+        os.replace(temp, path)
+    finally:
+        if temp.exists():
+            temp.unlink()
+    return path
+
+
+def fault_signature(faults: Optional[FaultConfig]) -> str:
+    """Cache-key suffix for the fault fields that change simulation output.
+
+    The worker crash/stall knobs steer *which attempt* produces a result,
+    never the result itself (simulations are deterministic in their
+    inputs), so they are deliberately left out of the signature.
+    """
+    if faults is None or not faults.enabled:
+        return ""
+    material = repr((
+        faults.fault_seed,
+        faults.nvm_uncorrectable_rate,
+        faults.transient_rate,
+        faults.transfer_fault_rate,
+        faults.max_retries,
+        faults.retry_backoff_cycles,
+        faults.recovery_read_cycles,
+    ))
+    digest = hashlib.sha256(material.encode()).hexdigest()[:12]
+    return f"_faults{digest}"
+
+
+def cache_key(request: Request, sizing: Sizing, faults: Optional[FaultConfig]) -> str:
+    """The canonical result-cache key for one sweep request.
+
+    Identical to :meth:`repro.experiments.runner.ExperimentRunner._key`
+    (which delegates here), so results computed by ``sweepd`` workers,
+    the supervised sweep, and the serial runner all land in — and are
+    found in — the same cache entries.
+    """
+    from repro.experiments.runner import CACHE_VERSION
+
+    scheme, workload, variant = request
+    scale, measure_ops, warmup_ops, seed, _check_level = sizing
+    return (
+        f"v{CACHE_VERSION}_{scheme}_{workload}_{variant}"
+        f"_s{scale}_m{measure_ops}_w{warmup_ops}"
+        f"_seed{seed}{fault_signature(faults)}"
+    )
+
+
+def sizing_signature(sizing: Sizing, faults: Optional[FaultConfig]) -> str:
+    """Short digest of everything that shapes a request's *state*.
+
+    Used to key per-request checkpoint/heartbeat directories: two sweeps
+    whose requests agree on (scheme, workload, variant) but differ in
+    seed, sizing, check level, or fault schedule must never share a
+    checkpoint directory — a resumed checkpoint from the wrong seed
+    would silently finish the wrong run.
+    """
+    material = repr((tuple(sizing), fault_signature(faults)))
+    return hashlib.sha256(material.encode()).hexdigest()[:8]
+
+
+def request_dirname(request: Request, signature: Optional[str] = None) -> str:
+    """Directory name for one request's checkpoints and heartbeat."""
+    base = "_".join(request)
+    if signature:
+        return f"{base}_{signature}"
+    return base
+
+
+def inject_worker_crash(
+    faults: Optional[FaultConfig], request: Request, attempt: int
+) -> None:
+    """The crash half of the pool path's worker-fault injection.
+
+    Stalls are NOT injected here: under supervision a stall is modelled
+    mid-run by the supervisor's stalling checkpointer (a pre-run sleep
+    would wedge the worker before it armed its heartbeat, which no real
+    hang does).  The stall draw is still consumed so the crash schedule
+    stays aligned with the pool path's per-(request, attempt) RNG
+    stream.
+    """
+    if faults is None or not faults.enabled:
+        return
+    if faults.worker_crash_rate <= 0.0:
+        return
+    stream = f"fault/worker/{'/'.join(request)}/attempt{attempt}"
+    rng = DeterministicRng(stream, faults.fault_seed)
+    if faults.worker_stall_rate > 0.0:
+        rng.random()
+    if rng.random() < faults.worker_crash_rate:
+        raise WorkerFaultError(
+            f"simulated worker crash (attempt {attempt + 1})", device="worker"
+        )
+
+
+def load_result(directory: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Salvage a completed result payload from a job directory.
+
+    Returns None for a missing, torn, or schema-stale file — the caller
+    re-simulates.  This is what lets a worker that finished a job but
+    died before (or while) reporting it hand the result over on its next
+    lease instead of redoing minutes of simulation.
+    """
+    from repro.experiments.runner import _METRIC_FIELDS
+
+    path = Path(directory) / RESULT_NAME
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if any(name not in payload for name in _METRIC_FIELDS):
+        return None
+    return payload
+
+
+def execute_job(
+    request: Request,
+    sizing: Sizing,
+    faults: Optional[FaultConfig],
+    attempt: int,
+    directory: Union[str, Path],
+    *,
+    checkpoint_every: int,
+    heartbeat_seconds: float,
+    heartbeat_hook: Optional[Callable[[int], None]] = None,
+    make_checkpointer: Optional[Callable[[int], object]] = None,
+    crash_injector: Optional[Callable[[Request, int], None]] = None,
+) -> Dict[str, object]:
+    """Run one sweep job to completion and return its metrics payload.
+
+    Resume-aware: if ``<directory>/latest.ckpt`` exists the simulation
+    continues from it (bit-identical to an uninterrupted run, per
+    docs/CHECKPOINTS.md); otherwise a fresh system is built — after
+    giving *crash_injector* its deterministic chance to model a worker
+    that dies before doing any work.  ``make_checkpointer`` overrides
+    checkpointer construction (the supervisor's stall injection);
+    ``heartbeat_hook`` additionally reports each heartbeat over the wire
+    (the ``sweepd`` worker).  The returned payload carries every cached
+    metric field plus ``resumed_at_ops`` and ``attempt``.
+    """
+    # Import inside the job so forked/spawned processes initialise their
+    # own module state (notably dynamically-registered variants).
+    from repro.experiments import ablation_partial, dram_capacity, sensitivity  # noqa: F401
+    from repro.experiments.runner import VARIANTS, _METRIC_FIELDS
+    from repro.sim.system import build_system
+    from repro.snapshot import LATEST_NAME, Checkpointer, load_checkpoint
+    from repro.workloads import workload_by_name
+
+    scheme, workload_name, variant = request
+    scale, measure_ops, warmup_ops, seed, check_level = sizing
+    directory = Path(directory)
+    latest = directory / LATEST_NAME
+
+    resumed_from_ops = 0
+    if latest.exists():
+        system = load_checkpoint(latest)
+        resumed_from_ops = system.steps_total
+    else:
+        if crash_injector is not None:
+            crash_injector(request, attempt)
+        check = CheckConfig(level=check_level) if check_level != "off" else None
+        system = build_system(
+            scheme,
+            workload_by_name(workload_name),
+            scale=scale,
+            seed=seed,
+            config_mutator=VARIANTS[variant],
+            check=check,
+            faults=faults,
+        )
+    if make_checkpointer is not None:
+        checkpointer = make_checkpointer(resumed_from_ops)
+    else:
+        checkpointer = Checkpointer(
+            directory,
+            every_ops=checkpoint_every,
+            heartbeat_seconds=heartbeat_seconds,
+            heartbeat_hook=heartbeat_hook,
+        )
+    checkpointer.arm(system)
+    if resumed_from_ops:
+        metrics = system.resume_run()
+    else:
+        metrics = system.run(measure_ops, warmup_ops)
+
+    payload: Dict[str, object] = {
+        name: getattr(metrics, name) for name in _METRIC_FIELDS
+    }
+    payload["resumed_at_ops"] = resumed_from_ops
+    payload["attempt"] = attempt
+    return payload
+
+
+def metrics_from_payload(payload: Dict[str, object]):
+    """Rebuild a :class:`repro.sim.metrics.RunMetrics` from a payload."""
+    from repro.experiments.runner import _METRIC_FIELDS
+    from repro.sim.metrics import RunMetrics
+
+    return RunMetrics(raw={}, **{name: payload[name] for name in _METRIC_FIELDS})
+
+
+def faults_to_wire(faults: Optional[FaultConfig]) -> Optional[Dict[str, object]]:
+    """Serialize a FaultConfig for a manifest or protocol message."""
+    if faults is None:
+        return None
+    return dataclasses.asdict(faults)
+
+
+def faults_from_wire(payload: Optional[Dict[str, object]]) -> Optional[FaultConfig]:
+    """Inverse of :func:`faults_to_wire`; tolerant of None."""
+    if payload is None:
+        return None
+    return FaultConfig(**payload)

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
-import hashlib
 import json
 import os
 import time
@@ -142,12 +141,16 @@ class ExperimentRunner:
         self._memory: Dict[str, RunMetrics] = {}
 
     # -- cache plumbing ------------------------------------------------------
-    def _key(self, scheme: str, workload: str, variant: str) -> str:
+    def _sizing(self) -> Tuple[int, int, int, int, str]:
         return (
-            f"v{CACHE_VERSION}_{scheme}_{workload}_{variant}"
-            f"_s{self.scale}_m{self.measure_ops}_w{self.warmup_ops}"
-            f"_seed{self.seed}{_fault_signature(self.faults)}"
+            self.scale, self.measure_ops, self.warmup_ops, self.seed,
+            self.worker_check_level,
         )
+
+    def _key(self, scheme: str, workload: str, variant: str) -> str:
+        from repro.experiments.jobcore import cache_key
+
+        return cache_key((scheme, workload, variant), self._sizing(), self.faults)
 
     def _cache_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
@@ -464,25 +467,15 @@ def _retryable(exc: BaseException) -> bool:
 
 
 def _fault_signature(faults: Optional[FaultConfig]) -> str:
-    """Cache-key suffix for the fault fields that change simulation output.
+    """Cache-key suffix for output-shaping fault fields.
 
-    The worker crash/stall knobs steer *which attempt* produces a result,
-    never the result itself (simulations are deterministic in their
-    inputs), so they are deliberately left out of the signature.
+    Kept as an alias of :func:`repro.experiments.jobcore.fault_signature`
+    (the shared definition the distributed sweep service also keys job
+    ids from) for the benefit of existing imports.
     """
-    if faults is None or not faults.enabled:
-        return ""
-    material = repr((
-        faults.fault_seed,
-        faults.nvm_uncorrectable_rate,
-        faults.transient_rate,
-        faults.transfer_fault_rate,
-        faults.max_retries,
-        faults.retry_backoff_cycles,
-        faults.recovery_read_cycles,
-    ))
-    digest = hashlib.sha256(material.encode()).hexdigest()[:12]
-    return f"_faults{digest}"
+    from repro.experiments.jobcore import fault_signature
+
+    return fault_signature(faults)
 
 
 def _inject_worker_fault(

@@ -38,25 +38,43 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import CheckConfig, FaultConfig
-from repro.common.errors import CheckpointError, SweepError, WorkerFaultError
-from repro.common.rng import DeterministicRng
+from repro.common.config import FaultConfig
+from repro.common.errors import (
+    CheckpointError,
+    ManifestVersionError,
+    SweepError,
+    WorkerFaultError,
+)
+from repro.experiments.jobcore import (
+    RESULT_NAME,
+    Request,
+    execute_job,
+    inject_worker_crash,
+    metrics_from_payload,
+    request_dirname,
+    sizing_signature,
+    write_json_atomic,
+)
 from repro.sim.metrics import RunMetrics
-from repro.snapshot import LATEST_NAME, Checkpointer, load_checkpoint
+from repro.snapshot import LATEST_NAME, Checkpointer
 from repro.snapshot.hooks import HEARTBEAT_NAME
-
-Request = Tuple[str, str, str]
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
 
+#: Keys the ``sizing`` block of a version-1 manifest must carry; a
+#: manifest missing any of them is from a different schema generation
+#: and must fail with a ManifestVersionError, not a KeyError.
+_MANIFEST_SIZING_KEYS = ("scale", "measure_ops", "warmup_ops", "seed", "check_level")
+
+_MANIFEST_HINT = (
+    "start a fresh sweep with a new --checkpoint-root, or resume with the "
+    "build that wrote this manifest"
+)
+
 #: Default ops between worker checkpoints; small enough that a killed
 #: worker rarely loses more than a second of simulation.
 DEFAULT_CHECKPOINT_EVERY = 20_000
-
-
-def request_dirname(request: Request) -> str:
-    return "_".join(request)
 
 
 # -- worker side -------------------------------------------------------------
@@ -85,7 +103,7 @@ class _StallingCheckpointer(Checkpointer):
             time.sleep(self._stall_seconds)
 
 
-def _build_worker_checkpointer(
+def _make_stall_aware_checkpointer(
     request: Request,
     attempt: int,
     faults: Optional[FaultConfig],
@@ -94,6 +112,8 @@ def _build_worker_checkpointer(
     heartbeat_seconds: float,
     resumed_from_ops: int,
 ) -> Checkpointer:
+    from repro.common.rng import DeterministicRng
+
     stall = 0.0
     if (
         attempt == 0
@@ -121,31 +141,6 @@ def _build_worker_checkpointer(
     )
 
 
-def _inject_worker_crash(
-    faults: Optional[FaultConfig], request: Request, attempt: int
-) -> None:
-    """The crash half of the pool path's worker-fault injection.
-
-    Stalls are NOT injected here: under supervision a stall is modelled
-    mid-run by :class:`_StallingCheckpointer` (a pre-run sleep would
-    wedge the worker before it armed its heartbeat, which no real hang
-    does).  The stall draw is still consumed so the crash schedule stays
-    aligned with the pool path's per-(request, attempt) RNG stream.
-    """
-    if faults is None or not faults.enabled:
-        return
-    if faults.worker_crash_rate <= 0.0:
-        return
-    stream = f"fault/worker/{'/'.join(request)}/attempt{attempt}"
-    rng = DeterministicRng(stream, faults.fault_seed)
-    if faults.worker_stall_rate > 0.0:
-        rng.random()
-    if rng.random() < faults.worker_crash_rate:
-        raise WorkerFaultError(
-            f"simulated worker crash (attempt {attempt + 1})", device="worker"
-        )
-
-
 def _supervised_worker(
     request: Request,
     sizing: Tuple[int, int, int, int, str],
@@ -155,50 +150,26 @@ def _supervised_worker(
     checkpoint_every: int,
     heartbeat_seconds: float,
 ) -> None:
-    """One supervised simulation; result lands in ``<dir>/result.json``."""
-    from repro.experiments import ablation_partial, dram_capacity, sensitivity  # noqa: F401
-    from repro.experiments.runner import VARIANTS, _METRIC_FIELDS
-    from repro.sim.system import build_system
-    from repro.workloads import workload_by_name
+    """One supervised simulation; result lands in ``<dir>/result.json``.
 
-    scheme, workload_name, variant = request
-    scale, measure_ops, warmup_ops, seed, check_level = sizing
+    The execution core (resume-or-build, checkpointer arming, payload
+    shape) is shared with the distributed ``sweepd`` workers via
+    :func:`repro.experiments.jobcore.execute_job`; only the
+    stall-injection checkpointer and the result *transport* (a file here,
+    a socket there) differ.
+    """
     directory = Path(directory)
-    latest = directory / LATEST_NAME
-
-    resumed_from_ops = 0
-    if latest.exists():
-        system = load_checkpoint(latest)
-        resumed_from_ops = system.steps_total
-    else:
-        _inject_worker_crash(faults, request, attempt)
-        check = CheckConfig(level=check_level) if check_level != "off" else None
-        system = build_system(
-            scheme,
-            workload_by_name(workload_name),
-            scale=scale,
-            seed=seed,
-            config_mutator=VARIANTS[variant],
-            check=check,
-            faults=faults,
-        )
-    checkpointer = _build_worker_checkpointer(
-        request, attempt, faults, directory,
-        checkpoint_every, heartbeat_seconds, resumed_from_ops,
+    payload = execute_job(
+        request, sizing, faults, attempt, directory,
+        checkpoint_every=checkpoint_every,
+        heartbeat_seconds=heartbeat_seconds,
+        crash_injector=lambda req, att: inject_worker_crash(faults, req, att),
+        make_checkpointer=lambda resumed_from_ops: _make_stall_aware_checkpointer(
+            request, attempt, faults, directory,
+            checkpoint_every, heartbeat_seconds, resumed_from_ops,
+        ),
     )
-    checkpointer.arm(system)
-    if resumed_from_ops:
-        metrics = system.resume_run()
-    else:
-        metrics = system.run(measure_ops, warmup_ops)
-
-    payload = {name: getattr(metrics, name) for name in _METRIC_FIELDS}
-    payload["resumed_at_ops"] = resumed_from_ops
-    payload["attempt"] = attempt
-    result_path = directory / "result.json"
-    temp = result_path.with_name(f"result.json.{os.getpid()}.tmp")
-    temp.write_text(json.dumps(payload))
-    os.replace(temp, result_path)
+    write_json_atomic(directory / RESULT_NAME, payload)
 
 
 # -- supervisor side ---------------------------------------------------------
@@ -263,27 +234,63 @@ class SweepSupervisor:
                 else dataclasses.asdict(runner.faults)
             ),
         }
-        self.root.mkdir(parents=True, exist_ok=True)
-        temp = self.manifest_path.with_name(f"{MANIFEST_NAME}.{os.getpid()}.tmp")
-        temp.write_text(json.dumps(payload, indent=2))
-        os.replace(temp, self.manifest_path)
+        write_json_atomic(self.manifest_path, payload)
 
     def read_manifest(self) -> Dict[str, object]:
+        """Load and *validate* this root's manifest.
+
+        Schema problems — a binary manifest from an older build, a
+        version number this build does not read, or a version-1 file
+        missing required fields — raise
+        :class:`repro.common.errors.ManifestVersionError` with a
+        remediation hint, so ``sweep --resume`` fails with one clear
+        line instead of an unpickling/KeyError traceback.
+        """
         path = self.manifest_path
         try:
-            payload = json.loads(path.read_text())
+            raw = path.read_bytes()
         except FileNotFoundError:
             raise CheckpointError(
                 f"no sweep manifest at {path}: nothing to resume "
                 f"(start a sweep with a --checkpoint-root first)"
             )
-        except (OSError, json.JSONDecodeError) as exc:
+        except OSError as exc:
+            raise CheckpointError(f"unreadable sweep manifest {path}: {exc}")
+        if raw[:1] == b"\x80":
+            # Pickle protocol-2+ opcode: a manifest from the pre-JSON
+            # layout.  Unpickling it would at best crash and at worst
+            # execute stale class definitions.
+            raise ManifestVersionError(
+                f"{path}: binary (pickled) manifest from an older build; "
+                f"this build reads JSON manifests at version "
+                f"{MANIFEST_VERSION}",
+                hint=_MANIFEST_HINT,
+            )
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise CheckpointError(f"unreadable sweep manifest {path}: {exc}")
         version = payload.get("manifest_version")
         if version != MANIFEST_VERSION:
-            raise CheckpointError(
+            raise ManifestVersionError(
                 f"{path}: manifest version {version} unsupported "
-                f"(this build reads {MANIFEST_VERSION})"
+                f"(this build reads {MANIFEST_VERSION})",
+                hint=_MANIFEST_HINT,
+            )
+        sizing = payload.get("sizing")
+        missing = [
+            key for key in _MANIFEST_SIZING_KEYS
+            if not isinstance(sizing, dict) or key not in sizing
+        ]
+        if missing or not isinstance(payload.get("requests"), list):
+            what = (
+                f"missing sizing field(s) {', '.join(missing)}"
+                if missing else "missing request list"
+            )
+            raise ManifestVersionError(
+                f"{path}: version-{MANIFEST_VERSION} manifest with {what} "
+                f"— written by an incompatible build",
+                hint=_MANIFEST_HINT,
             )
         return payload
 
@@ -311,12 +318,17 @@ class SweepSupervisor:
             self.runner.warmup_ops, self.runner.seed,
             self.runner.worker_check_level,
         )
+        # Per-request directories are salted with the sizing/fault
+        # signature: two sweeps whose requests agree on
+        # (scheme, workload, variant) but differ in seed or sizing must
+        # never share a checkpoint or heartbeat file.
+        signature = sizing_signature(sizing, self.runner.faults)
         live: List[_Worker] = []
 
         def launch(request: Request, attempt: int) -> None:
-            directory = self.root / "requests" / request_dirname(request)
+            directory = self.root / "requests" / request_dirname(request, signature)
             directory.mkdir(parents=True, exist_ok=True)
-            stale_result = directory / "result.json"
+            stale_result = directory / RESULT_NAME
             if stale_result.exists():
                 stale_result.unlink()
             if attempt > 0 and (directory / LATEST_NAME).exists():
@@ -338,16 +350,12 @@ class SweepSupervisor:
                       f"(attempt {attempt + 1})")
 
         def harvest(worker: _Worker) -> bool:
-            result_path = worker.directory / "result.json"
+            result_path = worker.directory / RESULT_NAME
             try:
                 payload = json.loads(result_path.read_text())
             except (OSError, json.JSONDecodeError):
                 return False
-            from repro.experiments.runner import _METRIC_FIELDS
-
-            metrics = RunMetrics(
-                raw={}, **{name: payload[name] for name in _METRIC_FIELDS}
-            )
+            metrics = metrics_from_payload(payload)
             self.runner._store(self.runner._key(*worker.request), metrics)
             results[worker.request] = metrics
             self._write_manifest(requests, results)
@@ -419,8 +427,15 @@ class SweepSupervisor:
             setattr(self.runner, name, sizing[name])
         self.runner.worker_check_level = sizing["check_level"]
         faults = manifest.get("faults")
-        self.runner.faults = (
-            None if faults is None else FaultConfig(**faults)
-        )
+        try:
+            self.runner.faults = (
+                None if faults is None else FaultConfig(**faults)
+            )
+        except TypeError as exc:
+            raise ManifestVersionError(
+                f"{self.manifest_path}: fault configuration does not match "
+                f"this build's schema ({exc})",
+                hint=_MANIFEST_HINT,
+            )
         requests = [tuple(request) for request in manifest["requests"]]
         return self.run(requests, jobs=jobs)

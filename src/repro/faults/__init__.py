@@ -13,18 +13,25 @@ The package has three parts:
   service when retries are exhausted or a read is uncorrectable.
 * :mod:`repro.faults.profiles` — named :class:`FaultConfig` presets exposed
   on the CLI as ``--faults <profile>``.
+* :mod:`repro.faults.chaos` — deterministic chaos hooks for the
+  distributed sweep service (dropped/duplicated/reordered/stalled
+  protocol messages, scripted worker kills and server restarts); see
+  docs/SWEEP_SERVICE.md.
 
 With ``FaultConfig.enabled`` False none of this is constructed and the
 simulator's hot path is byte-identical to a build without the package.
 """
 
+from repro.faults.chaos import ChaosConfig, FleetChaos
 from repro.faults.injector import FaultInjector
 from repro.faults.profiles import FAULT_PROFILES, resolve_profile
 from repro.faults.recovery import FaultRecovery
 
 __all__ = [
+    "ChaosConfig",
     "FaultInjector",
     "FaultRecovery",
+    "FleetChaos",
     "FAULT_PROFILES",
     "resolve_profile",
 ]

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when the extraction schema changes; invalidates every cache entry.
-FACTS_VERSION = 1
+#: 2: snapshot-safety classifier learned sockets/selectors (RL006/RL103).
+FACTS_VERSION = 2
 
 #: An unresolved reference to a called/constructed symbol, e.g.
 #: ``("local", "Core")``, ``("self", "reset")``, or

@@ -18,7 +18,13 @@ this rule flags ``self.<attr> = ...`` (including nested targets such as
   returns a nested function;
 * ``open(...)`` — file handles do not survive a process boundary;
 * a ``threading`` primitive (``Lock``, ``RLock``, ``Condition``,
-  ``Semaphore``, ``BoundedSemaphore``, ``Event``, ``Barrier``).
+  ``Semaphore``, ``BoundedSemaphore``, ``Event``, ``Barrier``);
+* a live socket (``socket.socket(...)``, ``socket.create_connection``,
+  ``socket.socketpair``, ``socket.fromfd``) or an I/O selector
+  (``selectors.DefaultSelector()`` and friends) — kernel handles that
+  the ``sweepd`` heartbeat plumbing makes easy to smuggle into
+  checkpointable classes, and that pickle either refuses outright or
+  silently resurrects dead.
 
 A class is exempt when it opts into one of the supported escape hatches:
 defining ``__getstate__`` / ``__reduce__`` / ``__reduce_ex__``, defining
@@ -52,6 +58,17 @@ _EXEMPT_METHODS = frozenset(
 _THREADING_PRIMITIVES = frozenset(
     {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
      "Event", "Barrier"}
+)
+
+#: ``socket.<ctor>`` calls that hand back a live kernel socket.
+_SOCKET_CONSTRUCTORS = frozenset(
+    {"socket", "create_connection", "socketpair", "fromfd"}
+)
+
+#: ``selectors.<cls>()`` — selector objects wrap epoll/kqueue fds.
+_SELECTOR_CLASSES = frozenset(
+    {"DefaultSelector", "SelectSelector", "PollSelector", "EpollSelector",
+     "DevpollSelector", "KqueueSelector"}
 )
 
 _FIX_HINT = (
@@ -200,6 +217,11 @@ class SnapshotSafetyRule(Rule):
             if isinstance(func, ast.Name):
                 if func.id == "open":
                     return "an open file handle"
+                if func.id == "socket":
+                    # ``from socket import socket`` idiom.
+                    return "a live socket"
+                if func.id in _SELECTOR_CLASSES:
+                    return f"a live I/O selector ({func.id})"
                 if func.id in local_functions:
                     return f"the result of local closure {func.id!r}"
             if isinstance(func, ast.Attribute):
@@ -210,6 +232,18 @@ class SnapshotSafetyRule(Rule):
                     and func.attr in _THREADING_PRIMITIVES
                 ):
                     return f"a threading.{func.attr}"
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "socket"
+                    and func.attr in _SOCKET_CONSTRUCTORS
+                ):
+                    return f"a live socket (socket.{func.attr})"
+                if (
+                    isinstance(base, ast.Name)
+                    and base.id == "selectors"
+                    and func.attr in _SELECTOR_CLASSES
+                ):
+                    return f"a live I/O selector (selectors.{func.attr})"
                 if (
                     isinstance(base, ast.Name)
                     and base.id == "self"

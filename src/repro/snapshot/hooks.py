@@ -17,16 +17,20 @@ bit-identically on restore.  It fires on three conditions:
 
 It also touches a heartbeat file (mtime = liveness) at most once per
 ``heartbeat_seconds`` so the sweep watchdog can tell "slow" from "hung".
-Wall-clock use is fine here: this package is deliberately outside the
-simulator packages the RL001 determinism lint patrols, and nothing the
-heartbeat does feeds back into simulated state.
+A ``heartbeat_hook`` callback, when given, is invoked with the current
+step count on the same cadence — the distributed sweep worker uses it to
+stream heartbeats to the ``sweepd`` server over its socket (the hook
+must swallow its own I/O errors; a flaky network must not kill the
+simulation).  Wall-clock use is fine here: this package is deliberately
+outside the simulator packages the RL001 determinism lint patrols, and
+nothing the heartbeat does feeds back into simulated state.
 """
 
 from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.common.errors import CheckpointInterrupt
 from repro.snapshot.checkpoint import LATEST_NAME, save_checkpoint
@@ -49,11 +53,13 @@ class Checkpointer:
         cut_points: Sequence[int] = (),
         heartbeat_seconds: float = 0.0,
         signals: Optional[SignalGuard] = None,
+        heartbeat_hook: Optional[Callable[[int], None]] = None,
     ):
         self.directory = Path(directory)
         self.every_ops = int(every_ops)
         self.cut_points: List[int] = sorted(int(c) for c in cut_points)
         self.heartbeat_seconds = float(heartbeat_seconds)
+        self.heartbeat_hook = heartbeat_hook
         self.signals = signals
         self.latest_path = self.directory / LATEST_NAME
         self.heartbeat_path = self.directory / HEARTBEAT_NAME
@@ -69,12 +75,14 @@ class Checkpointer:
         if self.every_ops > 0:
             self._next_due = system.steps_total + self.every_ops
         if self.heartbeat_seconds > 0:
-            self._touch_heartbeat()
+            self._touch_heartbeat(system.steps_total)
         system.checkpointer = self
 
-    def _touch_heartbeat(self) -> None:
+    def _touch_heartbeat(self, steps: int) -> None:
         self.heartbeat_path.touch()
         self._next_heartbeat = time.monotonic() + self.heartbeat_seconds
+        if self.heartbeat_hook is not None:
+            self.heartbeat_hook(steps)
 
     def _write(self, system, path: Path) -> Path:
         final = save_checkpoint(system, path)
@@ -116,7 +124,7 @@ class Checkpointer:
             self._write(system, self.latest_path)
         if self.heartbeat_seconds > 0 and steps & _HEARTBEAT_MASK == 0:
             if time.monotonic() >= self._next_heartbeat:
-                self._touch_heartbeat()
+                self._touch_heartbeat(steps)
 
     def _finalize(self, system, signum) -> None:
         if self._finalized:  # second poll after an already-handled signal

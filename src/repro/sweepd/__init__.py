@@ -1,0 +1,44 @@
+"""Fault-tolerant distributed sweep service (ISSUE 8).
+
+``sweepd`` promotes the single-node supervised sweep into a sharded
+simulation service: a work-queue server owning a versioned, atomically
+persisted job manifest, and N worker processes that lease jobs over a
+length-prefixed JSON protocol, stream heartbeats, checkpoint through the
+existing ``REPRO-CKPT v1`` machinery, and report results into the same
+atomic result cache the serial runner reads.
+
+Module map (docs/SWEEP_SERVICE.md has the full architecture):
+
+* :mod:`repro.sweepd.protocol` — framing, addressing, the retrying
+  :class:`~repro.sweepd.protocol.RpcClient`, deterministic message chaos;
+* :mod:`repro.sweepd.jobs` — job records and deterministic job ids;
+* :mod:`repro.sweepd.manifest` — the server's persisted queue: leases,
+  expiry reclaim, retry backoff, poison-job quarantine, priority lanes;
+* :mod:`repro.sweepd.aggregator` — exactly-once, digest-checked result
+  aggregation into the runner's cache;
+* :mod:`repro.sweepd.server` — the selectors event loop;
+* :mod:`repro.sweepd.worker` — the lease/execute/report worker loop;
+* :mod:`repro.sweepd.fleet` — the local fleet driver behind
+  ``repro sweep --distributed`` (process supervision + scripted chaos).
+"""
+
+from repro.sweepd.aggregator import ResultAggregator
+from repro.sweepd.fleet import FleetReport, run_distributed_sweep
+from repro.sweepd.jobs import JobRecord, build_job, job_id_for
+from repro.sweepd.manifest import JobManifest
+from repro.sweepd.protocol import RpcClient
+from repro.sweepd.server import SweepdServer
+from repro.sweepd.worker import SweepdWorker
+
+__all__ = [
+    "FleetReport",
+    "JobManifest",
+    "JobRecord",
+    "ResultAggregator",
+    "RpcClient",
+    "SweepdServer",
+    "SweepdWorker",
+    "build_job",
+    "job_id_for",
+    "run_distributed_sweep",
+]

@@ -1,0 +1,315 @@
+"""Local fleet driver: one server plus N workers, supervised.
+
+``repro sweep --distributed --workers N`` lands here.  The driver owns
+the operating-system half of the fault-tolerance story: it launches the
+server and worker *processes*, watches them, relaunches whatever dies,
+and executes the scripted :class:`repro.faults.chaos.FleetChaos`
+schedule (SIGKILL a worker provably mid-job, SIGKILL + relaunch the
+server mid-sweep) that the chaos test matrix drives.
+
+The protocol half (leases, retries, dedupe) is the service's job; the
+driver deliberately knows nothing about it beyond the ``submit`` /
+``status`` / ``shutdown`` RPCs.  Results are collected from the shared
+result cache, so a distributed sweep is interchangeable with
+``ExperimentRunner.run_many`` — same keys, same payloads, bit-identical
+metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SweepdError, SweepError
+from repro.experiments.jobcore import Request
+from repro.faults.chaos import ChaosConfig, FleetChaos
+from repro.sweepd.jobs import QUARANTINED, build_job
+from repro.sweepd.protocol import RpcClient, read_address_file
+from repro.sweepd.worker import worker_main
+
+#: Directory (under the service root) holding per-job checkpoint dirs.
+JOBS_DIRNAME = "jobs"
+
+
+@dataclasses.dataclass
+class FleetReport:
+    """What happened while the sweep ran (observability, test assertions)."""
+
+    jobs_total: int = 0
+    jobs_already_done: int = 0
+    worker_relaunches: int = 0
+    chaos_worker_kills: int = 0
+    chaos_server_restarts: int = 0
+    reclaims: int = 0
+    quarantined: List[Tuple[str, ...]] = dataclasses.field(default_factory=list)
+
+
+def _server_main(
+    root: str,
+    cache_dir: str,
+    address: Optional[str],
+    max_attempts: int,
+    lease_seconds: float,
+    chaos: Optional[ChaosConfig],
+    poll_seconds: float,
+) -> None:
+    from repro.sweepd.server import SweepdServer
+
+    server = SweepdServer(
+        root, cache_dir,
+        address=address,
+        max_attempts=max_attempts,
+        lease_seconds=lease_seconds,
+        chaos=chaos,
+    )
+    server.serve_forever(poll_seconds=poll_seconds)
+
+
+class _Fleet:
+    """Process bookkeeping for one distributed sweep."""
+
+    def __init__(
+        self,
+        root: Path,
+        cache_dir: Path,
+        *,
+        workers: int,
+        max_attempts: int,
+        lease_seconds: float,
+        checkpoint_every: int,
+        heartbeat_seconds: float,
+        chaos: Optional[ChaosConfig],
+        server_poll_seconds: float,
+    ) -> None:
+        self.root = root
+        self.cache_dir = cache_dir
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.lease_seconds = lease_seconds
+        self.checkpoint_every = checkpoint_every
+        self.heartbeat_seconds = heartbeat_seconds
+        self.chaos = chaos
+        self.server_poll_seconds = server_poll_seconds
+        self.context = multiprocessing.get_context()
+        self.server: Optional[multiprocessing.process.BaseProcess] = None
+        self.address: Optional[str] = None
+        #: slot -> (current process, current worker name, relaunch count)
+        self.slots: Dict[int, Tuple[multiprocessing.process.BaseProcess, str, int]] = {}
+        self.report = FleetReport()
+
+    # -- processes ---------------------------------------------------------
+    def start_server(self, address: Optional[str] = None) -> None:
+        proc = self.context.Process(
+            target=_server_main,
+            args=(
+                str(self.root), str(self.cache_dir), address,
+                self.max_attempts, self.lease_seconds, self.chaos,
+                self.server_poll_seconds,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self.server = proc
+        self.address = self._await_address(proc)
+
+    def _await_address(
+        self, proc: "multiprocessing.process.BaseProcess", timeout: float = 10.0
+    ) -> str:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                return read_address_file(self.root)
+            except SweepdError:
+                if proc.exitcode is not None:
+                    raise SweepdError(
+                        f"sweepd server died during startup "
+                        f"(exit code {proc.exitcode})"
+                    )
+                time.sleep(0.02)
+        raise SweepdError(f"sweepd server never published an address in {self.root}")
+
+    def start_worker(self, slot: int, generation: int = 0) -> None:
+        name = f"w{slot}" if generation == 0 else f"w{slot}r{generation}"
+        proc = self.context.Process(
+            target=worker_main,
+            args=(
+                name, self.address, str(self.root / JOBS_DIRNAME),
+                self.checkpoint_every, self.heartbeat_seconds,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self.slots[slot] = (proc, name, generation)
+
+    def kill_worker(self, slot: int) -> None:
+        proc, _, _ = self.slots[slot]
+        proc.kill()
+        proc.join()
+
+    def kill_server(self) -> None:
+        assert self.server is not None
+        self.server.kill()
+        self.server.join()
+
+    def shutdown(self) -> None:
+        for proc, _, _ in self.slots.values():
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+        if self.server is not None and self.server.is_alive():
+            try:
+                with RpcClient(self.address, timeout=1.0, retry_window=2.0) as rpc:
+                    rpc.call({"type": "shutdown"})
+            except SweepdError:
+                pass
+            self.server.join(timeout=5.0)
+            if self.server.is_alive():
+                self.server.terminate()
+                self.server.join(timeout=5.0)
+
+
+def run_distributed_sweep(
+    runner,
+    requests: List[Request],
+    root,
+    *,
+    workers: int = 2,
+    priority: str = "bulk",
+    chaos: Optional[ChaosConfig] = None,
+    fleet_chaos: Optional[FleetChaos] = None,
+    lease_seconds: float = 5.0,
+    checkpoint_every: int = 1000,
+    heartbeat_seconds: float = 0.25,
+    poll_seconds: float = 0.05,
+    timeout: float = 600.0,
+) -> Tuple[Dict[Request, object], FleetReport]:
+    """Run *requests* on a local server + worker fleet; collect from cache.
+
+    Returns ``(results, report)`` where results maps each request to its
+    :class:`repro.sim.metrics.RunMetrics` — the same mapping (and the
+    same cache entries) ``runner.run_many`` would produce.  Raises
+    :class:`repro.common.errors.SweepError` naming every quarantined
+    request once the sweep drains, mirroring the pool path's contract:
+    completed results are cached and returned info is preserved even
+    when some jobs are poison.
+    """
+    root = Path(root)
+    requests = list(dict.fromkeys(requests))
+    fleet = _Fleet(
+        root, runner.cache_dir,
+        workers=workers,
+        max_attempts=runner.max_attempts,
+        lease_seconds=lease_seconds,
+        checkpoint_every=checkpoint_every,
+        heartbeat_seconds=heartbeat_seconds,
+        chaos=chaos,
+        server_poll_seconds=poll_seconds,
+    )
+    script = fleet_chaos or FleetChaos()
+    pending_kills = dict(script.kill_worker_mid_job)
+    server_restart_at = script.restart_server_after_results
+
+    fleet.start_server()
+    try:
+        records = [
+            build_job(request, runner._sizing(), runner.faults, priority=0)
+            for request in requests
+        ]
+        with RpcClient(fleet.address, timeout=2.0, retry_window=30.0) as rpc:
+            reply = rpc.call({
+                "type": "submit",
+                "priority": priority,
+                "jobs": [record.to_json() for record in records],
+            })
+            if reply.get("type") == "error":
+                raise SweepdError(f"submit rejected: {reply.get('error')}")
+            fleet.report.jobs_total = len(records)
+            fleet.report.jobs_already_done = len(reply.get("already_done", []))
+
+        for slot in range(workers):
+            fleet.start_worker(slot)
+
+        quarantined: Dict[str, dict] = {}
+        deadline = time.monotonic() + timeout
+        with RpcClient(fleet.address, timeout=2.0, retry_window=30.0) as rpc:
+            while True:
+                if time.monotonic() > deadline:
+                    raise SweepdError(
+                        f"distributed sweep did not drain within {timeout:.0f}s"
+                    )
+                status = rpc.call({"type": "status"})
+                fleet.report.reclaims = int(status.get("reclaims", 0))
+                jobs = status.get("jobs", [])
+
+                # Scripted chaos: SIGKILL a worker the moment it is
+                # observed heartbeating past its step threshold —
+                # provably mid-job, with a checkpoint likely behind it.
+                for slot, threshold in list(pending_kills.items()):
+                    proc, name, generation = fleet.slots.get(
+                        slot, (None, None, 0)
+                    )
+                    if proc is None:
+                        continue
+                    busy = any(
+                        job.get("worker") == name
+                        and int(job.get("steps", 0)) >= threshold
+                        for job in jobs
+                    )
+                    if busy and proc.is_alive():
+                        fleet.kill_worker(slot)
+                        fleet.report.chaos_worker_kills += 1
+                        del pending_kills[slot]
+
+                # Scripted chaos: SIGKILL + relaunch the server itself.
+                done = int(status.get("counts", {}).get("done", 0))
+                if server_restart_at is not None and done >= server_restart_at:
+                    fleet.kill_server()
+                    fleet.start_server(address=fleet.address)
+                    fleet.report.chaos_server_restarts += 1
+                    server_restart_at = None
+
+                # Graceful degradation: relaunch any dead worker (killed
+                # by chaos or by the OS); the sweep redistributes.
+                if not status.get("drained"):
+                    for slot, (proc, _, generation) in list(fleet.slots.items()):
+                        if proc.exitcode is not None:
+                            fleet.start_worker(slot, generation + 1)
+                            fleet.report.worker_relaunches += 1
+
+                if status.get("drained"):
+                    for job in jobs:
+                        if job.get("state") == QUARANTINED:
+                            quarantined[str(job.get("job_id"))] = job
+                    break
+                time.sleep(poll_seconds)
+    finally:
+        fleet.shutdown()
+
+    results: Dict[Request, object] = {}
+    failures = []
+    attempts: Dict[Request, int] = {}
+    quarantined_requests = {
+        tuple(job.get("request", ())) for job in quarantined.values()
+    }
+    for job in quarantined.values():
+        request = tuple(job.get("request", ()))
+        attempts[request] = int(job.get("attempts", 0))
+        errors = job.get("errors") or ["quarantined"]
+        failures.append((request, SweepdError(str(errors[-1]))))
+        fleet.report.quarantined.append(request)
+    for request in requests:
+        if request in quarantined_requests:
+            continue
+        metrics = runner._load(runner._key(*request))
+        if metrics is None:
+            raise SweepdError(
+                f"sweep drained but no cached result for {'/'.join(request)} "
+                f"(manifest/cache disagree — service bug)"
+            )
+        results[request] = metrics
+    if failures:
+        raise SweepError(failures, attempts=attempts)
+    return results, fleet.report

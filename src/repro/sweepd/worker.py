@@ -1,0 +1,168 @@
+"""The sweep service's worker: lease, simulate, checkpoint, report.
+
+A worker is a plain blocking loop around one :class:`repro.sweepd
+.protocol.RpcClient`.  Everything that makes it fault-tolerant lives in
+what it *doesn't* assume:
+
+* It never assumes its lease reply arrived exactly once — leases
+  re-grant idempotently, so a retried ``lease`` RPC gets the same job.
+* It never assumes it is the first to run a job: before simulating it
+  salvages ``result.json`` (a predecessor finished but died before
+  reporting) and otherwise resumes from ``latest.ckpt`` (a predecessor
+  was SIGKILLed mid-run) — both inherited through the shared job
+  directory keyed by the deterministic job id.
+* It never assumes the server is up: heartbeats are fire-and-forget, and
+  RPCs retry with the same ``seq`` across reconnects, riding out a
+  server restart without losing its place.
+
+Simulated infrastructure faults (``FaultConfig.worker_crash_rate``) are
+reported as *retryable* failures — the service requeues with backoff and
+eventually quarantines poison jobs; genuine simulator exceptions are
+reported non-retryable and quarantine immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional, Union, cast
+
+from repro.common.errors import FaultError, SweepdError
+from repro.experiments.jobcore import (
+    RESULT_NAME,
+    Request,
+    Sizing,
+    execute_job,
+    faults_from_wire,
+    inject_worker_crash,
+    load_result,
+    write_json_atomic,
+)
+from repro.sweepd.protocol import Message, RpcClient
+
+
+class SweepdWorker:
+    """One worker process's lease/execute/report loop."""
+
+    def __init__(
+        self,
+        name: str,
+        address: str,
+        jobs_root: Union[str, Path],
+        *,
+        checkpoint_every: int = 1000,
+        heartbeat_seconds: float = 0.5,
+        rpc_timeout: float = 2.0,
+        retry_window: float = 60.0,
+        idle_sleep_cap: float = 0.5,
+    ) -> None:
+        self.name = name
+        self.address = address
+        self.jobs_root = Path(jobs_root)
+        self.checkpoint_every = checkpoint_every
+        self.heartbeat_seconds = heartbeat_seconds
+        self.idle_sleep_cap = idle_sleep_cap
+        self.client = RpcClient(
+            address, timeout=rpc_timeout, retry_window=retry_window
+        )
+        self.completed = 0
+
+    # -- loop --------------------------------------------------------------
+    def run(self) -> int:
+        """Work until the server drains; returns jobs completed."""
+        with self.client:
+            self.client.call({"type": "hello", "worker": self.name})
+            while True:
+                reply = self.client.call({"type": "lease", "worker": self.name})
+                kind = reply.get("kind")
+                if kind == "drain":
+                    return self.completed
+                if kind != "job":
+                    retry_after = float(cast(float, reply.get("retry_after", 0.0)))
+                    time.sleep(min(max(retry_after, 0.01), self.idle_sleep_cap))
+                    continue
+                self._work_one(reply)
+
+    def _work_one(self, lease: Message) -> None:
+        job_id = str(lease["job_id"])
+        request = cast(Request, tuple(cast(list, lease["request"])))
+        sizing_dict = cast(dict, lease["sizing"])
+        sizing: Sizing = (
+            int(sizing_dict["scale"]), int(sizing_dict["measure_ops"]),
+            int(sizing_dict["warmup_ops"]), int(sizing_dict["seed"]),
+            str(sizing_dict["check_level"]),
+        )
+        attempt = int(cast(int, lease.get("attempt", 0)))
+        directory = self.jobs_root / job_id
+
+        payload = load_result(directory)
+        if payload is None:
+            faults = faults_from_wire(cast(Optional[dict], lease.get("faults")))
+
+            def heartbeat(steps: int) -> None:
+                # Best-effort: a down server or mangled frame must never
+                # stall the simulation; the lease just edges toward expiry
+                # until a later heartbeat lands.
+                self.client.send_oneway({
+                    "type": "heartbeat",
+                    "worker": self.name,
+                    "job_id": job_id,
+                    "steps": steps,
+                })
+
+            try:
+                payload = execute_job(
+                    request, sizing, faults, attempt, directory,
+                    checkpoint_every=self.checkpoint_every,
+                    heartbeat_seconds=self.heartbeat_seconds,
+                    heartbeat_hook=heartbeat,
+                    crash_injector=lambda req, att: inject_worker_crash(
+                        faults, req, att
+                    ),
+                )
+            except FaultError as exc:
+                self.client.call({
+                    "type": "fail", "worker": self.name, "job_id": job_id,
+                    "error": f"{type(exc).__name__}: {exc}", "retryable": True,
+                })
+                return
+            except Exception as exc:
+                self.client.call({
+                    "type": "fail", "worker": self.name, "job_id": job_id,
+                    "error": f"{type(exc).__name__}: {exc}", "retryable": False,
+                })
+                return
+            # Land the result on disk before reporting it: if the report
+            # (or this process) dies, the next lease holder salvages the
+            # file instead of re-simulating.
+            write_json_atomic(directory / RESULT_NAME, payload)
+
+        reply = self.client.call({
+            "type": "result",
+            "worker": self.name,
+            "job_id": job_id,
+            "payload": payload,
+        })
+        if reply.get("type") == "error":
+            raise SweepdError(
+                f"server rejected result for {job_id}: {reply.get('error')}"
+            )
+        self.completed += 1
+
+
+def worker_main(
+    name: str,
+    address: str,
+    jobs_root: str,
+    checkpoint_every: int = 1000,
+    heartbeat_seconds: float = 0.5,
+    retry_window: float = 60.0,
+) -> int:
+    """Process entry point for fleet-spawned (or CLI-launched) workers."""
+    worker = SweepdWorker(
+        name, address, jobs_root,
+        checkpoint_every=checkpoint_every,
+        heartbeat_seconds=heartbeat_seconds,
+        retry_window=retry_window,
+    )
+    return worker.run()

@@ -139,3 +139,34 @@ def test_no_root_class_means_silence(tmp_path):
     report, engine = lint_project(tmp_path)
     assert findings_for(report, "RL103") == []
     assert engine.last_program_model.root_symbols == []
+
+
+def test_positive_reachable_class_with_live_socket_and_selector(tmp_path):
+    # The sweepd heartbeat plumbing makes it tempting to hand a class in
+    # the pickled System graph a socket or selector; the whole-program
+    # proof must flag both with a reachability witness.
+    write_project(tmp_path, {
+        "sim/system.py": (
+            "from sim.reporter import Reporter\n"
+            "class System:\n"
+            "    def __init__(self):\n"
+            "        self.reporter = Reporter()\n"
+        ),
+        "sim/reporter.py": (
+            "import selectors\n"
+            "import socket\n"
+            "class Reporter:\n"
+            "    def __init__(self):\n"
+            "        self.sock = socket.create_connection(('h', 1))\n"
+            "        self.selector = selectors.DefaultSelector()\n"
+        ),
+    })
+    report, engine = lint_project(tmp_path)
+    findings = findings_for(report, "RL103")
+    assert len(findings) == 2
+    messages = " | ".join(finding.message for finding in findings)
+    assert "live socket" in messages
+    assert "I/O selector" in messages
+    assert all("System.reporter → Reporter" in f.message for f in findings)
+    assert findings_for(report, "RL006") == []
+    assert "sim.reporter:Reporter" in engine.last_program_model.reachable

@@ -1,0 +1,138 @@
+"""``sweep --resume`` manifest validation and heartbeat-path dedup.
+
+Satellites of the sweep-service PR: an incompatible manifest must fail
+with one clear, versioned error (distinct exit code + remediation hint)
+instead of an unpickling traceback, and two sweeps that differ only in
+seed/sizing must never share per-request checkpoint or heartbeat
+directories.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cli import EXIT_MANIFEST_VERSION, main
+from repro.common.errors import CheckpointError, ManifestVersionError
+from repro.experiments.jobcore import request_dirname, sizing_signature
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.supervisor import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    SweepSupervisor,
+)
+
+
+def _supervisor(tmp_path):
+    runner = ExperimentRunner(
+        scale=1024, measure_ops=400, warmup_ops=400, seed=0,
+        worker_check_level="off", cache_dir=tmp_path / "cache",
+    )
+    return SweepSupervisor(runner, tmp_path / "sweep")
+
+
+def _write_manifest(tmp_path, data, binary=False):
+    root = tmp_path / "sweep"
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / MANIFEST_NAME
+    if binary:
+        path.write_bytes(data)
+    else:
+        path.write_text(json.dumps(data))
+    return root
+
+
+class TestManifestValidation:
+    def test_pickled_manifest_raises_versioned_error(self, tmp_path):
+        _write_manifest(
+            tmp_path, pickle.dumps({"requests": []}), binary=True
+        )
+        with pytest.raises(ManifestVersionError, match="pickled") as excinfo:
+            _supervisor(tmp_path).read_manifest()
+        assert excinfo.value.hint is not None
+        assert "checkpoint-root" in excinfo.value.hint
+
+    def test_version_skew_raises_versioned_error(self, tmp_path):
+        _write_manifest(tmp_path, {
+            "manifest_version": MANIFEST_VERSION + 1,
+            "sizing": {}, "requests": [],
+        })
+        with pytest.raises(ManifestVersionError, match="unsupported"):
+            _supervisor(tmp_path).read_manifest()
+
+    def test_missing_sizing_fields_raise_versioned_error(self, tmp_path):
+        _write_manifest(tmp_path, {
+            "manifest_version": MANIFEST_VERSION,
+            "sizing": {"scale": 1024},
+            "requests": [],
+        })
+        with pytest.raises(ManifestVersionError, match="missing sizing"):
+            _supervisor(tmp_path).read_manifest()
+
+    def test_missing_request_list_raises_versioned_error(self, tmp_path):
+        _write_manifest(tmp_path, {
+            "manifest_version": MANIFEST_VERSION,
+            "sizing": {
+                "scale": 1024, "measure_ops": 400, "warmup_ops": 400,
+                "seed": 0, "check_level": "off",
+            },
+        })
+        with pytest.raises(ManifestVersionError, match="request list"):
+            _supervisor(tmp_path).read_manifest()
+
+    def test_absent_manifest_is_a_plain_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="nothing to resume"):
+            _supervisor(tmp_path).read_manifest()
+
+    def test_cli_resume_exits_with_distinct_code_and_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        root = _write_manifest(
+            tmp_path, pickle.dumps({"requests": []}), binary=True
+        )
+        code = main([
+            "sweep", "--resume", "--checkpoint-root", str(root), "--quiet",
+        ])
+        captured = capsys.readouterr()
+        assert code == EXIT_MANIFEST_VERSION
+        assert "pickled" in captured.err
+        assert "hint:" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestHeartbeatPathDedup:
+    def test_signature_distinguishes_seed_and_sizing(self):
+        base = (1024, 400, 400, 0, "off")
+        other_seed = (1024, 400, 400, 1, "off")
+        other_scale = (512, 400, 400, 0, "off")
+        assert sizing_signature(base, None) != sizing_signature(other_seed, None)
+        assert sizing_signature(base, None) != sizing_signature(other_scale, None)
+        assert sizing_signature(base, None) == sizing_signature(base, None)
+
+    def test_request_dirname_carries_the_signature(self):
+        request = ("pageseer", "lbmx4", "default")
+        named = request_dirname(request, "abcd1234")
+        assert named == "pageseer_lbmx4_default_abcd1234"
+        assert request_dirname(request) == "pageseer_lbmx4_default"
+
+    def test_same_config_different_seeds_use_disjoint_directories(self, tmp_path):
+        """Two supervised sweeps differing only in seed share a root but
+        must checkpoint/heartbeat into different request directories."""
+        request = ("pageseer", "lbmx4", "default")
+        root = tmp_path / "sweep"
+        for seed in (0, 1):
+            runner = ExperimentRunner(
+                scale=1024, measure_ops=400, warmup_ops=400, seed=seed,
+                worker_check_level="off", cache_dir=tmp_path / f"cache{seed}",
+            )
+            supervisor = SweepSupervisor(
+                runner, root,
+                checkpoint_every=300, heartbeat_seconds=0.1,
+                stall_timeout=5.0, poll_seconds=0.05,
+            )
+            supervisor.run([request], jobs=1)
+        dirs = sorted(p.name for p in (root / "requests").iterdir())
+        assert len(dirs) == 2, dirs
+        assert all(name.startswith("pageseer_lbmx4_default_") for name in dirs)
+        assert dirs[0] != dirs[1]
