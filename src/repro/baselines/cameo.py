@@ -52,6 +52,10 @@ class CameoHmc(HmcBase):
         remap_bytes = self.total_lines  # ~1 B of metadata per line
         self.reserve_metadata(max(1, math.ceil(remap_bytes / PAGE_BYTES)))
 
+        # Hot-path invariants for the flattened request path (the config
+        # dataclasses are frozen, so these cannot drift).
+        self._src_latency = config.pom.src_latency_cycles
+
     # -- geometry -------------------------------------------------------------
     def group_of(self, line: int) -> int:
         """The swap group (== fast slot id) a line belongs to."""
@@ -66,6 +70,7 @@ class CameoHmc(HmcBase):
         return self.os_model.is_protected_frame(line // LINES_PER_PAGE)
 
     # -- the request path -------------------------------------------------------
+    # repro-hot
     def handle_request(
         self,
         now: int,
@@ -74,24 +79,81 @@ class CameoHmc(HmcBase):
         pid: int,
         kind: RequestKind = RequestKind.DEMAND,
     ) -> int:
-        page = line_spa // LINES_PER_PAGE
-        group = self.group_of(line_spa)
+        """Service one LLC-miss line request; returns the finish time.
 
-        t = now + self.config.pom.src_latency_cycles
-        if not self._remap_lookup(line_spa):
+        The per-request pipeline — remap-cache probe, slot lookup,
+        device access, serviced-request accounting — is inlined over the
+        structures' own state, the same flattening the PageSeer
+        controller's request path uses (the goldens pin the result); the
+        miss/eviction paths escape to the owning methods.
+        """
+        stats = self.stats
+        counters = stats._counters
+        fast_lines = self.fast_lines
+        group = (
+            line_spa
+            if line_spa < fast_lines
+            else (line_spa - fast_lines) % fast_lines
+        )
+
+        t = now + self._src_latency
+        remap_cache = self._remap_cache
+        if line_spa in remap_cache:
+            remap_cache.move_to_end(line_spa)
+            counters["cameo/remap_hits"] += 1.0
+        else:
+            counters["cameo/remap_misses"] += 1.0
             fill_done = self.metadata_access(t, group)
-            self.record_remap_wait(fill_done - t)
+            if fill_done > t:
+                counters["hmc/remap_wait_cycles"] += fill_done - t
+                counters["hmc/remap_misses"] += 1.0
             t = fill_done
             self._remap_fill(line_spa)
 
-        slot = self._slot(line_spa)
-        finish = self.mem_access_finish(
-            t, slot, is_write, bulk=kind is RequestKind.WRITEBACK
-        )
-        serviced = "dram" if slot < self.fast_lines else "nvm"
-        self.account_service(now, finish, page, serviced, kind)
+        slot = self._slot_of.get(line_spa, line_spa)
+        bulk = kind is RequestKind.WRITEBACK
+        dram = slot < fast_lines
+        if self._fast_mem:
+            if dram:
+                finish = self._dram_dev.access_finish(t, slot, is_write, bulk)
+            else:
+                finish = self._nvm_dev.access_finish(
+                    t, slot - self._nvm_line_base, is_write, bulk
+                )
+        else:
+            finish = self.mem_access_finish(t, slot, is_write, bulk)
 
-        if slot >= self.fast_lines:
+        self._total_serviced += 1
+        if dram:
+            self._dram_serviced += 1
+            counters["hmc/serviced_dram"] += 1.0
+        else:
+            counters["hmc/serviced_nvm"] += 1.0
+        if kind is RequestKind.DEMAND:
+            counters["hmc/requests_demand"] += 1.0
+        elif bulk:
+            counters["hmc/requests_writeback"] += 1.0
+        else:
+            counters["hmc/requests_pte"] += 1.0
+        if not bulk:
+            # AMMAT covers processor-visible requests only.
+            ammat = finish - now
+            stats._sums["hmc/ammat"] += ammat
+            stats._counts["hmc/ammat"] += 1
+            previous = stats._maxima.get("hmc/ammat")
+            if previous is None or ammat > previous:
+                stats._maxima["hmc/ammat"] = ammat
+        if line_spa >= self._nvm_line_base:
+            if dram:
+                counters["hmc/positive_accesses"] += 1.0
+            else:
+                counters["hmc/neutral_accesses"] += 1.0
+        elif not dram:
+            counters["hmc/negative_accesses"] += 1.0
+        else:
+            counters["hmc/neutral_accesses"] += 1.0
+
+        if not dram:
             self._swap_in(finish, line_spa, group)
         return finish
 

@@ -16,7 +16,7 @@ import math
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
-from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
+from repro.common.addr import CACHE_LINE_BYTES, PAGE_BYTES
 from repro.common.config import SystemConfig
 from repro.common.errors import FaultError
 from repro.common.stats import StatsRegistry
@@ -141,6 +141,11 @@ class MemPodHmc(HmcBase):
         remap_bytes = self.total_segments * 4
         self.reserve_metadata(max(1, math.ceil(remap_bytes / PAGE_BYTES)))
 
+        # Hot-path invariants for the flattened request path (the config
+        # dataclasses are frozen, so these cannot drift).
+        self._remap_latency = mp.remap_cache_latency_cycles
+        self._interval = mp.interval_cycles
+
     # -- geometry -----------------------------------------------------------
     def pod_of(self, segment: int) -> _Pod:
         pods = len(self._pods)
@@ -159,6 +164,7 @@ class MemPodHmc(HmcBase):
         )
 
     # -- the request path -------------------------------------------------------
+    # repro-hot
     def handle_request(
         self,
         now: int,
@@ -167,34 +173,94 @@ class MemPodHmc(HmcBase):
         pid: int,
         kind: RequestKind = RequestKind.DEMAND,
     ) -> int:
-        self._maybe_migrate(now)
-        segment = line_spa // self.lines_per_segment
-        page = line_spa // LINES_PER_PAGE
+        """Service one LLC-miss line request; returns the finish time.
+
+        The per-request pipeline — interval check, remap-cache probe,
+        purge, slot lookup, device access, serviced-request accounting —
+        is inlined over the structures' own state, the same flattening
+        the PageSeer controller's request path uses (the goldens pin the
+        result); the migration-burst path escapes to _maybe_migrate.
+        """
+        interval = self._interval
+        if interval > 0 and now - self._interval_start >= interval:
+            self._maybe_migrate(now)
+        stats = self.stats
+        counters = stats._counters
+        lines_per_segment = self.lines_per_segment
+        fast_segments = self.fast_segments
+        segment = line_spa // lines_per_segment
         pod = self.pod_of(segment)
 
-        t = now + self.mp.remap_cache_latency_cycles
-        if not self._remap_lookup(segment):
+        t = now + self._remap_latency
+        remap_cache = self._remap_cache
+        if segment in remap_cache:
+            remap_cache.move_to_end(segment)
+            counters["mempod/remap_hits"] += 1.0
+        else:
+            counters["mempod/remap_misses"] += 1.0
             fill_done = self.metadata_access(t, segment)
-            self.record_remap_wait(fill_done - t)
+            if fill_done > t:
+                counters["hmc/remap_wait_cycles"] += fill_done - t
+                counters["hmc/remap_misses"] += 1.0
             t = fill_done
             self._remap_fill(segment)
 
-        self._purge(t)
-        slot = pod.slot(segment)
-        in_flight_end = self._active.get(segment)
-        actual_line = slot * self.lines_per_segment + (
-            line_spa % self.lines_per_segment
-        )
-        finish = self.mem_access_finish(
-            t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
-        )
+        active = self._active
+        if active:
+            self._purge(t)
+            in_flight_end = active.get(segment)
+        else:
+            in_flight_end = None
+        slot = pod.slot_of.get(segment, segment)
+        actual_line = slot * lines_per_segment + line_spa % lines_per_segment
+        bulk = kind is RequestKind.WRITEBACK
+        dram = slot < fast_segments
+        if self._fast_mem:
+            if dram:
+                finish = self._dram_dev.access_finish(
+                    t, actual_line, is_write, bulk
+                )
+            else:
+                finish = self._nvm_dev.access_finish(
+                    t, actual_line - self._nvm_line_base, is_write, bulk
+                )
+        else:
+            finish = self.mem_access_finish(t, actual_line, is_write, bulk)
         if in_flight_end is not None and in_flight_end > finish:
             finish = in_flight_end
-            self.stats.add("mempod/waits_for_migration")
-        serviced = "dram" if slot < self.fast_segments else "nvm"
-        self.account_service(now, finish, page, serviced, kind)
+            counters["mempod/waits_for_migration"] += 1.0
 
-        if slot >= self.fast_segments:
+        self._total_serviced += 1
+        if dram:
+            self._dram_serviced += 1
+            counters["hmc/serviced_dram"] += 1.0
+        else:
+            counters["hmc/serviced_nvm"] += 1.0
+        if kind is RequestKind.DEMAND:
+            counters["hmc/requests_demand"] += 1.0
+        elif bulk:
+            counters["hmc/requests_writeback"] += 1.0
+        else:
+            counters["hmc/requests_pte"] += 1.0
+        if not bulk:
+            # AMMAT covers processor-visible requests only.
+            ammat = finish - now
+            stats._sums["hmc/ammat"] += ammat
+            stats._counts["hmc/ammat"] += 1
+            previous = stats._maxima.get("hmc/ammat")
+            if previous is None or ammat > previous:
+                stats._maxima["hmc/ammat"] = ammat
+        if line_spa >= self._nvm_line_base:
+            if dram:
+                counters["hmc/positive_accesses"] += 1.0
+            else:
+                counters["hmc/neutral_accesses"] += 1.0
+        elif not dram:
+            counters["hmc/negative_accesses"] += 1.0
+        else:
+            counters["hmc/neutral_accesses"] += 1.0
+
+        if not dram:
             pod.mea.observe(segment)
         return finish
 

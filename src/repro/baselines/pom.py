@@ -21,7 +21,7 @@ import math
 from collections import OrderedDict
 from typing import Dict
 
-from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
+from repro.common.addr import CACHE_LINE_BYTES, PAGE_BYTES
 from repro.common.config import SystemConfig
 from repro.common.errors import FaultError
 from repro.common.stats import StatsRegistry
@@ -70,6 +70,10 @@ class PomHmc(HmcBase):
         remap_bytes = self.total_segments * 4
         self.reserve_metadata(max(1, math.ceil(remap_bytes / PAGE_BYTES)))
 
+        # Hot-path invariant for the flattened request path (the config
+        # dataclasses are frozen, so this cannot drift).
+        self._src_latency = pom.src_latency_cycles
+
     # -- geometry -------------------------------------------------------------
     def group_of(self, segment: int) -> int:
         """The swap group (== fast slot id) a segment belongs to."""
@@ -91,6 +95,7 @@ class PomHmc(HmcBase):
         )
 
     # -- the request path -------------------------------------------------------
+    # repro-hot
     def handle_request(
         self,
         now: int,
@@ -99,34 +104,96 @@ class PomHmc(HmcBase):
         pid: int,
         kind: RequestKind = RequestKind.DEMAND,
     ) -> int:
-        segment = line_spa // self.lines_per_segment
-        page = line_spa // LINES_PER_PAGE
-        group = self.group_of(segment)
+        """Service one LLC-miss line request; returns the finish time.
 
-        t = now + self.pom.src_latency_cycles
-        if not self._src_lookup(group):
+        The per-request pipeline — SRC probe, purge, slot lookup, device
+        access, serviced-request accounting — is inlined over the
+        structures' own state, the same flattening the PageSeer
+        controller's request path uses (the goldens pin the result); the
+        miss/decay/swap paths escape to the owning methods.
+        """
+        stats = self.stats
+        counters = stats._counters
+        lines_per_segment = self.lines_per_segment
+        fast_segments = self.fast_segments
+        segment = line_spa // lines_per_segment
+        group = (
+            segment
+            if segment < fast_segments
+            else (segment - fast_segments) % fast_segments
+        )
+
+        t = now + self._src_latency
+        src = self._src
+        if group in src:
+            src.move_to_end(group)
+            counters["pom/src_hits"] += 1.0
+        else:
+            counters["pom/src_misses"] += 1.0
             fill_done = self.metadata_access(t, group)
-            self.record_remap_wait(fill_done - t)
+            if fill_done > t:
+                counters["hmc/remap_wait_cycles"] += fill_done - t
+                counters["hmc/remap_misses"] += 1.0
             t = fill_done
             self._src_fill(group)
 
-        self._purge(t)
-        slot = self._slot(segment)
-        in_flight_end = self._active.get(segment)
-        actual_line = slot * self.lines_per_segment + (
-            line_spa % self.lines_per_segment
-        )
-        finish = self.mem_access_finish(
-            t, actual_line, is_write, bulk=kind is RequestKind.WRITEBACK
-        )
+        active = self._active
+        if active:
+            self._purge(t)
+            in_flight_end = active.get(segment)
+        else:
+            in_flight_end = None
+        slot = self._slot_of.get(segment, segment)
+        actual_line = slot * lines_per_segment + line_spa % lines_per_segment
+        bulk = kind is RequestKind.WRITEBACK
+        dram = slot < fast_segments
+        if self._fast_mem:
+            if dram:
+                finish = self._dram_dev.access_finish(
+                    t, actual_line, is_write, bulk
+                )
+            else:
+                finish = self._nvm_dev.access_finish(
+                    t, actual_line - self._nvm_line_base, is_write, bulk
+                )
+        else:
+            finish = self.mem_access_finish(t, actual_line, is_write, bulk)
         if in_flight_end is not None and in_flight_end > finish:
             # No swap buffers in PoM: wait for the in-flight swap.
             finish = in_flight_end
-            self.stats.add("pom/waits_for_swap")
-        serviced = "dram" if slot < self.fast_segments else "nvm"
-        self.account_service(now, finish, page, serviced, kind)
+            counters["pom/waits_for_swap"] += 1.0
 
-        if slot >= self.fast_segments:
+        self._total_serviced += 1
+        if dram:
+            self._dram_serviced += 1
+            counters["hmc/serviced_dram"] += 1.0
+        else:
+            counters["hmc/serviced_nvm"] += 1.0
+        if kind is RequestKind.DEMAND:
+            counters["hmc/requests_demand"] += 1.0
+        elif bulk:
+            counters["hmc/requests_writeback"] += 1.0
+        else:
+            counters["hmc/requests_pte"] += 1.0
+        if not bulk:
+            # AMMAT covers processor-visible requests only.
+            ammat = finish - now
+            stats._sums["hmc/ammat"] += ammat
+            stats._counts["hmc/ammat"] += 1
+            previous = stats._maxima.get("hmc/ammat")
+            if previous is None or ammat > previous:
+                stats._maxima["hmc/ammat"] = ammat
+        if line_spa >= self._nvm_line_base:
+            if dram:
+                counters["hmc/positive_accesses"] += 1.0
+            else:
+                counters["hmc/neutral_accesses"] += 1.0
+        elif not dram:
+            counters["hmc/negative_accesses"] += 1.0
+        else:
+            counters["hmc/neutral_accesses"] += 1.0
+
+        if not dram:
             self._count_slow_miss(t, segment)
         elif segment in self._post_swap_hits:
             self._post_swap_hits[segment] += 1

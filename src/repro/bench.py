@@ -50,6 +50,41 @@ QUICK_REPEATS = 2
 #: is real; genuine hot-path regressions blow well past it.
 DEFAULT_MAX_REGRESSION = 0.30
 
+#: Thread-count knobs pinned to 1 before any timing.  The simulator's
+#: hot loops are single-threaded Python; a numpy/BLAS runtime that
+#: spins up a worker pool only adds scheduler noise to the measured
+#: window (and the chunk prep kernel's vectors are far too small to
+#: profit from threads).  Pinned with ``setdefault`` so an explicit
+#: operator override still wins — the document records what was in
+#: effect either way.
+THREAD_PIN_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def pin_thread_env() -> Dict[str, str]:
+    """Pin the BLAS/numpy thread pools to 1; returns the effective pins.
+
+    Must run before the first timed window (ideally before numpy spins
+    up its backend).  Returns the variable -> value mapping actually in
+    effect, which :func:`run_bench` embeds in the document so two bench
+    documents can be compared knowing their threading was equal.
+    """
+    return {var: os.environ.setdefault(var, "1") for var in THREAD_PIN_VARS}
+
+
+def _numpy_version() -> Optional[str]:
+    """The numpy version backing the prep kernels (None when absent)."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - the image bakes numpy in
+        return None
+    return numpy.__version__
+
 
 def git_revision() -> str:
     """The current git revision, or ``"unknown"`` outside a checkout."""
@@ -177,6 +212,7 @@ def run_bench(
 ) -> Dict[str, object]:
     """Run the full grid (scheme × workload × engine); returns the document."""
     engines = engines or ["batched"]
+    env_pins = pin_thread_env()
     results: Dict[str, Dict[str, object]] = {}
     grid_start = time.perf_counter()
     for workload_name in workloads:
@@ -205,6 +241,10 @@ def run_bench(
             "seed": seed,
             "repeats": repeats,
             "engines": list(engines),
+        },
+        "env": {
+            "thread_pins": env_pins,
+            "numpy_version": _numpy_version(),
         },
         "results": results,
         "total_wall_seconds": round(time.perf_counter() - grid_start, 2),
@@ -238,6 +278,68 @@ def compare_documents(
                 f"{old_rate:.1f} (tolerance {max_regression:.0%})"
             )
     return problems
+
+
+def trend_table(documents: List[Dict[str, object]]) -> List[str]:
+    """A throughput-trajectory table across bench documents.
+
+    One column per document (in the given order — callers pass them
+    sorted by file name, so the committed ``BENCH_baseline.json``,
+    ``BENCH_pr6.json``, ... sequence reads left to right), one row per
+    configuration key, with a trailing ratio of last column to first.
+    Configurations missing from a document print ``-`` (grid changes
+    are expected across PRs).
+    """
+    if not documents:
+        return ["no bench documents found"]
+    labels = [str(doc.get("label", "?")) for doc in documents]
+    keys: List[str] = []
+    for doc in documents:
+        for key in doc.get("results", {}):
+            if key not in keys:
+                keys.append(key)
+    keys.sort()
+    width = max(12, *(len(label) for label in labels)) + 1
+    key_width = max(len(key) for key in keys) + 1
+    lines = [
+        "".join([f"{'configuration':<{key_width}}"]
+                + [f"{label:>{width}}" for label in labels]
+                + [f"{'last/first':>12}"])
+    ]
+    for key in keys:
+        cells = []
+        rates: List[Optional[float]] = []
+        for doc in documents:
+            entry = doc.get("results", {}).get(key)
+            if entry is None:
+                cells.append(f"{'-':>{width}}")
+                rates.append(None)
+            else:
+                rate = float(entry["ops_per_sec"])
+                cells.append(f"{rate:>{width}.1f}")
+                rates.append(rate)
+        present = [rate for rate in rates if rate is not None]
+        ratio = (
+            f"{present[-1] / present[0]:>11.2f}x" if len(present) >= 2 else
+            f"{'-':>12}"
+        )
+        lines.append("".join([f"{key:<{key_width}}"] + cells + [ratio]))
+    return lines
+
+
+def load_trend_documents(bench_dir: Path) -> List[Dict[str, object]]:
+    """All readable ``BENCH_*.json`` documents under *bench_dir*, by name."""
+    documents: List[Dict[str, object]] = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(doc, dict) and "results" in doc:
+            documents.append(doc)
+    return documents
 
 
 def delta_report(
@@ -306,10 +408,27 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-regression", type=float,
                         default=DEFAULT_MAX_REGRESSION,
                         help="tolerated fractional ops/sec loss for --compare")
+    parser.add_argument("--trend", action="store_true",
+                        help="print the throughput trajectory across the "
+                             "committed BENCH_*.json documents instead of "
+                             "running the grid")
+    parser.add_argument("--bench-dir", default="benchmarks",
+                        help="directory scanned by --trend "
+                             "(default: benchmarks/)")
 
 
 def command_bench(args: argparse.Namespace) -> int:
     from repro.sim.system import SCHEMES
+
+    if args.trend:
+        bench_dir = Path(args.bench_dir)
+        if not bench_dir.is_dir():
+            print(f"error: --trend directory {bench_dir} does not exist",
+                  file=sys.stderr)
+            return 1
+        for line in trend_table(load_trend_documents(bench_dir)):
+            print(line)
+        return 0
 
     schemes = args.schemes if args.schemes else sorted(SCHEMES)
     for scheme in schemes:

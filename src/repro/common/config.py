@@ -383,6 +383,12 @@ class MemPodConfig:
 #: bit-identical to ``scalar`` (tests/integration/test_engine_equivalence).
 ENGINES = ("scalar", "batched")
 
+#: Workload stream modes.  ``chunked`` runs the block-native emitters
+#: (struct-of-arrays chunks, the batched engine's fast path); ``perop``
+#: batches the historical per-op generators into the same chunk shape.
+#: The two emit identical op sequences (tests/property/test_chunk_streams).
+STREAM_MODES = ("chunked", "perop")
+
 #: Valid sanitizer levels, in increasing strictness/cost.
 CHECK_LEVELS = ("off", "invariants", "full")
 
@@ -523,6 +529,9 @@ class SystemConfig:
     #: two are bit-identical by contract; ``scalar`` remains as the
     #: reference implementation and differential-testing oracle.
     engine: str = "batched"
+    #: Workload stream mode: ``chunked`` (default) or ``perop``; see
+    #: :data:`STREAM_MODES`.  Sequence-identical by contract.
+    stream: str = "chunked"
     seed: int = 0
     #: Runtime sanitizer configuration (``repro.check``).
     check: CheckConfig = field(default_factory=CheckConfig)
@@ -535,6 +544,10 @@ class SystemConfig:
         if self.engine not in ENGINES:
             raise ConfigError(
                 f"unknown engine {self.engine!r}; pick from {ENGINES}"
+            )
+        if self.stream not in STREAM_MODES:
+            raise ConfigError(
+                f"unknown stream mode {self.stream!r}; pick from {STREAM_MODES}"
             )
 
     def with_cores(self, cores: int) -> "SystemConfig":
@@ -593,13 +606,17 @@ def default_system_config(
     """Return the Table I system, optionally scaled down by *scale*.
 
     The ``REPRO_ENGINE`` environment variable overrides the simulation
-    engine default (``batched``) — the hook CI's engine matrix uses to
-    run the whole test suite under ``scalar`` without touching every
-    ``build_system`` call site.  Invalid values fail SystemConfig
+    engine default (``batched``) and ``REPRO_STREAM`` the stream-mode
+    default (``chunked``) — the hooks CI's engine×stream matrix uses to
+    run the whole test suite under every combination without touching
+    every ``build_system`` call site.  Invalid values fail SystemConfig
     validation immediately.
     """
     engine = os.environ.get("REPRO_ENGINE", "").strip()
     kwargs = {"engine": engine} if engine else {}
+    stream = os.environ.get("REPRO_STREAM", "").strip()
+    if stream:
+        kwargs["stream"] = stream
     config = SystemConfig(
         cores=cores, seed=seed, model_contention=model_contention, **kwargs
     )

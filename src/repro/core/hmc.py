@@ -18,7 +18,13 @@ from repro.common.config import SystemConfig
 from repro.common.stats import StatsRegistry
 from repro.core.hpt import HotPageTable
 from repro.core.mmu_driver import MmuDriver
-from repro.core.pct import FilterTable, PageCorrelationTable, PctCache, PctEntry
+from repro.core.pct import (
+    FilterEntry,
+    FilterTable,
+    PageCorrelationTable,
+    PctCache,
+    PctEntry,
+)
 from repro.core.prt import PageRemapTable, PrtCache
 from repro.core.swap_driver import (
     SwapDriver,
@@ -27,7 +33,7 @@ from repro.core.swap_driver import (
     TRIGGER_REGULAR,
 )
 from repro.mem.swap_buffer import SwapBufferPool
-from repro.sim.hmc_base import HmcBase, RequestKind, _REQUEST_KIND_KEYS
+from repro.sim.hmc_base import HmcBase, RequestKind
 from repro.vm.os_model import OsModel
 
 #: Table II entry sizes (bytes), used to size the in-DRAM metadata region.
@@ -106,13 +112,9 @@ class PageSeerHmc(HmcBase):
         self._hpt_latency = ps.hpt_latency_cycles
         self._filter_latency = ps.filter_latency_cycles
         self._correlation = ps.correlation_enabled
-        # With no fault recovery armed, handle_request picks the device
-        # itself (one range compare the MainMemory router would repeat)
-        # and calls its access_finish directly.
-        self._fast_mem = self.fault_recovery is None
-        self._dram_dev = self.memory.dram
-        self._nvm_dev = self.memory.nvm
-        self._nvm_line_base = config.memory.dram_pages * LINES_PER_PAGE
+        # The pre-bound device handles (_fast_mem/_dram_dev/_nvm_dev/
+        # _nvm_line_base) the request path routes through come from
+        # HmcBase.__init__; every scheme's flattened path shares them.
 
     # -- metadata key spaces --------------------------------------------------
     def _prt_key(self, colour: int) -> int:
@@ -150,6 +152,7 @@ class PageSeerHmc(HmcBase):
         stats = self.stats
         counters = stats._counters
         fast_mem = self._fast_mem
+        bulk = kind is RequestKind.WRITEBACK
 
         # PRTc: on the critical path of every request (PrtCache.lookup,
         # inlined; the miss path fetches the set from in-DRAM metadata —
@@ -214,7 +217,6 @@ class PageSeerHmc(HmcBase):
                 location = prt._nvm_to_dram.get(page, page)
             resident_dram = location < self.dram_pages
             actual_line = location * LINES_PER_PAGE + line_offset
-            bulk = kind is RequestKind.WRITEBACK
             if fast_mem:
                 if resident_dram:
                     finish = self._dram_dev.access_finish(
@@ -239,8 +241,13 @@ class PageSeerHmc(HmcBase):
             counters["hmc/serviced_nvm"] += 1.0
         else:
             counters["hmc/serviced_buffer"] += 1.0
-        counters[_REQUEST_KIND_KEYS[kind]] += 1.0
-        if kind is not RequestKind.WRITEBACK:
+        if kind is RequestKind.DEMAND:
+            counters["hmc/requests_demand"] += 1.0
+        elif bulk:
+            counters["hmc/requests_writeback"] += 1.0
+        else:
+            counters["hmc/requests_pte"] += 1.0
+        if not bulk:
             # AMMAT covers processor-visible requests; background
             # write-backs drain asynchronously and would distort it.
             ammat = finish - now
@@ -318,19 +325,120 @@ class PageSeerHmc(HmcBase):
         else:
             pctc.misses += 1
             history = self._pctc_fill_from_pct(t, page)
-        triggers, evicted = self.filter.observe_miss(pid, page, history)
-        for entry in evicted:
-            self._writeback_filter_entry(t, entry)
-        for trigger in triggers:
-            if trigger.is_follower and not self._correlation:
-                continue
-            # Filter-detected triggers pay the Filter's access latency.
-            swap_driver.request_swap(
-                t + self._filter_latency,
-                trigger.page,
-                TRIGGER_PCT,
-                self.dram_service_share,
-            )
+        flt = self.filter
+        if flt._current_leader.get(pid) == page:
+            # Filter same-leader branch (FilterTable.observe_miss,
+            # inlined): flurries make repeat misses on the current
+            # leader the common case, and that branch raises no
+            # triggers and evicts nothing.
+            flt.reads += 1
+            flt.writes += 1
+            entries = flt._entries
+            cmax = flt.counter_max
+            entry = entries.get(page)
+            if entry is not None:
+                misses = entry.misses + 1
+                entry.misses = misses if misses <= cmax else cmax
+            previous = flt._previous_leader.get(pid)
+            if previous is not None and previous != page:
+                pentry = entries.get(previous)
+                if pentry is not None:
+                    if pentry.base.follower_ppn == page:
+                        misses = pentry.follower_misses + 1
+                        pentry.follower_misses = (
+                            misses if misses <= cmax else cmax
+                        )
+                    elif (
+                        pentry.new_follower_ppn is None
+                        or pentry.new_follower_ppn == page
+                    ):
+                        pentry.new_follower_ppn = page
+                        misses = pentry.new_follower_misses + 1
+                        pentry.new_follower_misses = (
+                            misses if misses <= cmax else cmax
+                        )
+        else:
+            # A new flurry begins (FilterTable.observe_miss slow path,
+            # inlined): close the old leader's flurry, install or renew
+            # the new leader's entry — applying evicted entries' PCTc
+            # write-backs in place, so no trigger/evicted sequences are
+            # allocated — feed the predecessor's follower fields, and
+            # raise swap triggers straight from the entry's history.
+            # The evicted write-backs and the triggers touch disjoint
+            # structures (PCTc vs. Swap Driver), so applying write-backs
+            # during eviction preserves the method's observable order.
+            flt.reads += 1
+            flt.writes += 1
+            entries = flt._entries
+            cmax = flt.counter_max
+            leader = flt._current_leader.get(pid)
+            if leader is not None:
+                # Remember the old flurry as predecessor and note that
+                # this page's flurry followed it (_record_follower).
+                flt._previous_leader[pid] = leader
+                lentry = entries.get(leader)
+                if (
+                    lentry is not None
+                    and lentry.base.follower_ppn != page
+                    and lentry.new_follower_ppn is None
+                ):
+                    lentry.new_follower_ppn = page
+            flt._current_leader[pid] = page
+            entry = entries.get(page)
+            if entry is None:
+                # Per new-flurry slow path, not per-op: a FilterEntry is
+                # built once per page flurry that misses the Filter.
+                entry = FilterEntry(page=page, pid=pid, base=history)  # repro-lint: disable=RL005
+                while len(entries) >= flt.capacity:
+                    _, victim = entries.popitem(last=False)
+                    flt._drop_leader_state(victim)
+                    self._writeback_filter_entry(t, victim)
+                entries[page] = entry
+            else:
+                entries.move_to_end(page)
+            misses = entry.misses + 1
+            entry.misses = misses if misses <= cmax else cmax
+            # _feed_predecessor on the fresh leader.
+            previous = flt._previous_leader.get(pid)
+            if previous is not None and previous != page:
+                pentry = entries.get(previous)
+                if pentry is not None:
+                    if pentry.base.follower_ppn == page:
+                        misses = pentry.follower_misses + 1
+                        pentry.follower_misses = (
+                            misses if misses <= cmax else cmax
+                        )
+                    elif (
+                        pentry.new_follower_ppn is None
+                        or pentry.new_follower_ppn == page
+                    ):
+                        pentry.new_follower_ppn = page
+                        misses = pentry.new_follower_misses + 1
+                        pentry.new_follower_misses = (
+                            misses if misses <= cmax else cmax
+                        )
+            # Filter-detected triggers pay the Filter's access latency;
+            # only the first miss of an invocation raises them.
+            base = entry.base
+            threshold = flt.swap_threshold
+            if base.count >= threshold:
+                swap_driver.request_swap(
+                    t + self._filter_latency,
+                    page,
+                    TRIGGER_PCT,
+                    self.dram_service_share,
+                )
+            if (
+                base.follower_ppn is not None
+                and base.follower_count >= threshold
+                and self._correlation
+            ):
+                swap_driver.request_swap(
+                    t + self._filter_latency,
+                    base.follower_ppn,
+                    TRIGGER_PCT,
+                    self.dram_service_share,
+                )
         return finish
 
     # -- PCT plumbing --------------------------------------------------------------

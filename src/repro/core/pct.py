@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import ConfigError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PctEntry:
     """One PCT/PCTc record for a leader page (Figure 6, top)."""
 
@@ -34,7 +34,7 @@ class PctEntry:
     follower_count: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterEntry:
     """One in-flight record (Figure 6, bottom)."""
 
@@ -51,7 +51,7 @@ class FilterEntry:
     new_follower_misses: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CorrelationTrigger:
     """A swap opportunity the PCT machinery noticed."""
 

@@ -124,11 +124,17 @@ class SwapDriver:
         # be gone (the sanitizer needs this to avoid false orphans).
         if now > self.last_purge_time:
             self.last_purge_time = now
-        finished = [page for page, end in self._active.items() if end <= now]
-        for page in finished:
-            del self._active[page]
-        if self._in_flight_ends:
-            self._in_flight_ends = [e for e in self._in_flight_ends if e > now]
+        active = self._active
+        if active:
+            finished = [page for page, end in active.items() if end <= now]
+            for page in finished:
+                del active[page]
+        ends = self._in_flight_ends
+        if ends:
+            for end in ends:
+                if end <= now:
+                    self._in_flight_ends = [e for e in ends if e > now]
+                    break
 
     def is_swapping(self, now: int, page_spa: int) -> bool:
         self._purge(now)

@@ -166,6 +166,7 @@ class _Extractor:
                 self._collect_function(node, class_name=None)
         self._collect_stats_sites()
         self._collect_arrays()
+        self._collect_odict_attrs()
         return self.facts
 
     # -- imports -----------------------------------------------------------
@@ -729,13 +730,75 @@ class _Extractor:
                             )
                         )
 
+    def _collect_odict_attrs(self) -> None:
+        """Attribute names assigned an OrderedDict anywhere in this file.
+
+        Catches the direct form (``self._entries = OrderedDict()``) and
+        the per-set containers the reference models use
+        (``self._sets = [OrderedDict() for _ in range(n)]``) — any
+        assignment whose value expression contains an ``OrderedDict``
+        construction marks the target attribute.
+        """
+        found: Set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not any(
+                isinstance(call, ast.Call)
+                and (chain := _attr_chain(call.func)) is not None
+                and chain[-1] == "OrderedDict"
+                for call in ast.walk(value)
+            ):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    found.add(target.attr)
+        self.facts.odict_attrs = sorted(found)
+
+    #: Mapping-probe methods worth recording in hot kernels: the two
+    #: OrderedDict-only reference-model operations plus the shared-name
+    #: probes (confirmed against ``odict_attrs`` in the RL104 check).
+    _ODICT_PROBES = ("get", "pop", "setdefault", "move_to_end", "popitem")
+
     def _collect_numpy_events(self, func: FunctionNode, qualname: str) -> None:
-        """RL104 raw material: suspicious numpy shapes in a hot function."""
+        """RL104 raw material: suspicious hot-kernel shapes (numpy ops and
+        potential OrderedDict probes)."""
         loop_depth_of = _loop_depths(func)
+        #: Local aliases of attribute-rooted mappings inside this hot
+        #: function (``entries = flt._entries`` / ``s = self._sets[i]``),
+        #: so a probe through the alias still resolves to the attr name.
+        mapping_aliases: Dict[str, str] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, (ast.Attribute, ast.Subscript)
+            ):
+                attr = _operand_name(node.value)
+                if attr:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            mapping_aliases[target.id] = attr
         for node in ast.walk(func):
             if not isinstance(node, ast.Call):
                 continue
             func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and func_expr.attr in self._ODICT_PROBES
+            ):
+                operand = _operand_name(func_expr.value)
+                self.facts.numpy_events.append(
+                    NumpyEvent(
+                        kind="odict_probe", function=qualname,
+                        target=mapping_aliases.get(operand, operand),
+                        detail=f".{func_expr.attr}()",
+                        line=node.lineno, col=node.col_offset,
+                    )
+                )
+                continue
             np_name = self._numpy_call_name(node)
             if np_name in _NUMPY_HOT_ALLOC:
                 self.facts.numpy_events.append(

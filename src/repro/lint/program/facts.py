@@ -21,7 +21,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when the extraction schema changes; invalidates every cache entry.
 #: 2: snapshot-safety classifier learned sockets/selectors (RL006/RL103).
-FACTS_VERSION = 2
+#: 3: OrderedDict-holding attrs + hot-kernel odict-probe events (RL104,
+#:    PR-9 array-native streams).
+FACTS_VERSION = 3
 
 #: An unresolved reference to a called/constructed symbol, e.g.
 #: ``("local", "Core")``, ``("self", "reset")``, or
@@ -257,14 +259,21 @@ class ArrayFact:
 
 @dataclass
 class NumpyEvent:
-    """A suspicious numpy operation inside a ``# repro-hot`` function."""
+    """A suspicious hot-kernel operation inside a ``# repro-hot`` function.
 
-    #: "astype" | "alloc" | "scalar_loop"
+    Despite the name (historical: the first three kinds were numpy
+    shapes), this also carries ``odict_probe`` events — map-probe method
+    calls whose operand may be an ``OrderedDict`` reference model; the
+    RL104 check confirms against the project-wide ``odict_attrs`` union.
+    """
+
+    #: "astype" | "alloc" | "scalar_loop" | "odict_probe"
     kind: str
     function: str
-    #: The array operand's attribute/local name ("" when unknown).
+    #: The array/mapping operand's attribute/local name ("" when unknown).
     target: str
-    #: astype: the destination dtype; alloc: the allocating callable.
+    #: astype: the destination dtype; alloc: the allocating callable;
+    #: odict_probe: the probing method (".popitem()", ".get()", ...).
     detail: str
     line: int
     col: int
@@ -305,6 +314,10 @@ class ModuleFacts:
     codec_registered: List[str] = field(default_factory=list)
     arrays: List[ArrayFact] = field(default_factory=list)
     numpy_events: List[NumpyEvent] = field(default_factory=list)
+    #: Attribute names assigned an ``OrderedDict`` (directly or inside a
+    #: comprehension/list literal) anywhere in this file — the reference
+    #: models' per-set structures (``Tlb._sets``, ``FilterTable._entries``).
+    odict_attrs: List[str] = field(default_factory=list)
     #: Relpath segments place the file inside the simulation packages.
     in_sim_package: bool = False
 
@@ -324,6 +337,7 @@ class ModuleFacts:
             "codec_registered": list(self.codec_registered),
             "arrays": [fact.to_dict() for fact in self.arrays],
             "numpy_events": [event.to_dict() for event in self.numpy_events],
+            "odict_attrs": list(self.odict_attrs),
             "in_sim_package": self.in_sim_package,
         }
 
@@ -352,5 +366,6 @@ class ModuleFacts:
             codec_registered=[str(name) for name in raw["codec_registered"]],
             arrays=[ArrayFact.from_dict(fact) for fact in raw["arrays"]],
             numpy_events=[NumpyEvent.from_dict(event) for event in raw["numpy_events"]],
+            odict_attrs=[str(name) for name in raw["odict_attrs"]],
             in_sim_package=bool(raw["in_sim_package"]),
         )

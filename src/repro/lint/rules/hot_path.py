@@ -25,7 +25,15 @@ holds them to the discipline the PR-4 optimization pass established:
   element-wise logic belongs in the scalar fallback at batch boundaries.
   The rule tracks names assigned from numpy constructor calls inside the
   hot function and attributes assigned from numpy calls anywhere in the
-  project (``self.busy_until = np.zeros(...)`` marks ``.busy_until``).
+  project (``self.busy_until = np.zeros(...)`` marks ``.busy_until``);
+* **no per-element Python loops over stream-chunk columns** (PR-9
+  array-native streams) — an :class:`repro.workloads.chunks.OpChunk`
+  carries its ops as parallel columns (``vaddrs``/``writes``/``instr``)
+  precisely so hot consumers can hand the whole column to a vectorized
+  prep kernel (``engine._prep_chunk``) or index it per escape.  A ``for``
+  over a chunk column (directly, zipped, enumerated, or via
+  ``range(len(...))``) re-serializes the batch into per-op interpreter
+  dispatch — the cost :func:`chunks_from_blocks` exists to amortize away.
 
 The marker is an explicit opt-in, so the rule applies wherever it appears
 (including ``common/`` and ``workloads/``, outside the RL001/RL002
@@ -52,6 +60,13 @@ _RECORD_METHODS = ("add", "observe", "counter", "observer")
 _STATS_NAMES = ("stats",)
 
 _FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: The parallel columns of :class:`repro.workloads.chunks.OpChunk`.  Any
+#: attribute access with one of these names is treated as a chunk column —
+#: the names are chunk-specific enough that the heuristic stays quiet on
+#: unrelated code (scalar counters named ``writes`` are ints, not
+#: iterables, and never appear as a ``for`` target).
+_CHUNK_COLUMNS = ("vaddrs", "writes", "instr")
 
 
 def _is_stats_receiver(node: ast.AST) -> bool:
@@ -200,6 +215,7 @@ class HotPathRule(Rule):
         self, source: SourceFile, function: _FunctionDef, ctx: ProjectContext
     ) -> None:
         self._check_numpy_loops(source, function, ctx)
+        self._check_chunk_loops(source, function, ctx)
         for node in ast.walk(function):
             if not isinstance(node, ast.Call):
                 continue
@@ -265,6 +281,79 @@ class HotPathRule(Rule):
                     "SoaBankedTimeline.reserve_sequence) or move the "
                     "element-wise logic to the scalar fallback",
                 )
+
+    # -- the chunk-column loop check (PR-9 array-native streams) -----------
+    def _check_chunk_loops(
+        self, source: SourceFile, function: _FunctionDef, ctx: ProjectContext
+    ) -> None:
+        #: Local aliases of chunk columns (``vaddrs = chunk.vaddrs``) —
+        #: function-scoped, same reasoning as ``local_arrays`` above.
+        local_columns: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if (
+                    value is not None
+                    and isinstance(value, ast.Attribute)
+                    and value.attr in _CHUNK_COLUMNS
+                ):
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            local_columns.add(target.id)
+
+        for node in ast.walk(function):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            column = self._chunk_expr(node.iter, local_columns)
+            if column is not None:
+                ctx.emit(
+                    self, source, node,
+                    f"per-element Python loop over stream-chunk column "
+                    f"'{column}' inside hot function {function.name}(): "
+                    "the chunk's parallel columns exist so hot consumers "
+                    "stay batched; hand the column to the vectorized prep "
+                    "kernel (engine._prep_chunk) or index single escapes "
+                    "scalar-side instead of re-serializing the batch",
+                )
+
+    def _chunk_expr(
+        self, node: ast.AST, local_columns: Set[str]
+    ) -> Optional[str]:
+        """Describe *node* if it names a chunk column (else None).
+
+        Recognizes the column attribute itself, a local alias of one,
+        ``zip(...)`` over columns, ``enumerate``/``reversed``/``iter``
+        wrappers, and ``range(len(column))``.
+        """
+        if isinstance(node, ast.Name) and node.id in local_columns:
+            return node.id
+        if isinstance(node, ast.Attribute) and node.attr in _CHUNK_COLUMNS:
+            return f".{node.attr}"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and node.args:
+                if func.id == "zip":
+                    for arg in node.args:
+                        column = self._chunk_expr(arg, local_columns)
+                        if column is not None:
+                            return column
+                    return None
+                if func.id in ("enumerate", "reversed", "iter"):
+                    return self._chunk_expr(node.args[0], local_columns)
+                if func.id == "range":
+                    inner = node.args[0]
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id == "len"
+                        and inner.args
+                    ):
+                        return self._chunk_expr(inner.args[0], local_columns)
+        return None
 
     def _array_expr(
         self, node: ast.AST, local_arrays: Set[str]

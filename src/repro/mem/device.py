@@ -79,7 +79,25 @@ class AccessResult:
 
 
 class MemoryDevice:
-    """One DRAM or NVM module behind its own set of channels."""
+    """One DRAM or NVM module behind its own set of channels.
+
+    A ``__slots__`` class: every LLC miss, write-back, swap line, and
+    metadata access bumps several of its counters, and slot descriptors
+    make those attribute reads and in-place adds measurably cheaper
+    than ``__dict__`` lookups on this path.
+    """
+
+    __slots__ = (
+        "config", "stats", "model_contention", "_prefix",
+        "_bank_demand_until", "_bank_any_until", "_bank_total_busy",
+        "_bus_demand_until", "_bus_any_until", "_bus_total_busy",
+        "_open_rows", "_row_written", "_lines_per_row",
+        "reads", "writes", "row_hits",
+        "queue_delay_total", "service_time_total",
+        "injector", "preempt_cap_cycles",
+        "_lat_row_hit", "_lat_row_closed", "_lat_row_conflict",
+        "_write_recovery", "_burst", "_channels", "_banks_per_channel",
+    )
 
     def __init__(
         self,
@@ -205,35 +223,35 @@ class MemoryDevice:
         occupancy = core_latency + burst
         # Bank reservation (inlined two-priority grant).
         bank_any = self._bank_any_until
+        bus_any = self._bus_any_until
         if bulk:
             start = bank_any[bank]
             if now > start:
                 start = now
             bank_any[bank] = start + occupancy
-        else:
-            bank_demand = self._bank_demand_until
-            start = max(
-                now, bank_demand[bank], min(bank_any[bank], now + self.preempt_cap_cycles)
-            )
-            end = start + occupancy
-            bank_demand[bank] = end
-            if end > bank_any[bank]:
-                bank_any[bank] = end
-        self._bank_total_busy[bank] += occupancy
-        # Bus reservation for the data burst.
-        data_ready = start + core_latency
-        bus_any = self._bus_any_until
-        if bulk:
+            self._bank_total_busy[bank] += occupancy
+            # Bus reservation for the data burst.
+            data_ready = start + core_latency
             bus_start = bus_any[channel]
             if data_ready > bus_start:
                 bus_start = data_ready
             bus_any[channel] = bus_start + burst
         else:
+            cap = self.preempt_cap_cycles
+            bank_demand = self._bank_demand_until
+            start = max(now, bank_demand[bank], min(bank_any[bank], now + cap))
+            end = start + occupancy
+            bank_demand[bank] = end
+            if end > bank_any[bank]:
+                bank_any[bank] = end
+            self._bank_total_busy[bank] += occupancy
+            # Bus reservation for the data burst.
+            data_ready = start + core_latency
             bus_demand = self._bus_demand_until
             bus_start = max(
                 data_ready,
                 bus_demand[channel],
-                min(bus_any[channel], data_ready + self.preempt_cap_cycles),
+                min(bus_any[channel], data_ready + cap),
             )
             bus_end = bus_start + burst
             bus_demand[channel] = bus_end

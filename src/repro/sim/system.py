@@ -128,7 +128,10 @@ class System:
                 mmu_hint=self.hmc.mmu_hint if use_hints else None,
             )
             mmu = Mmu(core_id, self.config, walker, self.stats)
-            stream = ReplayStream(self.workload, core_id, self.config.seed, self.scale)
+            stream = ReplayStream(
+                self.workload, core_id, self.config.seed, self.scale,
+                mode=self.config.stream,
+            )
             self.cores.append(
                 Core(
                     core_id,

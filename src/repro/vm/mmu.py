@@ -8,7 +8,7 @@ from repro.common.addr import page_of
 from repro.common.config import SystemConfig
 from repro.common.stats import StatsRegistry
 from repro.vm.page_table import PageTable
-from repro.vm.tlb import Tlb
+from repro.vm.tlb import SoaTlb, Tlb
 from repro.vm.walker import PageWalker
 
 try:  # numpy backs DenseVpnCache; the rest of the MMU never needs it
@@ -131,7 +131,11 @@ class Mmu:
         self.config = config
         self.walker = walker
         self.stats = stats
-        self.l1_tlb = Tlb(config.l1_tlb)
+        # The L1 TLB is struct-of-arrays: the batched engine's drain loop
+        # reads its way dicts and age arrays directly.  The L2 TLB is only
+        # reached on walks (always shared ops on the scalar path), where
+        # the OrderedDict reference model's C-speed operations win.
+        self.l1_tlb = SoaTlb(config.l1_tlb)
         self.l2_tlb = Tlb(config.l2_tlb)
         # Hot-path invariants: TLB latencies and pre-resolved stats handles.
         self._l1_latency = config.l1_tlb.latency_cycles

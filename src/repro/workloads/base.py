@@ -14,7 +14,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.common.addr import PAGE_BYTES
 from repro.common.rng import DeterministicRng
 from repro.sim.cpu import MemoryOp
-from repro.workloads.synthetic import GENERATORS
+from repro.workloads.chunks import Block
+from repro.workloads.synthetic import BLOCK_GENERATORS, GENERATORS
 
 MB = 1024 * 1024
 
@@ -46,6 +47,21 @@ class BenchmarkPart:
         pages = footprint_pages_for(self.footprint_mb, scale)
         return generator(rng, pages, **self.params)
 
+    def make_blocks(
+        self, rng: DeterministicRng, scale: int
+    ) -> Optional[Iterator[Block]]:
+        """The block view of this part's stream, or None.
+
+        None means the generator is registered per-op only (an external
+        plugin): callers fall back to batching :meth:`make_stream` output,
+        which yields the identical op sequence at per-op generation cost.
+        """
+        generator = BLOCK_GENERATORS.get(self.generator)
+        if generator is None:
+            return None
+        pages = footprint_pages_for(self.footprint_mb, scale)
+        return generator(rng, pages, **self.params)
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -74,6 +90,15 @@ class WorkloadSpec:
         part = self.part_for_core(core_id)
         rng = DeterministicRng(f"{self.name}/core{core_id}/{part.benchmark}", seed)
         return part.make_stream(rng, scale)
+
+    def make_blocks(
+        self, core_id: int, seed: int, scale: int
+    ) -> Optional[Iterator[Block]]:
+        """Block view of :meth:`make_stream`: same RNG name, same seed,
+        same draw order, so the two views emit the identical sequence."""
+        part = self.part_for_core(core_id)
+        rng = DeterministicRng(f"{self.name}/core{core_id}/{part.benchmark}", seed)
+        return part.make_blocks(rng, scale)
 
     def footprint_pages(self, scale: int) -> int:
         """Total data pages across all cores at the given scale."""

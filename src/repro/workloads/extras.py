@@ -23,35 +23,40 @@ from typing import Iterator, List
 
 from repro.common.addr import LINES_PER_PAGE
 from repro.common.rng import DeterministicRng
-from repro.sim.cpu import MemoryOp
 from repro.workloads.base import BenchmarkPart, WorkloadSpec
-from repro.workloads.synthetic import GENERATORS, _flurry
+from repro.workloads.chunks import Block
+from repro.workloads.synthetic import (
+    BLOCK_GENERATORS,
+    GENERATORS,
+    _flurry_block,
+    _per_op,
+)
 
 
-def gups(
+def gups_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     instructions: int = 30,
     update_fraction: float = 0.5,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """HPCC RandomAccess: uniform random single-line read-modify-writes."""
     while True:
         page_index = rng.randint(0, footprint_pages - 1)
         line = rng.randint(0, LINES_PER_PAGE - 1)
         is_write = rng.random() < update_fraction
-        yield from _flurry(
+        yield _flurry_block(
             page_index, 1, 1.0 if is_write else 0.0, instructions, rng,
             lines=[line],
         )
 
 
-def btree(
+def btree_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     fanout_levels: int = 4,
     hot_level_pages: int = 8,
     instructions: int = 40,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """Index probes: hot upper levels, cold leaves.
 
     Each lookup touches one page per level; the first levels come from a
@@ -76,35 +81,42 @@ def btree(
             if level < 2:
                 # Upper levels: a few lines (node scan within the page).
                 lines = list(range(lines[0] % 60, lines[0] % 60 + 4))
-            yield from _flurry(page_index, 1, 0.05, instructions, rng, lines=lines)
+            yield _flurry_block(page_index, 1, 0.05, instructions, rng, lines=lines)
 
 
-def scanjoin(
+def scanjoin_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     hash_table_fraction: float = 0.08,
     instructions: int = 40,
     write_fraction: float = 0.1,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """Analytics scan-join: stream the fact table, probe a hot hash table."""
     hash_pages = max(1, int(footprint_pages * hash_table_fraction))
     fact_pages = max(1, footprint_pages - hash_pages)
     while True:
         for position in range(fact_pages):
             # Stream one fact page fully...
-            yield from _flurry(
+            yield _flurry_block(
                 hash_pages + position, 1, write_fraction, instructions, rng
             )
             # ...probing the hash table a few times along the way.
             for _ in range(4):
                 probe = rng.randint(0, hash_pages - 1)
                 lines = [rng.randint(0, LINES_PER_PAGE - 1)]
-                yield from _flurry(probe, 1, 0.0, instructions, rng, lines=lines)
+                yield _flurry_block(probe, 1, 0.0, instructions, rng, lines=lines)
 
+
+gups = _per_op(gups_blocks)
+btree = _per_op(btree_blocks)
+scanjoin = _per_op(scanjoin_blocks)
 
 GENERATORS.setdefault("gups", gups)
 GENERATORS.setdefault("btree", btree)
 GENERATORS.setdefault("scanjoin", scanjoin)
+BLOCK_GENERATORS.setdefault("gups", gups_blocks)
+BLOCK_GENERATORS.setdefault("btree", btree_blocks)
+BLOCK_GENERATORS.setdefault("scanjoin", scanjoin_blocks)
 
 
 def _extra(benchmark: str, generator: str, instances: int, footprint_mb: float,

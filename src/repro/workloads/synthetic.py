@@ -1,8 +1,12 @@
 """Synthetic memory-access generators (the workload archetypes).
 
-Every generator is an infinite iterator of :class:`repro.sim.cpu.MemoryOp`
-over a private virtual address range; the runner bounds the number of
-operations.  The archetypes are chosen so that the page-grain behaviours
+Every archetype is written once, as a *block* generator yielding
+struct-of-arrays bursts (see :mod:`repro.workloads.chunks`); the
+per-op :class:`repro.sim.cpu.MemoryOp` iterator the scalar engine and
+external consumers use is :func:`ops_from_blocks` over the same blocks,
+so both views emit the identical op sequence from the identical RNG draw
+order.  The runner bounds the number of operations — generators are
+infinite.  The archetypes are chosen so that the page-grain behaviours
 the paper's mechanisms key off — per-page LLC-miss flurries, stable or
 shifting leader/follower page orders, page re-visitation, TLB pressure —
 appear with controllable intensity.  All randomness flows from the passed
@@ -11,11 +15,13 @@ appear with controllable intensity.  All randomness flows from the passed
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence
+import functools
+from typing import Callable, Dict, Iterator, Optional, Sequence
 
 from repro.common.addr import CACHE_LINE_BYTES, LINES_PER_PAGE, PAGE_BYTES
 from repro.common.rng import DeterministicRng
 from repro.sim.cpu import MemoryOp
+from repro.workloads.chunks import Block, ops_from_blocks
 
 #: Base of the synthetic heap in each process's virtual space.
 HEAP_BASE = 0x1000_0000_0000
@@ -25,7 +31,64 @@ def _page_va(page_index: int) -> int:
     return HEAP_BASE + page_index * PAGE_BYTES
 
 
+#: Memoized block columns.  A flurry's vaddr column is a pure function
+#: of ``(page_index, shape)`` and its instructions column of
+#: ``(instructions, length)``; workloads revisit the same pages with the
+#: same shapes constantly, so the lists are built once and shared.
+#: Blocks are read-only downstream — the chunk coalescer and the per-op
+#: view copy elements, never mutate — and the write column, the only
+#: RNG-dependent one, is always freshly drawn.  The caches are cleared
+#: when oversized so pathological sweeps (property tests) stay bounded.
+_VADDR_CACHE: Dict = {}
+_INSTR_CACHE: Dict = {}
+_CACHE_LIMIT = 65536
+
+
 # repro-hot
+def _flurry_block(
+    page_index: int,
+    line_stride: int,
+    write_fraction: float,
+    instructions: int,
+    rng: DeterministicRng,
+    lines: Optional[Sequence[int]] = None,
+) -> Block:
+    """One burst of references inside one page, as parallel arrays.
+
+    The write draws happen one per line in line order — the exact draw
+    sequence the historical per-op generator used, so fast-forward by op
+    count lands the RNG in a state that reproduces the same suffix.
+    """
+    if lines is None:
+        key = (page_index, line_stride)
+    elif type(lines) is range:
+        # 4-tuples cannot collide with the 2-tuple stride keys.
+        key = (page_index, lines.start, lines.stop, lines.step)
+    else:
+        key = None  # rng.sample shapes: unique per call, not cacheable
+    vaddrs = _VADDR_CACHE.get(key) if key is not None else None
+    if vaddrs is None:
+        base = _page_va(page_index)
+        indices = (
+            lines if lines is not None else range(0, LINES_PER_PAGE, line_stride)
+        )
+        vaddrs = [base + line_index * CACHE_LINE_BYTES for line_index in indices]
+        if key is not None:
+            if len(_VADDR_CACHE) >= _CACHE_LIMIT:
+                _VADDR_CACHE.clear()
+            _VADDR_CACHE[key] = vaddrs
+    random = rng.random
+    writes = [random() < write_fraction for _ in vaddrs]
+    ikey = (instructions, len(vaddrs))
+    instr = _INSTR_CACHE.get(ikey)
+    if instr is None:
+        instr = [instructions] * len(vaddrs)
+        if len(_INSTR_CACHE) >= _CACHE_LIMIT:
+            _INSTR_CACHE.clear()
+        _INSTR_CACHE[ikey] = instr
+    return vaddrs, writes, instr
+
+
 def _flurry(
     page_index: int,
     line_stride: int,
@@ -34,26 +97,22 @@ def _flurry(
     rng: DeterministicRng,
     lines: Optional[Sequence[int]] = None,
 ) -> Iterator[MemoryOp]:
-    """Emit a burst of references inside one page."""
-    base = _page_va(page_index)
-    indices = lines if lines is not None else range(0, LINES_PER_PAGE, line_stride)
-    random = rng.random
-    for line_index in indices:
-        yield MemoryOp(
-            base + line_index * CACHE_LINE_BYTES,
-            random() < write_fraction,
-            instructions,
-        )
+    """Per-op view of one :func:`_flurry_block` burst."""
+    vaddrs, writes, instr = _flurry_block(
+        page_index, line_stride, write_fraction, instructions, rng, lines=lines
+    )
+    for vaddr, write, instructions_before in zip(vaddrs, writes, instr):
+        yield MemoryOp(vaddr, write, instructions_before)
 
 
-def stream_sweep(
+def stream_sweep_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     arrays: int = 3,
     line_stride: int = 1,
     write_fraction: float = 0.3,
     instructions: int = 40,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """Sequential sweeps over several arrays in lockstep.
 
     Models lbm / STREAM / bwaves / libquantum-style kernels: page flurries
@@ -67,18 +126,18 @@ def stream_sweep(
     while True:
         for position in range(pages_per_array):
             for base in bases:
-                yield from _flurry(
+                yield _flurry_block(
                     base + position, line_stride, write_fraction, instructions, rng
                 )
 
 
-def pointer_chase(
+def pointer_chase_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     lines_per_visit: int = 2,
     write_fraction: float = 0.1,
     instructions: int = 55,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """A fixed random tour over pages, few lines per visit.
 
     Models mcf / omnetpp / barnes-style linked-structure traversal: low
@@ -90,12 +149,12 @@ def pointer_chase(
     while True:
         for page_index in order:
             lines = rng.sample(range(LINES_PER_PAGE), min(lines_per_visit, LINES_PER_PAGE))
-            yield from _flurry(
+            yield _flurry_block(
                 page_index, 1, write_fraction, instructions, rng, lines=lines
             )
 
 
-def hot_cold(
+def hot_cold_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     hot_fraction: float = 0.12,
@@ -103,7 +162,7 @@ def hot_cold(
     flurry_lines: int = 20,
     write_fraction: float = 0.25,
     instructions: int = 40,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """A small hot set absorbing most flurries, a large cold tail.
 
     Models milc / MILCmk-style behaviour: hot pages are revisited with
@@ -119,19 +178,19 @@ def hot_cold(
         else:
             page_index = hot_pages + rng.randint(0, max(0, footprint_pages - hot_pages - 1))
             lines = range(0, cold_lines)
-        yield from _flurry(
+        yield _flurry_block(
             page_index, 1, write_fraction, instructions, rng, lines=lines
         )
 
 
-def phased_sweep(
+def phased_sweep_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     line_stride: int = 1,
     write_fraction: float = 0.35,
     instructions: int = 40,
     pages_per_phase: int = 0,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """Sweeps whose page order is reshuffled every phase.
 
     Models GemsFDTD / fft / radix: pages still see dense flurries, but the
@@ -144,13 +203,13 @@ def phased_sweep(
         order = rng.permutation(footprint_pages)
         emitted = 0
         for page_index in order:
-            yield from _flurry(page_index, line_stride, write_fraction, instructions, rng)
+            yield _flurry_block(page_index, line_stride, write_fraction, instructions, rng)
             emitted += 1
             if emitted >= pages_per_phase:
                 break
 
 
-def stencil_sweep(
+def stencil_sweep_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     arrays: int = 4,
@@ -159,7 +218,7 @@ def stencil_sweep(
     write_fraction: float = 0.3,
     instructions: int = 45,
     neighbour_probability: float = 0.2,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """Structured-grid sweeps with occasional neighbour-row touches.
 
     Models LULESH / oceanCon / miniFE / leslie3d: the main sweep produces
@@ -174,7 +233,7 @@ def stencil_sweep(
         for position in range(pages_per_array):
             for base in bases:
                 page_index = base + position
-                yield from _flurry(
+                yield _flurry_block(
                     page_index, line_stride, write_fraction, instructions, rng
                 )
                 if rng.random() < neighbour_probability:
@@ -182,43 +241,47 @@ def stencil_sweep(
                     neighbour = position + direction
                     if 0 <= neighbour < pages_per_array:
                         lines = [rng.randint(0, LINES_PER_PAGE - 1)]
-                        yield from _flurry(
+                        yield _flurry_block(
                             base + neighbour, 1, write_fraction, instructions, rng,
                             lines=lines,
                         )
 
 
-def random_mix(
+def random_mix_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     streamed_fraction: float = 0.5,
     line_stride: int = 1,
     write_fraction: float = 0.3,
     instructions: int = 45,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """Interleaved streaming and scattered single-line references.
 
     Models AMGmk / luNCon / SNAP-style sparse kernels: a structured sweep
     carries the bulk of traffic while random gathers hit arbitrary pages.
+    The sweep and the scatter own independent derived RNG streams, so
+    pulling whole sweep flurries at once draws the identical per-stream
+    sequences the op-at-a-time interleave drew.
     """
-    sweep = stream_sweep(
+    sweep = ops_from_blocks(stream_sweep_blocks(
         rng.derive("sweep"), footprint_pages, arrays=2,
         line_stride=line_stride, write_fraction=write_fraction,
         instructions=instructions,
-    )
+    ))
     scatter_rng = rng.derive("scatter")
     while True:
         if scatter_rng.random() < streamed_fraction:
-            yield next(sweep)
+            op = next(sweep)
+            yield [op.vaddr], [op.is_write], [op.instructions_before]
         else:
             page_index = scatter_rng.randint(0, footprint_pages - 1)
             lines = [scatter_rng.randint(0, LINES_PER_PAGE - 1)]
-            yield from _flurry(
+            yield _flurry_block(
                 page_index, 1, write_fraction, instructions, scatter_rng, lines=lines
             )
 
 
-def blocked_sweep(
+def blocked_sweep_blocks(
     rng: DeterministicRng,
     footprint_pages: int,
     block_pages: int = 32,
@@ -226,7 +289,7 @@ def blocked_sweep(
     line_stride: int = 1,
     write_fraction: float = 0.4,
     instructions: int = 35,
-) -> Iterator[MemoryOp]:
+) -> Iterator[Block]:
     """Blocked computation revisiting each block several times.
 
     Models luCon / fft-style blocked kernels: a block's pages get repeated
@@ -238,12 +301,31 @@ def blocked_sweep(
             block_end = min(block_start + block_pages, footprint_pages)
             for _ in range(passes_per_block):
                 for page_index in range(block_start, block_end):
-                    yield from _flurry(
+                    yield _flurry_block(
                         page_index, line_stride, write_fraction, instructions, rng
                     )
 
 
-#: Registry used by the suite definitions.
+def _per_op(block_generator: Callable[..., Iterator[Block]]) -> Callable[..., Iterator[MemoryOp]]:
+    """Derive the per-op view of a block generator (one code path)."""
+
+    @functools.wraps(block_generator)
+    def per_op_generator(*args, **kwargs) -> Iterator[MemoryOp]:
+        return ops_from_blocks(block_generator(*args, **kwargs))
+
+    return per_op_generator
+
+
+stream_sweep = _per_op(stream_sweep_blocks)
+pointer_chase = _per_op(pointer_chase_blocks)
+hot_cold = _per_op(hot_cold_blocks)
+phased_sweep = _per_op(phased_sweep_blocks)
+stencil_sweep = _per_op(stencil_sweep_blocks)
+random_mix = _per_op(random_mix_blocks)
+blocked_sweep = _per_op(blocked_sweep_blocks)
+
+
+#: Registry used by the suite definitions (per-op view).
 GENERATORS = {
     "stream_sweep": stream_sweep,
     "pointer_chase": pointer_chase,
@@ -252,4 +334,17 @@ GENERATORS = {
     "stencil_sweep": stencil_sweep,
     "random_mix": random_mix,
     "blocked_sweep": blocked_sweep,
+}
+
+#: The block view of the same archetypes.  Generators registered only in
+#: ``GENERATORS`` (external plugins) still work: the chunked stream falls
+#: back to batching their per-op output (see ``ReplayStream``).
+BLOCK_GENERATORS: Dict[str, Callable[..., Iterator[Block]]] = {
+    "stream_sweep": stream_sweep_blocks,
+    "pointer_chase": pointer_chase_blocks,
+    "hot_cold": hot_cold_blocks,
+    "phased_sweep": phased_sweep_blocks,
+    "stencil_sweep": stencil_sweep_blocks,
+    "random_mix": random_mix_blocks,
+    "blocked_sweep": blocked_sweep_blocks,
 }

@@ -21,7 +21,8 @@ from repro.common.errors import ReproError
 from repro.common.rng import DeterministicRng
 from repro.sim.cpu import MemoryOp
 from repro.workloads.base import BenchmarkPart, WorkloadSpec
-from repro.workloads.synthetic import GENERATORS
+from repro.workloads.chunks import Block
+from repro.workloads.synthetic import BLOCK_GENERATORS, GENERATORS
 
 
 class TraceFormatError(ReproError):
@@ -82,6 +83,24 @@ def trace_replay(
         yield from ops
 
 
+def trace_replay_blocks(
+    rng: DeterministicRng, footprint_pages: int, path: str = ""
+) -> Iterator[Block]:
+    """Block view of :func:`trace_replay`: one whole-trace block per pass.
+
+    The trace decomposes into its three columns exactly once; every pass
+    yields the same parallel lists (blocks are read-only to consumers),
+    so replay cost is one tuple per loop instead of one op object per
+    reference.
+    """
+    ops = read_trace(path)
+    vaddrs = [op.vaddr for op in ops]
+    writes = [op.is_write for op in ops]
+    instr = [op.instructions_before for op in ops]
+    while True:
+        yield vaddrs, writes, instr
+
+
 def trace_workload(name: str, trace_paths: List[Union[str, Path]]) -> WorkloadSpec:
     """Build a workload that replays one trace file per core."""
     if not trace_paths:
@@ -114,3 +133,4 @@ def record_trace(
 
 
 GENERATORS.setdefault("trace", trace_replay)
+BLOCK_GENERATORS.setdefault("trace", trace_replay_blocks)

@@ -356,6 +356,54 @@ def test_batched_mid_batch_cuts_resume_bit_identical(tmp_path):
         )
 
 
+def test_chunked_stream_two_interior_cuts_resume_bit_identical(tmp_path):
+    """Two interior cuts of a chunked-stream run resume bit-identical —
+    against a *per-op*-stream scalar reference.
+
+    The chunked stream buffers :class:`~repro.workloads.chunks.OpChunk`
+    batches, so both cut points land mid-chunk with near certainty; the
+    resumed stream must fast-forward through whole chunks and re-enter the
+    final one at the recorded interior offset (REPRO-CKPT consumption
+    accounting).  Comparing against ``stream="perop"`` additionally pins
+    the stream-mode equivalence end to end at the system level, not just
+    at the generator layer (tests/property/test_chunk_streams.py).
+    """
+    from repro.bench import stats_digest
+    from repro.sim.system import build_system
+
+    def fresh(stream_mode, engine):
+        return build_system(
+            "pageseer",
+            workload_by_name("lbmx4"),
+            scale=GOLDEN_SIZING["scale"],
+            seed=GOLDEN_SIZING["seed"],
+            config_mutator=lambda c: dataclasses.replace(c, stream=stream_mode),
+            engine=engine,
+        )
+
+    reference = fresh("perop", "scalar")
+    reference.run(GOLDEN_SIZING["measure_ops"], GOLDEN_SIZING["warmup_ops"])
+    reference_digest = stats_digest(reference)
+
+    victim = fresh("chunked", "batched")
+    Checkpointer(tmp_path, cut_points=[WARMUP_CUT, MEASURE_CUT]).arm(victim)
+    victim.run(GOLDEN_SIZING["measure_ops"], GOLDEN_SIZING["warmup_ops"])
+    assert stats_digest(victim) == reference_digest, (
+        "chunked-stream batched run diverged from per-op scalar reference"
+    )
+
+    for cut in (WARMUP_CUT, MEASURE_CUT):
+        path = tmp_path / f"cut_{cut}.ckpt"
+        assert path.exists(), f"interior cut at step {cut} was not written"
+        restored = load_checkpoint(path)
+        stream = restored.cores[0].ops
+        assert stream.mode == "chunked", "stream mode must survive the cut"
+        restored.resume_run()
+        assert stats_digest(restored) == reference_digest, (
+            f"chunked-stream resume from interior cut {cut} diverged"
+        )
+
+
 def test_numpy_array_state_round_trips_checkpoint(tmp_path):
     """RL006 snapshot safety for numpy-backed state (REPRO-CKPT v1).
 

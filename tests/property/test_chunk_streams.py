@@ -1,0 +1,230 @@
+"""Property suite for the array-native stream layer.
+
+Pins the contract the batched engine and the checkpointer both rely on:
+
+* the block view and the per-op view of a workload are the *same* op
+  sequence (``chunked`` vs ``perop`` stream modes are interchangeable);
+* :func:`chunks_from_blocks` is a pure coalescer — chunk columns are the
+  concatenation of the block columns, block boundaries never split, and
+  every chunk except the last reaches the target size;
+* :class:`ReplayStream`'s two consumption protocols (scalar ``__next__``
+  and chunk-aware ``peek_chunk``/``advance``) move the same counter and
+  hand out the same ops under any interleaving;
+* a pickled stream restores at any ``consumed`` point — including
+  mid-chunk — and the remaining sequence is bit-identical.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import unique_workload
+from repro.workloads.chunks import (
+    OpChunk,
+    chunks_from_blocks,
+    chunks_from_ops,
+    ops_from_blocks,
+)
+from repro.snapshot.stream import ReplayStream
+
+# -- synthetic block streams (coalescer-level properties) ------------------
+
+_blocks = st.lists(
+    st.integers(1, 40).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 2**20), min_size=n, max_size=n),
+            st.lists(st.booleans(), min_size=n, max_size=n),
+            st.lists(st.integers(0, 50), min_size=n, max_size=n),
+        )
+    ),
+    max_size=30,
+)
+
+_targets = st.integers(1, 64)
+
+
+def _columns(blocks):
+    vaddrs, writes, instr = [], [], []
+    for block_vaddrs, block_writes, block_instr in blocks:
+        vaddrs += block_vaddrs
+        writes += block_writes
+        instr += block_instr
+    return vaddrs, writes, instr
+
+
+class TestChunkCoalescer:
+    @given(blocks=_blocks, target=_targets)
+    @settings(max_examples=200, deadline=None)
+    def test_chunks_concatenate_to_block_columns(self, blocks, target):
+        chunks = list(chunks_from_blocks(iter(blocks), target))
+        vaddrs, writes, instr = _columns(blocks)
+        assert [v for c in chunks for v in c.vaddrs] == vaddrs
+        assert [w for c in chunks for w in c.writes] == writes
+        assert [i for c in chunks for i in c.instr] == instr
+
+    @given(blocks=_blocks, target=_targets)
+    @settings(max_examples=200, deadline=None)
+    def test_block_boundaries_never_split(self, blocks, target):
+        """Every chunk edge is a block edge: chunk lengths are partial
+        sums of block lengths, and all but the last chunk reach target."""
+        chunks = list(chunks_from_blocks(iter(blocks), target))
+        block_edges = set()
+        total = 0
+        for block_vaddrs, _, _ in blocks:
+            total += len(block_vaddrs)
+            block_edges.add(total)
+        consumed = 0
+        for index, chunk in enumerate(chunks):
+            consumed += chunk.length
+            assert consumed in block_edges, "chunk edge split a block"
+            if index < len(chunks) - 1:
+                assert chunk.length >= target
+
+    @given(blocks=_blocks, target=_targets)
+    @settings(max_examples=150, deadline=None)
+    def test_perop_batching_equals_block_coalescing_op_sequence(
+        self, blocks, target
+    ):
+        """chunks_from_ops over the per-op view carries the same ops in the
+        same order (chunk *edges* may differ; the sequence may not)."""
+        from_blocks = list(chunks_from_blocks(iter(blocks), target))
+        from_ops = list(chunks_from_ops(ops_from_blocks(iter(blocks)), target))
+        flat_a = [
+            (v, w, i)
+            for c in from_blocks
+            for v, w, i in zip(c.vaddrs, c.writes, c.instr)
+        ]
+        flat_b = [
+            (v, w, i)
+            for c in from_ops
+            for v, w, i in zip(c.vaddrs, c.writes, c.instr)
+        ]
+        assert flat_a == flat_b
+
+    @given(blocks=_blocks)
+    @settings(max_examples=100, deadline=None)
+    def test_op_view_matches_chunk_op_at(self, blocks):
+        ops = list(ops_from_blocks(iter(blocks)))
+        chunks = list(chunks_from_blocks(iter(blocks), 16))
+        index = 0
+        for chunk in chunks:
+            for offset in range(chunk.length):
+                materialized = chunk.op_at(offset)
+                reference = ops[index]
+                assert materialized.vaddr == reference.vaddr
+                assert materialized.is_write == reference.is_write
+                assert (
+                    materialized.instructions_before
+                    == reference.instructions_before
+                )
+                index += 1
+        assert index == len(ops)
+
+
+# -- ReplayStream consumption protocols ------------------------------------
+
+_GENERATORS = ("stream_sweep", "hot_cold", "pointer_chase", "random_mix")
+
+
+def _stream(generator, seed, mode):
+    workload = unique_workload("prop", "test", 1, 64, generator)
+    return ReplayStream(workload, core_id=0, seed=seed, scale=1024, mode=mode)
+
+
+def _take(stream, count):
+    return [
+        (op.vaddr, op.is_write, op.instructions_before)
+        for op in (next(stream) for _ in range(count))
+    ]
+
+
+class TestReplayStreamProtocols:
+    @given(
+        generator=st.sampled_from(_GENERATORS),
+        seed=st.integers(0, 2**16),
+        count=st.integers(1, 600),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunked_and_perop_modes_emit_identical_ops(
+        self, generator, seed, count
+    ):
+        chunked = _stream(generator, seed, "chunked")
+        perop = _stream(generator, seed, "perop")
+        assert _take(chunked, count) == _take(perop, count)
+        assert chunked.consumed == perop.consumed == count
+
+    @given(
+        generator=st.sampled_from(_GENERATORS),
+        seed=st.integers(0, 2**16),
+        advances=st.lists(st.integers(1, 64), min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_advance_and_next_interleave_consistently(
+        self, generator, seed, advances
+    ):
+        """Chunk-aware consumption sees exactly the ops the per-op view
+        hands out, whatever the advance step pattern."""
+        reference = _stream(generator, seed, "chunked")
+        stream = _stream(generator, seed, "chunked")
+        for step in advances:
+            peeked = stream.peek_chunk()
+            assert peeked is not None, "synthetic streams are infinite"
+            chunk, pos = peeked
+            take = min(step, chunk.length - pos)
+            window = [
+                (chunk.vaddrs[pos + k], chunk.writes[pos + k], chunk.instr[pos + k])
+                for k in range(take)
+            ]
+            stream.advance(take)
+            assert window == _take(reference, take)
+            # One scalar op through __next__ keeps the two protocols honest
+            # against each other on the same stream object.
+            assert _take(stream, 1) == _take(reference, 1)
+        assert stream.consumed == reference.consumed
+
+    @given(
+        generator=st.sampled_from(_GENERATORS),
+        seed=st.integers(0, 2**16),
+        consumed=st.integers(0, 700),
+        remaining=st.integers(1, 200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pickle_round_trip_resumes_mid_chunk(
+        self, generator, seed, consumed, remaining
+    ):
+        """Restore at any consumption point — whole-chunk or interior —
+        and the continuation is bit-identical."""
+        reference = _stream(generator, seed, "chunked")
+        _take(reference, consumed)
+        restored = pickle.loads(pickle.dumps(reference))
+        assert restored.consumed == consumed
+        assert _take(restored, remaining) == _take(reference, remaining)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_advance_rejects_cross_chunk_counts(self, seed):
+        stream = _stream("stream_sweep", seed, "chunked")
+        chunk, pos = stream.peek_chunk()
+        stream.advance(0)  # no-op by contract
+        assert stream.consumed == 0
+        try:
+            stream.advance(chunk.length - pos + 1)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("advance past the buffered chunk must raise")
+        assert stream.consumed == 0
+
+
+class TestOpChunkInvariants:
+    @given(
+        vaddrs=st.lists(st.integers(0, 2**30), max_size=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_length_matches_columns(self, vaddrs):
+        chunk = OpChunk(vaddrs, [False] * len(vaddrs), [0] * len(vaddrs))
+        assert chunk.length == len(chunk) == len(vaddrs)
+        if vaddrs:
+            array = chunk.vaddr_array()
+            assert array.tolist() == vaddrs
+            assert chunk.vaddr_array() is array, "numpy view is cached"

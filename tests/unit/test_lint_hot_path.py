@@ -278,3 +278,75 @@ class TestNumpyLoops:
             "        pass\n"
         )
         assert findings_for(tmp_path, text) == []
+
+
+class TestChunkColumnLoops:
+    """PR-9: per-element Python loops over stream-chunk columns."""
+
+    def test_loop_over_chunk_column_flagged(self, tmp_path):
+        text = (
+            "# repro-hot\n"
+            "def drain(chunk):\n"
+            "    for vaddr in chunk.vaddrs:\n"
+            "        pass\n"
+        )
+        (finding,) = findings_for(tmp_path, text)
+        assert "stream-chunk column '.vaddrs'" in finding.message
+        assert "drain()" in finding.message
+
+    def test_zip_of_columns_flagged(self, tmp_path):
+        text = (
+            "# repro-hot\n"
+            "def drain(chunk):\n"
+            "    for vaddr, write in zip(chunk.vaddrs, chunk.writes):\n"
+            "        pass\n"
+        )
+        assert findings_for(tmp_path, text)
+
+    def test_range_len_and_enumerate_flagged(self, tmp_path):
+        text = (
+            "# repro-hot\n"
+            "def drain(chunk):\n"
+            "    for i in range(len(chunk.instr)):\n"
+            "        pass\n"
+            "    for i, w in enumerate(chunk.writes):\n"
+            "        pass\n"
+        )
+        assert len(findings_for(tmp_path, text)) == 2
+
+    def test_local_alias_of_column_flagged(self, tmp_path):
+        text = (
+            "# repro-hot\n"
+            "def drain(chunk):\n"
+            "    vaddrs = chunk.vaddrs\n"
+            "    for vaddr in vaddrs:\n"
+            "        pass\n"
+        )
+        (finding,) = findings_for(tmp_path, text)
+        assert "'vaddrs'" in finding.message
+
+    def test_loop_in_unmarked_function_is_clean(self, tmp_path):
+        text = (
+            "def cold(chunk):\n"
+            "    for vaddr in chunk.vaddrs:\n"
+            "        pass\n"
+        )
+        assert findings_for(tmp_path, text) == []
+
+    def test_indexed_escape_is_clean(self, tmp_path):
+        """Scalar indexing of single escapes is the sanctioned pattern."""
+        text = (
+            "# repro-hot\n"
+            "def drain(chunk, i):\n"
+            "    return chunk.vaddrs[i], chunk.writes[i]\n"
+        )
+        assert findings_for(tmp_path, text) == []
+
+    def test_unrelated_attribute_loop_is_clean(self, tmp_path):
+        text = (
+            "# repro-hot\n"
+            "def drain(queue):\n"
+            "    for item in queue.pending:\n"
+            "        pass\n"
+        )
+        assert findings_for(tmp_path, text) == []
