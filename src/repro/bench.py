@@ -31,6 +31,9 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import persist
+from repro.common.errors import PersistError
+
 #: Default grid: every scheme over one representative workload.  milcx4
 #: (hot/cold at four cores) exercises swaps on every scheme without the
 #: long tail of the full Table III suite.
@@ -299,6 +302,8 @@ def trend_table(documents: List[Dict[str, object]]) -> List[str]:
             if key not in keys:
                 keys.append(key)
     keys.sort()
+    if not keys:
+        return ["no configurations in any bench document"]
     width = max(12, *(len(label) for label in labels)) + 1
     key_width = max(len(key) for key in keys) + 1
     lines = [
@@ -311,11 +316,16 @@ def trend_table(documents: List[Dict[str, object]]) -> List[str]:
         rates: List[Optional[float]] = []
         for doc in documents:
             entry = doc.get("results", {}).get(key)
-            if entry is None:
+            rate: Optional[float] = None
+            if isinstance(entry, dict):
+                try:
+                    rate = float(entry["ops_per_sec"])  # type: ignore[arg-type]
+                except (KeyError, TypeError, ValueError):
+                    rate = None  # a half-written row prints as absent
+            if rate is None:
                 cells.append(f"{'-':>{width}}")
                 rates.append(None)
             else:
-                rate = float(entry["ops_per_sec"])
                 cells.append(f"{rate:>{width}.1f}")
                 rates.append(rate)
         present = [rate for rate in rates if rate is not None]
@@ -328,17 +338,24 @@ def trend_table(documents: List[Dict[str, object]]) -> List[str]:
 
 
 def load_trend_documents(bench_dir: Path) -> List[Dict[str, object]]:
-    """All readable ``BENCH_*.json`` documents under *bench_dir*, by name."""
+    """All readable ``BENCH_*.json`` documents under *bench_dir*, by name.
+
+    Unreadable, corrupt (checksum-failing), or schema-broken documents
+    are skipped with a one-line warning — one rotted file must not take
+    down the whole trajectory table.
+    """
     documents: List[Dict[str, object]] = []
     for path in sorted(bench_dir.glob("BENCH_*.json")):
         try:
-            with open(path) as handle:
-                doc = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
+            doc = persist.read_json(path, site="bench")
+        except (OSError, PersistError) as exc:
             print(f"skipping {path}: {exc}", file=sys.stderr)
             continue
-        if isinstance(doc, dict) and "results" in doc:
-            documents.append(doc)
+        if not isinstance(doc.get("results"), dict):
+            print(f"skipping {path}: not a bench document "
+                  f"(no results table)", file=sys.stderr)
+            continue
+        documents.append(doc)
     return documents
 
 
@@ -484,18 +501,14 @@ def command_bench(args: argparse.Namespace) -> int:
           f"at rev {document['git_rev']}")
 
     out_path = Path(args.out_dir) / f"BENCH_{args.label}.json"
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    # Write-then-rename: a killed bench run must never leave a torn JSON
-    # where the next --compare expects a baseline.
-    temp = out_path.with_name(f"{out_path.name}.{os.getpid()}.tmp")
+    # Atomic + checksummed: a killed bench run must never leave a torn
+    # JSON where the next --compare expects a baseline, and later bit-rot
+    # is detected instead of silently compared against.
     try:
-        with open(temp, "w") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(temp, out_path)
-    finally:
-        if temp.exists():
-            temp.unlink()
+        persist.write_json(out_path, document, site="bench", indent=2)
+    except PersistError as exc:
+        print(f"error: could not write {out_path}: {exc}", file=sys.stderr)
+        return 1
     print(f"wrote {out_path}")
 
     if args.profile is not None:
@@ -515,14 +528,13 @@ def command_bench(args: argparse.Namespace) -> int:
 
     if args.compare is not None:
         try:
-            with open(args.compare) as handle:
-                baseline = json.load(handle)
+            baseline = persist.read_json(args.compare, site="bench")
         except FileNotFoundError:
             print(f"error: baseline {args.compare} does not exist; generate "
                   f"one with `repro bench --label <name>` on the reference "
                   f"revision, or drop --compare", file=sys.stderr)
             return 1
-        except (OSError, json.JSONDecodeError) as exc:
+        except (OSError, PersistError) as exc:
             print(f"error: baseline {args.compare} is unreadable "
                   f"({exc}); regenerate it with `repro bench`",
                   file=sys.stderr)

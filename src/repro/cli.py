@@ -14,6 +14,8 @@ Commands:
 * ``golden``          verify (or ``--update``) the golden regression matrix
 * ``bench``           throughput benchmark grid (see docs/PERFORMANCE.md)
 * ``lint``            static correctness linter (see docs/LINTING.md)
+* ``fsck``            verify/repair checkpoints, manifests, caches, and
+                      journals (see docs/FAULTS.md)
 * ``trace-record``    dump one core's access stream to a trace file
 * ``trace-run``       simulate a scheme over recorded trace files
 * ``list-workloads``  the 26 Table III workloads
@@ -80,6 +82,49 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
 def _resolve_faults(args: argparse.Namespace) -> Optional[FaultConfig]:
     """Turn ``--faults`` / ``--fault-seed`` into a FaultConfig (or None)."""
     return resolve_profile(args.faults, fault_seed=args.fault_seed)
+
+
+def _add_storage_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.faults.storage import STORAGE_PROFILES
+
+    parser.add_argument("--storage-faults", choices=sorted(STORAGE_PROFILES),
+                        default=None, metavar="PROFILE",
+                        help="storage-fault injection profile applied to every "
+                             "repro.persist write — one of "
+                             f"{', '.join(sorted(STORAGE_PROFILES))} (see "
+                             "docs/FAULTS.md; default: the "
+                             "REPRO_STORAGE_FAULTS environment variable)")
+    parser.add_argument("--storage-seed", type=int, default=0,
+                        help="seed for the deterministic storage-fault RNG")
+
+
+def _arm_storage_faults(args: argparse.Namespace) -> None:
+    """Publish ``--storage-faults`` via the environment before any write.
+
+    Arming goes through ``REPRO_STORAGE_FAULTS`` rather than a direct
+    injector install so forked sweep workers and fleet processes inherit
+    the exact same configuration.  ``--storage-faults off`` explicitly
+    disarms an inherited environment variable; leaving the flag unset
+    leaves the environment (and thus any ambient arming) alone.
+    """
+    profile = getattr(args, "storage_faults", None)
+    if profile is None:
+        return
+    import os
+
+    from repro import persist
+    from repro.faults.storage import (
+        STORAGE_FAULTS_ENV,
+        config_to_env,
+        resolve_storage_profile,
+    )
+
+    config = resolve_storage_profile(profile, storage_seed=args.storage_seed)
+    if config is None:
+        os.environ.pop(STORAGE_FAULTS_ENV, None)
+    else:
+        os.environ[STORAGE_FAULTS_ENV] = config_to_env(config, profile)
+    persist.reset_storage_faults()
 
 
 def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
@@ -627,6 +672,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sizing_arguments(run_parser)
     _add_check_arguments(run_parser)
     _add_fault_arguments(run_parser)
+    _add_storage_fault_arguments(run_parser)
     _add_checkpoint_arguments(run_parser)
     run_parser.set_defaults(handler=_command_run)
 
@@ -667,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_chaos_arguments(sweep_parser)
     _add_sizing_arguments(sweep_parser)
     _add_fault_arguments(sweep_parser)
+    _add_storage_fault_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_command_sweep)
 
     sweepd_parser = commands.add_parser(
@@ -691,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--max-attempts", type=int, default=3)
     serve_parser.add_argument("--lease-seconds", type=float, default=15.0)
     _add_chaos_arguments(serve_parser)
+    _add_storage_fault_arguments(serve_parser)
     serve_parser.set_defaults(sweepd_handler=_sweepd_serve)
 
     work_parser = sweepd_commands.add_parser(
@@ -705,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
     work_parser.add_argument("--checkpoint-every", type=int, default=20_000,
                              metavar="OPS")
     work_parser.add_argument("--heartbeat-seconds", type=float, default=0.5)
+    _add_storage_fault_arguments(work_parser)
     work_parser.set_defaults(sweepd_handler=_sweepd_work)
 
     submit_parser = sweepd_commands.add_parser(
@@ -768,7 +817,16 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.bench import add_bench_arguments, command_bench
 
     add_bench_arguments(bench_parser)
+    _add_storage_fault_arguments(bench_parser)
     bench_parser.set_defaults(handler=command_bench)
+
+    fsck_parser = commands.add_parser(
+        "fsck", help="verify and repair persisted state (docs/FAULTS.md)"
+    )
+    from repro.fsck import add_fsck_arguments, command_fsck
+
+    add_fsck_arguments(fsck_parser)
+    fsck_parser.set_defaults(handler=command_fsck)
 
     lint_parser = commands.add_parser(
         "lint", help="AST-based simulator correctness linter"
@@ -812,6 +870,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _arm_storage_faults(args)
     return args.handler(args)
 
 

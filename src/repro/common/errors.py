@@ -34,12 +34,81 @@ class CheckViolationError(SimulationError):
         )
 
 
+class PersistError(ReproError):
+    """The durable-storage layer (``repro.persist``) failed.
+
+    Every crash-safe file this project writes — checkpoints, sweep
+    manifests, result caches, bench documents — goes through
+    ``repro.persist``; this hierarchy is how storage trouble surfaces.
+    ``path`` names the file, ``site`` the persistence site label
+    ("checkpoint", "cache", "manifest", ...), and ``hint`` carries a
+    one-line remediation the CLI prints under the error.
+    """
+
+    def __init__(self, message, *, path=None, site=None, hint=None):
+        self.path = None if path is None else str(path)
+        self.site = site
+        self.hint = hint
+        suffix = f" (remediation: {hint})" if hint else ""
+        super().__init__(f"{message}{suffix}")
+
+
+class PersistWriteError(PersistError):
+    """An atomic write failed (ENOSPC, EIO, a failed fsync).
+
+    The atomic temp + fsync + ``os.replace`` discipline guarantees the
+    *previous* file content is still intact when this raises — callers
+    lose durability of the newest state, never consistency.  ``errno``
+    carries the originating OS error number when one exists.
+    """
+
+    def __init__(self, message, *, path=None, site=None, hint=None, errno=None):
+        self.errno = errno
+        super().__init__(message, path=path, site=site, hint=hint)
+
+
+class CorruptPayloadError(PersistError):
+    """A persisted file failed validation on read.
+
+    Raised for unparseable content, a checksum mismatch (bit-rot or a
+    torn write that lied about durability), or a schema the reader does
+    not recognise.  ``check`` names the failed validation step.
+    """
+
+    def __init__(self, message, *, path=None, site=None, hint=None, check=None):
+        self.check = check
+        super().__init__(message, path=path, site=site, hint=hint)
+
+
 class CheckpointError(ReproError):
     """A checkpoint file could not be written, read, or validated.
 
     Raised for truncated/corrupt files (bad magic, checksum mismatch),
     format-version skew, and state graphs that cannot be serialized.
     """
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint file failed a specific integrity check.
+
+    ``path`` names the file, ``check`` the failed validation step
+    ("magic", "version", "header", "truncation", "checksum", "payload"),
+    and ``hint`` the remediation — by default pointing at ``repro fsck
+    --repair``, which quarantines the corrupt file and promotes the
+    newest verifiable generation.
+    """
+
+    FSCK_HINT = (
+        "run `python -m repro fsck <dir> --repair` to quarantine the "
+        "corrupt file and promote the newest good generation"
+    )
+
+    def __init__(self, message, *, path=None, check=None, hint=None):
+        self.path = None if path is None else str(path)
+        self.check = check
+        self.hint = hint if hint is not None else self.FSCK_HINT
+        where = f" [failed check: {check}]" if check else ""
+        super().__init__(f"{message}{where} (remediation: {self.hint})")
 
 
 class ManifestVersionError(CheckpointError):

@@ -30,8 +30,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import json
-import os
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
 
@@ -60,23 +58,25 @@ def backoff_seconds(attempt: int, base: float = BACKOFF_BASE_SECONDS) -> float:
     return base * (1 << attempt)
 
 
-def write_json_atomic(path: Union[str, Path], payload: Dict[str, object]) -> Path:
-    """Write *payload* as JSON via a same-directory temp + ``os.replace``.
+def write_json_atomic(
+    path: Union[str, Path],
+    payload: Dict[str, object],
+    *,
+    site: str = "result",
+    backup: bool = False,
+) -> Path:
+    """Write *payload* crash-safe via :func:`repro.persist.write_json`.
 
     A reader never sees a torn file: it observes either the previous
     complete content or the new one, even if the writer is SIGKILLed
-    mid-write.
+    mid-write.  The persist layer additionally embeds a checksum stamp
+    (so silent truncation and bit-rot are detected on read) and raises
+    :class:`repro.common.errors.PersistWriteError` — previous content
+    intact — when the storage layer says no.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    try:
-        temp.write_text(json.dumps(payload))
-        os.replace(temp, path)
-    finally:
-        if temp.exists():
-            temp.unlink()
-    return path
+    from repro import persist
+
+    return persist.write_json(path, payload, site=site, backup=backup)
 
 
 def fault_signature(faults: Optional[FaultConfig]) -> str:
@@ -175,14 +175,12 @@ def load_result(directory: Union[str, Path]) -> Optional[Dict[str, object]]:
     died before (or while) reporting it hand the result over on its next
     lease instead of redoing minutes of simulation.
     """
+    from repro import persist
     from repro.experiments.runner import _METRIC_FIELDS
 
     path = Path(directory) / RESULT_NAME
-    try:
-        payload = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
-        return None
-    if not isinstance(payload, dict):
+    payload = persist.read_json_or_none(path, site="result")
+    if payload is None:
         return None
     if any(name not in payload for name in _METRIC_FIELDS):
         return None
@@ -204,9 +202,10 @@ def execute_job(
 ) -> Dict[str, object]:
     """Run one sweep job to completion and return its metrics payload.
 
-    Resume-aware: if ``<directory>/latest.ckpt`` exists the simulation
-    continues from it (bit-identical to an uninterrupted run, per
-    docs/CHECKPOINTS.md); otherwise a fresh system is built — after
+    Resume-aware: if ``<directory>/latest.ckpt`` (or, when that file is
+    missing or corrupt, the newest good ``gen-*.ckpt`` generation) loads,
+    the simulation continues from it (bit-identical to an uninterrupted
+    run, per docs/CHECKPOINTS.md); otherwise a fresh system is built — after
     giving *crash_injector* its deterministic chance to model a worker
     that dies before doing any work.  ``make_checkpointer`` overrides
     checkpointer construction (the supervisor's stall injection);
@@ -219,17 +218,18 @@ def execute_job(
     from repro.experiments import ablation_partial, dram_capacity, sensitivity  # noqa: F401
     from repro.experiments.runner import VARIANTS, _METRIC_FIELDS
     from repro.sim.system import build_system
-    from repro.snapshot import LATEST_NAME, Checkpointer, load_checkpoint
+    from repro.snapshot import Checkpointer, load_checkpoint_with_fallback
     from repro.workloads import workload_by_name
 
     scheme, workload_name, variant = request
     scale, measure_ops, warmup_ops, seed, check_level = sizing
     directory = Path(directory)
-    latest = directory / LATEST_NAME
 
+    # A torn or bit-rotted latest.ckpt must not poison the job: fall back
+    # through the generation chain, and past it to a fresh build.
     resumed_from_ops = 0
-    if latest.exists():
-        system = load_checkpoint(latest)
+    system, _, _skipped = load_checkpoint_with_fallback(directory)
+    if system is not None:
         resumed_from_ops = system.steps_total
     else:
         if crash_injector is not None:

@@ -18,15 +18,20 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
-import json
 import os
 import time
 import warnings
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro import persist
 from repro.common.config import CheckConfig, FaultConfig, SystemConfig
-from repro.common.errors import FaultError, SweepError, WorkerFaultError
+from repro.common.errors import (
+    FaultError,
+    PersistError,
+    SweepError,
+    WorkerFaultError,
+)
 from repro.common.rng import DeterministicRng
 from repro.sim.metrics import RunMetrics
 from repro.sim.system import build_system
@@ -162,11 +167,12 @@ class ExperimentRunner:
         if not path.exists():
             return None
         try:
-            payload = json.loads(path.read_text())
+            payload = persist.read_json(path, site="cache")
             metrics = RunMetrics(raw={}, **{k: payload[k] for k in _METRIC_FIELDS})
-        except (json.JSONDecodeError, OSError, KeyError, TypeError) as exc:
-            # A torn write from a killed process, a file from an older
-            # metrics schema, or plain corruption: all are recoverable by
+        except (PersistError, OSError, KeyError, TypeError) as exc:
+            # A torn write from a killed process, a checksum failure
+            # (bit-rot, a lying disk), a file from an older metrics
+            # schema, or plain corruption: all are recoverable by
             # re-simulating, so warn and treat the entry as a miss.
             warnings.warn(
                 f"unreadable cache entry {path.name} "
@@ -181,17 +187,21 @@ class ExperimentRunner:
     def _store(self, key: str, metrics: RunMetrics) -> None:
         self._memory[key] = metrics
         payload = {name: getattr(metrics, name) for name in _METRIC_FIELDS}
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self._cache_path(key)
-        # Write-then-rename so a crash mid-write can never leave a torn
-        # JSON file behind; os.replace is atomic on POSIX and Windows.
-        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
-            temp.write_text(json.dumps(payload))
-            os.replace(temp, path)
-        finally:
-            if temp.exists():
-                temp.unlink()
+            # Atomic + checksummed: a crash mid-write can never leave a
+            # torn JSON file behind, and a reader detects later bit-rot.
+            persist.write_json(path, payload, site="cache")
+        except PersistError as exc:
+            # Losing one cache write costs a re-simulation on the next
+            # run, never correctness — the in-memory copy above still
+            # serves this process.
+            warnings.warn(
+                f"could not persist cache entry {path.name} ({exc}); "
+                f"result kept in memory only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- execution --------------------------------------------------------------
     def run(

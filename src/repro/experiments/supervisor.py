@@ -31,17 +31,20 @@ watchdog exists for, and what the fault-matrix CI job exercises.
 from __future__ import annotations
 
 import dataclasses
-import json
 import multiprocessing
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import persist
 from repro.common.config import FaultConfig
 from repro.common.errors import (
     CheckpointError,
+    CorruptPayloadError,
     ManifestVersionError,
+    PersistError,
     SweepError,
     WorkerFaultError,
 )
@@ -50,6 +53,7 @@ from repro.experiments.jobcore import (
     Request,
     execute_job,
     inject_worker_crash,
+    load_result,
     metrics_from_payload,
     request_dirname,
     sizing_signature,
@@ -234,7 +238,20 @@ class SweepSupervisor:
                 else dataclasses.asdict(runner.faults)
             ),
         }
-        write_json_atomic(self.manifest_path, payload)
+        try:
+            write_json_atomic(
+                self.manifest_path, payload, site="manifest", backup=True
+            )
+        except PersistError as exc:
+            # A refused manifest write costs resume freshness, not
+            # results (those are in the atomic cache): warn and carry on;
+            # the next completed request retries the write.
+            warnings.warn(
+                f"could not persist sweep manifest ({exc}); "
+                f"resume may replay already-completed requests",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def read_manifest(self) -> Dict[str, object]:
         """Load and *validate* this root's manifest.
@@ -267,9 +284,19 @@ class SweepSupervisor:
                 hint=_MANIFEST_HINT,
             )
         try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise CheckpointError(f"unreadable sweep manifest {path}: {exc}")
+            payload = persist.verify_json_bytes(raw, path, "manifest")
+        except CorruptPayloadError as exc:
+            # Torn or bit-rotted primary: fall back to the ``.bak``
+            # generation kept by every manifest write.  At most one
+            # completed request stale — resume re-runs it from cache.
+            backup = persist.read_json_or_none(
+                persist.backup_path(path), site="manifest"
+            )
+            if backup is None:
+                raise CheckpointError(
+                    f"unreadable sweep manifest {path}: {exc}"
+                )
+            payload = backup
         version = payload.get("manifest_version")
         if version != MANIFEST_VERSION:
             raise ManifestVersionError(
@@ -350,10 +377,10 @@ class SweepSupervisor:
                       f"(attempt {attempt + 1})")
 
         def harvest(worker: _Worker) -> bool:
-            result_path = worker.directory / RESULT_NAME
-            try:
-                payload = json.loads(result_path.read_text())
-            except (OSError, json.JSONDecodeError):
+            # Checksummed read: a torn or bit-rotted result file reads as
+            # "no result", and the worker is retried/resumed like a crash.
+            payload = load_result(worker.directory)
+            if payload is None:
                 return False
             metrics = metrics_from_payload(payload)
             self.runner._store(self.runner._key(*worker.request), metrics)

@@ -1,0 +1,233 @@
+"""Deterministic storage-fault injection for the persistence layer.
+
+PRs 3 and 8 hardened two of the three failure legs — device faults and
+process/worker crashes.  This module is the third: the *filesystem* as a
+failure domain.  Every durable write this project makes goes through
+:mod:`repro.persist`, and the injector plugs in underneath it, modelling
+the five storage failures that actually happen in production:
+
+* ``enospc`` — the write fails with ``ENOSPC`` (disk full) before any
+  byte lands.  The atomic discipline keeps the previous file intact.
+* ``eio`` — the write fails with ``EIO`` (device error) mid-stream.
+* ``fsync`` — the data is written but the ``fsync`` fails: the caller
+  learns durability was NOT achieved and must treat the write as failed.
+* ``torn`` — the nasty one: the write *appears* to succeed but only a
+  prefix of the payload actually persisted (a lying disk, or a crash
+  after the rename persisted but before the data did).  Readers see a
+  truncated file with no error at write time — exactly what checksums
+  and generational fallback exist to catch.
+* ``bitrot`` — post-hoc corruption: one bit of the final file flips
+  silently after a successful write (media decay, a row-hammered page
+  cache).  Again only detectable at read time.
+
+Every decision is drawn from a named :class:`DeterministicRng` stream
+seeded by ``storage_seed`` and keyed by the persistence *site* and a
+per-site write counter, so a fault schedule is a pure function of the
+configuration and the write sequence — rerunning a chaos sweep replays
+the identical storm.
+
+Arming mirrors the device-fault profiles of PR 3: ``--storage-faults
+<profile>`` on the CLI, or the ``REPRO_STORAGE_FAULTS=<profile>:<seed>``
+environment hook that forked sweep workers inherit (see
+:func:`config_from_env`).  With no injector armed, :mod:`repro.persist`
+costs one ``None`` check per write.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+
+#: Environment hook: ``<profile>`` or ``<profile>:<seed>``.  Read once
+#: per process by :mod:`repro.persist`; forked pool/fleet workers
+#: inherit it, which is how a chaos sweep storms every process.
+STORAGE_FAULTS_ENV = "REPRO_STORAGE_FAULTS"
+
+#: Injected fault kinds, in the order the per-write draws consume them.
+FAULT_KINDS = ("enospc", "eio", "fsync", "torn", "bitrot")
+
+
+@dataclasses.dataclass(frozen=True)
+class StorageFaultConfig:
+    """What breaks in the storage layer, and how often.
+
+    All rates are per-write probabilities.  ``torn`` and ``bitrot`` are
+    *silent* (the writer sees success); ``enospc``/``eio``/``fsync``
+    raise :class:`repro.common.errors.PersistWriteError` at the write
+    site.  ``torn_keep_fraction_max`` bounds how much of a torn payload
+    survives: the persisted prefix length is drawn uniformly from
+    ``[0, max_fraction * len(payload)]``.
+    """
+
+    enabled: bool = False
+    #: Seed for every storage-fault RNG stream (independent of both the
+    #: simulation seed and the device-fault seed).
+    storage_seed: int = 0
+    enospc_rate: float = 0.0
+    eio_rate: float = 0.0
+    fsync_fail_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    bitrot_rate: float = 0.0
+    torn_keep_fraction_max: float = 0.9
+
+    def __post_init__(self) -> None:
+        for label, rate in (
+            ("enospc_rate", self.enospc_rate),
+            ("eio_rate", self.eio_rate),
+            ("fsync_fail_rate", self.fsync_fail_rate),
+            ("torn_write_rate", self.torn_write_rate),
+            ("bitrot_rate", self.bitrot_rate),
+            ("torn_keep_fraction_max", self.torn_keep_fraction_max),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{label} must be within [0, 1], got {rate}")
+
+    @property
+    def active(self) -> bool:
+        return self.enabled and any(
+            rate > 0.0
+            for rate in (
+                self.enospc_rate, self.eio_rate, self.fsync_fail_rate,
+                self.torn_write_rate, self.bitrot_rate,
+            )
+        )
+
+
+STORAGE_PROFILES: Dict[str, StorageFaultConfig] = {
+    # Explicitly requesting "off" is the same as not passing the flag.
+    "off": StorageFaultConfig(),
+    # Disk-full territory: writes fail cleanly, old state stays intact.
+    "enospc": StorageFaultConfig(enabled=True, enospc_rate=0.25),
+    # Flaky device: hard I/O errors plus failed fsyncs.
+    "eio": StorageFaultConfig(
+        enabled=True, eio_rate=0.15, fsync_fail_rate=0.1,
+    ),
+    # Lying disks: silently truncated payloads that checksums must catch.
+    "torn": StorageFaultConfig(enabled=True, torn_write_rate=0.25),
+    # Media decay: single flipped bits in files that were written fine.
+    "bitrot": StorageFaultConfig(enabled=True, bitrot_rate=0.25),
+    # Everything at once; rates tuned so a checkpointed sweep still
+    # makes forward progress (the point is to exercise every recovery
+    # path, not to wedge the machine).
+    "storm": StorageFaultConfig(
+        enabled=True,
+        enospc_rate=0.1,
+        eio_rate=0.05,
+        fsync_fail_rate=0.05,
+        torn_write_rate=0.1,
+        bitrot_rate=0.1,
+    ),
+}
+
+
+def resolve_storage_profile(
+    name: str, storage_seed: int = 0
+) -> Optional[StorageFaultConfig]:
+    """Return the named profile rebased on *storage_seed*; None for "off"."""
+    try:
+        profile = STORAGE_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(STORAGE_PROFILES))
+        raise ConfigError(
+            f"unknown storage-fault profile {name!r}; pick from {known}"
+        )
+    if not profile.enabled:
+        return None
+    return dataclasses.replace(profile, storage_seed=storage_seed)
+
+
+def config_to_env(faults: Optional[StorageFaultConfig], profile: str) -> str:
+    """The ``REPRO_STORAGE_FAULTS`` value arming *profile* in children."""
+    if faults is None:
+        return "off"
+    return f"{profile}:{faults.storage_seed}"
+
+
+def config_from_env(value: str) -> Optional[StorageFaultConfig]:
+    """Parse a ``REPRO_STORAGE_FAULTS`` value (``profile[:seed]``)."""
+    value = value.strip()
+    if not value:
+        return None
+    profile, _, seed_text = value.partition(":")
+    seed = 0
+    if seed_text:
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise ConfigError(
+                f"{STORAGE_FAULTS_ENV}={value!r}: seed {seed_text!r} is not "
+                f"an integer (expected <profile> or <profile>:<seed>)"
+            )
+    return resolve_storage_profile(profile, storage_seed=seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class WritePlan:
+    """One write's injected fate, decided before any byte lands.
+
+    ``kind`` is None (healthy) or one of :data:`FAULT_KINDS`.  For
+    ``torn``, ``keep_bytes`` is how much of the payload persists; for
+    ``bitrot``, ``flip_bit`` is the absolute bit index to flip in the
+    final file.
+    """
+
+    kind: Optional[str] = None
+    keep_bytes: int = 0
+    flip_bit: int = 0
+
+
+class StorageFaultInjector:
+    """Draws a deterministic :class:`WritePlan` for every persist write.
+
+    One injector serves one process; the per-``site`` write counters
+    make the schedule a function of each site's write *sequence*, so two
+    processes writing different sites never perturb each other's draws.
+    """
+
+    def __init__(self, faults: StorageFaultConfig):
+        self.config = faults
+        #: site -> writes planned so far (the RNG stream discriminator).
+        self._counts: Dict[str, int] = {}
+        #: Every injected fault: (site, file name, kind) in plan order.
+        self.injected: List[Tuple[str, str, str]] = []
+
+    def counters(self) -> Dict[str, int]:
+        """Injected-fault totals by kind (observability, test asserts)."""
+        out = {kind: 0 for kind in FAULT_KINDS}
+        for _, _, kind in self.injected:
+            out[kind] += 1
+        return out
+
+    def plan_write(self, site: str, name: str, nbytes: int) -> WritePlan:
+        """Decide this write's fate; advances the site's schedule."""
+        faults = self.config
+        if not faults.active:
+            return WritePlan()
+        sequence = self._counts.get(site, 0)
+        self._counts[site] = sequence + 1
+        rng = DeterministicRng(
+            f"storage/{site}/{sequence}", faults.storage_seed
+        )
+        # One draw per fault class, always consumed in FAULT_KINDS order
+        # so a profile change re-rates without re-shuffling the schedule.
+        draws = {kind: rng.random() for kind in FAULT_KINDS}
+        plan = WritePlan()
+        if draws["enospc"] < faults.enospc_rate:
+            plan = WritePlan(kind="enospc")
+        elif draws["eio"] < faults.eio_rate:
+            plan = WritePlan(kind="eio")
+        elif draws["fsync"] < faults.fsync_fail_rate:
+            plan = WritePlan(kind="fsync")
+        elif draws["torn"] < faults.torn_write_rate:
+            keep_max = max(0, int(nbytes * faults.torn_keep_fraction_max))
+            plan = WritePlan(kind="torn", keep_bytes=rng.randint(0, keep_max))
+        elif draws["bitrot"] < faults.bitrot_rate and nbytes > 0:
+            plan = WritePlan(
+                kind="bitrot", flip_bit=rng.randint(0, nbytes * 8 - 1)
+            )
+        if plan.kind is not None:
+            self.injected.append((site, name, plan.kind))
+        return plan

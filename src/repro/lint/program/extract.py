@@ -31,12 +31,14 @@ from repro.lint.program.facts import (
     KeySite,
     ModuleFacts,
     NumpyEvent,
+    RawWrite,
     Ref,
     SinkSite,
     UnsafeAssign,
 )
 from repro.lint.program.symbols import module_name_for
 from repro.lint.rules.hot_path import _marked_hot, _numpy_aliases
+from repro.lint.rules.persist_discipline import classify_raw_write
 from repro.lint.rules.snapshot_safety import (
     _EXEMPT_METHODS,
     SnapshotSafetyRule,
@@ -557,11 +559,17 @@ class _Extractor:
         flows = analyze_function_taint(func, env, is_method=class_name is not None)
         calls: List[Tuple[Ref, int, int]] = []
         returns_new: List[Ref] = []
+        raw_writes: List[RawWrite] = []
         for node in ast.walk(func):
             if isinstance(node, ast.Call):
                 ref = self._callee_ref(node)
                 if ref is not None:
                     calls.append((ref, node.lineno, node.col_offset))
+                write = classify_raw_write(node)
+                if write is not None:
+                    raw_writes.append(
+                        RawWrite(write, node.lineno, node.col_offset)
+                    )
             elif isinstance(node, ast.Return) and node.value is not None:
                 ctor = self._constructor_ref(node.value)
                 if ctor is not None:
@@ -574,6 +582,7 @@ class _Extractor:
             hot=hot,
             returns_new=returns_new,
             return_annotation=_annotation_class_leaves(func.returns),
+            raw_writes=raw_writes,
         )
         if hot:
             self._collect_numpy_events(func, qualname)

@@ -23,7 +23,9 @@ from typing import Any, Dict, List, Optional, Tuple
 #: 2: snapshot-safety classifier learned sockets/selectors (RL006/RL103).
 #: 3: OrderedDict-holding attrs + hot-kernel odict-probe events (RL104,
 #:    PR-9 array-native streams).
-FACTS_VERSION = 3
+#: 4: per-function raw persistent-write sites (RL105, PR-10 persist
+#:    discipline).
+FACTS_VERSION = 4
 
 #: An unresolved reference to a called/constructed symbol, e.g.
 #: ``("local", "Core")``, ``("self", "reset")``, or
@@ -113,6 +115,23 @@ class TaintFlow:
 
 
 @dataclass
+class RawWrite:
+    """One raw persistent-write call site inside a function (RL105)."""
+
+    #: The RL007 classifier's description, e.g. ``open(..., "w")``.
+    detail: str
+    line: int
+    col: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"detail": self.detail, "line": self.line, "col": self.col}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "RawWrite":
+        return cls(str(raw["detail"]), int(raw["line"]), int(raw["col"]))
+
+
+@dataclass
 class FunctionFacts:
     """Call sites plus the intraprocedural taint summary of one function."""
 
@@ -128,6 +147,8 @@ class FunctionFacts:
     returns_new: List[Ref] = field(default_factory=list)
     #: The declared return annotation's class-name leaves, if any.
     return_annotation: List[str] = field(default_factory=list)
+    #: Raw persistent-write sites (RL007's classifier, recorded for RL105).
+    raw_writes: List[RawWrite] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -138,6 +159,7 @@ class FunctionFacts:
             "hot": self.hot,
             "returns_new": _refs_to_json(self.returns_new),
             "return_annotation": list(self.return_annotation),
+            "raw_writes": [site.to_dict() for site in self.raw_writes],
         }
 
     @classmethod
@@ -150,6 +172,7 @@ class FunctionFacts:
             hot=bool(raw["hot"]),
             returns_new=_refs_from_json(raw["returns_new"]),
             return_annotation=[str(name) for name in raw["return_annotation"]],
+            raw_writes=[RawWrite.from_dict(site) for site in raw["raw_writes"]],
         )
 
 

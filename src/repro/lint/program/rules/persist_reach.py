@@ -1,0 +1,126 @@
+"""RL105 — whole-program persist-discipline reach.
+
+RL007 flags raw state-file writes *inside* the persistence-owning
+packages (``snapshot``, ``sweepd``, ``experiments``, ``bench.py``).  The
+obvious way to defeat it is laundering: move the ``open(path, "w")``
+into a helper module outside those packages and call it from the
+persistence code.  The per-file rule cannot see across that module
+boundary; this rule can.
+
+Using the per-function raw-write facts (recorded by the shared RL007
+classifier during extraction) and the resolved call graph, it flags
+every call edge whose caller lives in the persistence scope and whose
+callee — directly or transitively through further out-of-scope helpers
+— performs a raw write.  The finding anchors at the *call site* in the
+scoped file (where the fix belongs, and where a pragma can be placed)
+and names the write it reaches as a witness.
+
+``repro.persist`` itself is exempt: its guts are the one place raw
+``open`` calls are supposed to live — that module *is* the discipline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.engine import ProjectContext, Severity
+from repro.lint.program.base import ProgramRule, register_program_rule
+from repro.lint.program.model import ProgramModel
+from repro.lint.program.symbols import SymbolId
+from repro.lint.rules.persist_discipline import in_persistence_scope
+
+#: Modules whose raw writes are the sanctioned implementation of the
+#: discipline, not a bypass of it.
+_EXEMPT_MODULES = frozenset({"repro.persist", "repro.fsck"})
+
+
+@register_program_rule
+class PersistReachRule(ProgramRule):
+    """RL105: raw writes laundered through out-of-scope helpers."""
+
+    rule_id = "RL105"
+    name = "program-persist-reach"
+    default_severity = Severity.WARNING
+
+    def check(self, model: ProgramModel, ctx: ProjectContext) -> None:
+        scope = self._scoped_modules(model)
+        writer_witness = self._transitive_writers(model, scope)
+        emitted: Set[Tuple[str, int, int, SymbolId]] = set()
+        for module in sorted(scope):
+            facts = model.table.modules[module]
+            for qualname in sorted(facts.functions):
+                symbol = f"{module}:{qualname}"
+                for edge in model.graph.callees_of(symbol):
+                    callee_module = edge.callee.partition(":")[0]
+                    if callee_module in scope:
+                        continue  # RL007 already covers in-scope callees
+                    witness = writer_witness.get(edge.callee)
+                    if witness is None:
+                        continue
+                    key = (facts.relpath, edge.line, edge.col, edge.callee)
+                    if key in emitted:
+                        continue
+                    emitted.add(key)
+                    writer_symbol, write = witness
+                    location = self._describe(model, writer_symbol, write)
+                    self.emit_at(
+                        ctx, facts.relpath, edge.line, edge.col,
+                        f"{qualname} calls {edge.callee}, which reaches a raw "
+                        f"{write.detail} at {location} — a state write "
+                        f"laundered outside the persistence packages; route "
+                        f"it through repro.persist (docs/FAULTS.md)",
+                    )
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _scoped_modules(model: ProgramModel) -> Set[str]:
+        return {
+            module
+            for module, facts in model.table.modules.items()
+            if in_persistence_scope(Path(facts.relpath).parts)
+        }
+
+    @staticmethod
+    def _transitive_writers(
+        model: ProgramModel, scope: Set[str]
+    ) -> Dict[SymbolId, Tuple[SymbolId, object]]:
+        """Out-of-scope function -> (writing symbol, RawWrite) witness.
+
+        A function is a transitive writer when it, or any out-of-scope
+        function it can reach through the call graph, records a raw
+        write.  Scoped and exempt modules stop the propagation: their
+        writes are RL007's (or the persistence layer's own) business.
+        """
+        out: Dict[SymbolId, Tuple[SymbolId, object]] = {}
+        eligible: List[SymbolId] = []
+        for module, facts in model.table.modules.items():
+            if module in scope or module in _EXEMPT_MODULES:
+                continue
+            for qualname, fn in facts.functions.items():
+                symbol = f"{module}:{qualname}"
+                eligible.append(symbol)
+                if fn.raw_writes:
+                    out[symbol] = (symbol, fn.raw_writes[0])
+        # Propagate witnesses backwards over call edges until fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for symbol in eligible:
+                if symbol in out:
+                    continue
+                for edge in model.graph.callees_of(symbol):
+                    witness = out.get(edge.callee)
+                    if witness is not None:
+                        out[symbol] = witness
+                        changed = True
+                        break
+        return out
+
+    @staticmethod
+    def _describe(
+        model: ProgramModel, writer: SymbolId, write
+    ) -> str:
+        relpath: Optional[str] = model.relpath_of(writer)
+        where = relpath if relpath is not None else writer.partition(":")[0]
+        return f"{where}:{write.line}"

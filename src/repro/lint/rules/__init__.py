@@ -4,6 +4,7 @@ from repro.lint.rules import (
     config_liveness,
     determinism,
     hot_path,
+    persist_discipline,
     snapshot_safety,
     stats_keys,
     units,
@@ -16,4 +17,5 @@ __all__ = [
     "units",
     "hot_path",
     "snapshot_safety",
+    "persist_discipline",
 ]

@@ -1,0 +1,138 @@
+"""RL007 — persist-discipline: state files go through ``repro.persist``.
+
+PR 10 funnelled every durable write — checkpoints, sweep manifests,
+result/cache files, bench documents — through :mod:`repro.persist`, which
+supplies the same-directory temp + fsync + ``os.replace`` atomicity, the
+embedded checksum stamp that makes torn writes and bit-rot detectable,
+the typed :class:`~repro.common.errors.PersistError` hierarchy, and the
+storage-fault injection hook the chaos harness depends on.  A raw
+``open(path, "w")`` / ``json.dump`` / ``pickle.dump`` /
+``Path.write_text`` in the persistence-owning packages silently opts the
+file out of all four: it can tear under SIGKILL, ``repro fsck`` cannot
+verify it, and the crash-consistency tests never exercise it.
+
+This rule flags raw write shapes inside the packages that own durable
+state (``snapshot``, ``sweepd``, ``experiments``) plus ``bench.py``:
+
+* ``open(..., "w"/"wb"/"a"/...)`` and ``<path>.open("w")`` — any mode
+  containing ``w``, ``a``, ``x``, or ``+``;
+* ``json.dump(...)`` / ``pickle.dump(...)`` — stream dumps imply an open
+  writable handle;
+* ``<path>.write_text(...)`` / ``<path>.write_bytes(...)``.
+
+Legitimate exceptions (an append-only journal, a hard-link fallback that
+copies an already-stamped file) carry an explicit
+``# repro-lint: disable=RL007`` pragma — the point is that bypassing the
+discipline is visible and justified, not impossible.
+
+The ``--program`` run extends this with RL105, which catches the same
+writes laundered through helpers *outside* these packages.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.engine import ProjectContext, Rule, SourceFile, register_rule
+
+#: Packages whose files own durable state (checkpoints, manifests,
+#: results, caches); ``bench.py`` writes BENCH_*.json documents.
+SCOPE_PACKAGES = frozenset({"snapshot", "sweepd", "experiments"})
+SCOPE_FILES = frozenset({"bench.py"})
+
+#: ``open`` modes that create or mutate the target file.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+_FIX_HINT = (
+    "route it through repro.persist (write_json/atomic_write_bytes) so the "
+    "file is atomic, checksummed, fault-injectable, and fsck-verifiable "
+    "(docs/FAULTS.md)"
+)
+
+
+def _open_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an ``open``-shaped call, if present."""
+    if len(node.args) >= 2:
+        candidate = node.args[1]
+    else:
+        candidate = next(
+            (kw.value for kw in node.keywords if kw.arg == "mode"), None
+        )
+    if candidate is None and not node.args and not any(
+        kw.arg == "mode" for kw in node.keywords
+    ):
+        return None
+    if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+        return candidate.value
+    return None
+
+
+def _path_open_mode(node: ast.Call) -> Optional[str]:
+    """Mode of a ``<path>.open(...)`` call (first positional arg)."""
+    if node.args:
+        candidate = node.args[0]
+        if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+            return candidate.value
+    for kw in node.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, str):
+            return kw.value.value
+    return None
+
+
+def classify_raw_write(node: ast.Call) -> Optional[str]:
+    """Describe *node* when it is a raw persistent-write call, else None.
+
+    Shared with the RL105 whole-program extraction so the per-file and
+    cross-module variants agree on what counts as a raw write.
+    """
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        mode = _open_mode(node)
+        if mode is not None and _WRITE_MODE_CHARS.intersection(mode):
+            return f'open(..., "{mode}")'
+        return None
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in ("json", "pickle") \
+                and func.attr == "dump":
+            return f"{base.id}.dump(...)"
+        if func.attr in ("write_text", "write_bytes"):
+            return f".{func.attr}(...)"
+        if func.attr == "open":
+            mode = _path_open_mode(node)
+            if mode is not None and _WRITE_MODE_CHARS.intersection(mode):
+                return f'.open("{mode}")'
+    return None
+
+
+def in_persistence_scope(parts) -> bool:
+    """True when a relpath's segments fall under the RL007 scope."""
+    return any(part in SCOPE_PACKAGES for part in parts) or (
+        parts and parts[-1] in SCOPE_FILES
+    )
+
+
+@register_rule
+class PersistDisciplineRule(Rule):
+    """Flag raw state-file writes that bypass ``repro.persist``."""
+
+    rule_id = "RL007"
+    name = "persist-discipline"
+
+    def collect(self, source: SourceFile, ctx: ProjectContext) -> None:
+        if not in_persistence_scope(source.parts):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            description = classify_raw_write(node)
+            if description is None:
+                continue
+            ctx.emit(
+                self, source, node,
+                f"raw {description} bypasses the persistence layer — the "
+                f"write can tear under a crash and fsck cannot verify it; "
+                f"{_FIX_HINT}",
+            )

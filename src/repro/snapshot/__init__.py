@@ -5,13 +5,21 @@ guarantee (restore is bit-identical to an uninterrupted run), and the
 sweep watchdog built on top of this package.
 """
 
-from repro.common.errors import CheckpointError, CheckpointInterrupt
+from repro.common.errors import (
+    CheckpointError,
+    CheckpointInterrupt,
+    CorruptCheckpointError,
+)
 from repro.snapshot.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
+    DEFAULT_KEEP_GENERATIONS,
     LATEST_NAME,
+    generation_files,
     load_checkpoint,
+    load_checkpoint_with_fallback,
     read_checkpoint_header,
     save_checkpoint,
+    verify_checkpoint,
 )
 from repro.snapshot.codec import register_codec
 from repro.snapshot.hooks import HEARTBEAT_NAME, Checkpointer
@@ -23,13 +31,18 @@ __all__ = [
     "CheckpointError",
     "CheckpointInterrupt",
     "Checkpointer",
+    "CorruptCheckpointError",
+    "DEFAULT_KEEP_GENERATIONS",
     "EXIT_CHECKPOINTED",
     "HEARTBEAT_NAME",
     "LATEST_NAME",
     "ReplayStream",
     "SignalGuard",
+    "generation_files",
     "load_checkpoint",
+    "load_checkpoint_with_fallback",
     "read_checkpoint_header",
     "register_codec",
     "save_checkpoint",
+    "verify_checkpoint",
 ]

@@ -32,8 +32,12 @@ import time
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.common.errors import CheckpointInterrupt
-from repro.snapshot.checkpoint import LATEST_NAME, save_checkpoint
+from repro.common.errors import CheckpointInterrupt, PersistError
+from repro.snapshot.checkpoint import (
+    DEFAULT_KEEP_GENERATIONS,
+    LATEST_NAME,
+    save_checkpoint,
+)
 from repro.snapshot.signals import SignalGuard
 
 #: Steps between heartbeat wall-clock reads (a time() syscall per step
@@ -54,6 +58,7 @@ class Checkpointer:
         heartbeat_seconds: float = 0.0,
         signals: Optional[SignalGuard] = None,
         heartbeat_hook: Optional[Callable[[int], None]] = None,
+        keep_generations: int = DEFAULT_KEEP_GENERATIONS,
     ):
         self.directory = Path(directory)
         self.every_ops = int(every_ops)
@@ -61,10 +66,16 @@ class Checkpointer:
         self.heartbeat_seconds = float(heartbeat_seconds)
         self.heartbeat_hook = heartbeat_hook
         self.signals = signals
+        self.keep_generations = int(keep_generations)
         self.latest_path = self.directory / LATEST_NAME
         self.heartbeat_path = self.directory / HEARTBEAT_NAME
         #: Paths written, in order (cut files and latest refreshes).
         self.written: List[Path] = []
+        #: Writes that failed at the storage layer: (path, PersistError).
+        #: A failed periodic refresh loses durability of the newest state,
+        #: not correctness — the run continues and the next refresh (or a
+        #: preserved generation) covers recovery.
+        self.write_failures: List[tuple] = []
         self._next_due: Optional[int] = None
         self._next_heartbeat = 0.0
         self._finalized = False
@@ -79,13 +90,23 @@ class Checkpointer:
         system.checkpointer = self
 
     def _touch_heartbeat(self, steps: int) -> None:
-        self.heartbeat_path.touch()
+        try:
+            self.heartbeat_path.touch()
+        except OSError:
+            pass  # a full disk must not kill the run; mtime just goes stale
         self._next_heartbeat = time.monotonic() + self.heartbeat_seconds
         if self.heartbeat_hook is not None:
             self.heartbeat_hook(steps)
 
-    def _write(self, system, path: Path) -> Path:
-        final = save_checkpoint(system, path)
+    def _write(self, system, path: Path) -> Optional[Path]:
+        rotate = self.keep_generations if path == self.latest_path else 0
+        try:
+            final = save_checkpoint(system, path, keep_generations=rotate)
+        except PersistError as exc:
+            # Storage said no (ENOSPC, EIO, failed fsync).  The previous
+            # file is intact; losing one refresh must not kill the run.
+            self.write_failures.append((path, exc))
+            return None
         self.written.append(final)
         return final
 
@@ -131,9 +152,15 @@ class Checkpointer:
             raise CheckpointInterrupt(path=self.latest_path, signum=signum)
         self._finalized = True
         path = self._write(system, self.latest_path)
+        # path is None when the final write failed at the storage layer;
+        # CheckpointInterrupt documents that contract.
         raise CheckpointInterrupt(path=path, signum=signum)
 
-    def finalize_now(self, system) -> Path:
-        """Write a final ``latest.ckpt`` outside the step loop (no raise)."""
+    def finalize_now(self, system) -> Optional[Path]:
+        """Write a final ``latest.ckpt`` outside the step loop (no raise).
+
+        Returns None when the write failed at the storage layer (the
+        failure is recorded in :attr:`write_failures`).
+        """
         self._finalized = True
         return self._write(system, self.latest_path)

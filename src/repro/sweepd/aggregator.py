@@ -20,7 +20,9 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import persist
 
 #: Verdicts returned by :meth:`ResultAggregator.store`.
 STORED = "stored"
@@ -28,6 +30,37 @@ DUPLICATE = "duplicate"
 DIVERGENT = "divergent"
 
 AGGREGATOR_LOG = "aggregator.jsonl"
+
+
+def read_audit_log(path: Union[str, Path]) -> Tuple[List[Dict[str, object]], int]:
+    """Replay an ``aggregator.jsonl`` audit log, tolerating a torn tail.
+
+    A server killed mid-append legitimately leaves a truncated final
+    line; that record was never acknowledged, so dropping it is correct.
+    Returns ``(records, dropped)`` — *dropped* counts unparseable lines
+    (0 or 1 for a torn tail; more signals genuine corruption, which
+    ``repro fsck`` reports).
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return [], 0
+    records: List[Dict[str, object]] = []
+    dropped = 0
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            dropped += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            dropped += 1
+    return records, dropped
 
 
 def result_digest(payload: Dict[str, object]) -> str:
@@ -67,11 +100,10 @@ class ResultAggregator:
         Lets a restarted server (and cache-aware submission) recognise
         work that already has a result without trusting in-memory state.
         """
-        try:
-            payload = json.loads(self._cache_path(cache_key).read_text())
-        except (OSError, json.JSONDecodeError):
-            return None
-        if not isinstance(payload, dict):
+        payload = persist.read_json_or_none(
+            self._cache_path(cache_key), site="cache"
+        )
+        if payload is None:
             return None
         from repro.experiments.runner import _METRIC_FIELDS
 
@@ -107,7 +139,11 @@ class ResultAggregator:
         from repro.experiments.runner import _METRIC_FIELDS
 
         entry = {name: payload[name] for name in _METRIC_FIELDS}
-        write_json_atomic(self._cache_path(cache_key), entry)
+        # May raise PersistWriteError (ENOSPC, EIO, injected storage
+        # fault).  Deliberately BEFORE the accept/ack bookkeeping: a
+        # result that did not land durably must not be acknowledged, so
+        # the job stays retryable and no acknowledged result is ever lost.
+        write_json_atomic(self._cache_path(cache_key), entry, site="cache")
         self._accepted[job_id] = digest
         self._log(job_id, STORED, digest, worker)
         return (STORED, digest)
@@ -128,7 +164,12 @@ class ResultAggregator:
         if known is not None:
             record["known_digest"] = known
         # Append-only; single-writer (the server's event loop), so a
-        # plain append is torn-write-safe enough for an audit artifact.
-        self.log_path.parent.mkdir(parents=True, exist_ok=True)
-        with self.log_path.open("a") as handle:
-            handle.write(json.dumps(record) + "\n")
+        # plain append is torn-write-safe enough for an audit artifact —
+        # replay (read_audit_log) drops a truncated tail line.  Best
+        # effort: a full disk must not take the service down with it.
+        try:
+            self.log_path.parent.mkdir(parents=True, exist_ok=True)
+            with self.log_path.open("a") as handle:  # repro-lint: disable=RL007
+                handle.write(json.dumps(record) + "\n")
+        except OSError:
+            pass

@@ -26,11 +26,16 @@ sockets:
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.common.errors import ManifestVersionError, SweepdError
+from repro import persist
+from repro.common.errors import (
+    CorruptPayloadError,
+    ManifestVersionError,
+    PersistError,
+    SweepdError,
+)
 from repro.experiments.jobcore import write_json_atomic
 from repro.sweepd.jobs import DONE, LEASED, PENDING, QUARANTINED, JobRecord
 
@@ -64,13 +69,25 @@ class JobManifest:
         #: Leases reclaimed from dead/hung workers since this process
         #: started (observability; per-job counts persist on the record).
         self.reclaims = 0
+        #: Manifest writes the storage layer refused (ENOSPC, EIO, ...)
+        #: since this process started.  The in-memory state stays
+        #: authoritative and the next state change retries the write; a
+        #: crash meanwhile restarts from an older-but-consistent manifest
+        #: (done jobs re-adopt from the cache, leases demote and re-grant).
+        self.persist_failures = 0
 
     @property
     def path(self) -> Path:
         return self.root / MANIFEST_NAME
 
     # -- persistence -------------------------------------------------------
-    def persist(self) -> None:
+    def persist(self) -> bool:
+        """Write the manifest; False when the storage layer refused.
+
+        ``backup=True`` keeps the previous manifest as ``.bak``, the
+        one-generation fallback :meth:`load` falls back to when the
+        primary is later found corrupt (bit-rot, a torn write that lied).
+        """
         payload = {
             "sweepd_manifest_version": SWEEPD_MANIFEST_VERSION,
             "max_attempts": self.max_attempts,
@@ -79,7 +96,12 @@ class JobManifest:
                 for _, record in sorted(self.jobs.items())
             ],
         }
-        write_json_atomic(self.path, payload)
+        try:
+            write_json_atomic(self.path, payload, site="manifest", backup=True)
+        except PersistError:
+            self.persist_failures += 1
+            return False
+        return True
 
     def load(self) -> bool:
         """Load a persisted manifest; False when none exists yet.
@@ -102,9 +124,21 @@ class JobManifest:
                 hint=_MANIFEST_HINT,
             )
         try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise SweepdError(f"corrupt manifest {self.path}: {exc}")
+            payload = persist.verify_json_bytes(raw, self.path, "manifest")
+        except CorruptPayloadError as exc:
+            # The primary is torn or bit-rotted; fall back to the ``.bak``
+            # generation :meth:`persist` keeps.  It is at most one state
+            # change stale, which recovery already tolerates (done jobs
+            # re-adopt from the cache, leases demote and re-grant).
+            backup = persist.read_json_or_none(
+                persist.backup_path(self.path), site="manifest"
+            )
+            if backup is None:
+                raise SweepdError(
+                    f"corrupt manifest {self.path} and no usable backup: "
+                    f"{exc}"
+                )
+            payload = backup
         version = payload.get("sweepd_manifest_version")
         if version != SWEEPD_MANIFEST_VERSION:
             raise ManifestVersionError(

@@ -222,17 +222,32 @@ def listener_address(listener: "socket.socket") -> str:
 
 
 def write_address_file(root: Union[str, Path], spec: str) -> Path:
+    from repro.common.errors import PersistError
     from repro.experiments.jobcore import write_json_atomic
 
-    return write_json_atomic(Path(root) / ADDRESS_FILE, {"address": spec})
+    # Retried: the address file is the rendezvous the whole fleet needs,
+    # and one refused write (a storage-fault storm, a transient ENOSPC)
+    # must not prevent the server from ever becoming reachable.
+    last: Optional[PersistError] = None
+    for _ in range(5):
+        try:
+            return write_json_atomic(
+                Path(root) / ADDRESS_FILE, {"address": spec}, site="address"
+            )
+        except PersistError as exc:
+            last = exc
+    raise last  # type: ignore[misc]  # five strikes: surface the storage error
 
 
 def read_address_file(root: Union[str, Path]) -> str:
+    from repro import persist
+    from repro.common.errors import PersistError
+
     path = Path(root) / ADDRESS_FILE
     try:
-        payload = json.loads(path.read_text())
+        payload = persist.read_json(path, site="address")
         return str(payload["address"])
-    except (OSError, json.JSONDecodeError, KeyError) as exc:
+    except (OSError, PersistError, KeyError) as exc:
         raise SweepdError(
             f"no usable server address at {path} ({exc}); "
             f"is a sweepd server running on this root?"

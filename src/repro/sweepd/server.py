@@ -29,7 +29,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.common.errors import SweepdError
+from repro.common.errors import PersistError, SweepdError
 from repro.common.rng import DeterministicRng
 from repro.faults.chaos import ChaosConfig
 from repro.sweepd.aggregator import DIVERGENT, STORED, ResultAggregator
@@ -296,10 +296,25 @@ class SweepdServer:
         payload = message.get("payload")
         if not isinstance(payload, dict):
             return {"type": "error", "error": "result without a payload object"}
-        verdict, digest = self.aggregator.store(
-            job_id, record.cache_key, payload,
-            worker=worker if isinstance(worker, str) else None,
-        )
+        try:
+            verdict, digest = self.aggregator.store(
+                job_id, record.cache_key, payload,
+                worker=worker if isinstance(worker, str) else None,
+            )
+        except PersistError as exc:
+            # The cache write was refused (ENOSPC, EIO, injected storage
+            # fault): the result is NOT durable, so it must not be acked
+            # as stored.  Requeue the job as a retryable failure — the
+            # next lease holder salvages its on-disk result.json (or
+            # re-simulates) and re-reports, and the retried cache write
+            # gets a fresh chance.
+            self.manifest.fail(
+                job_id, worker if isinstance(worker, str) else None,
+                f"storage refused the result ({exc})",
+                retryable=True, now=time.monotonic(),
+            )
+            self._dirty = True
+            return {"type": "result", "verdict": "deferred", "job_id": job_id}
         if verdict == DIVERGENT:
             self.manifest.fail(
                 job_id, None,

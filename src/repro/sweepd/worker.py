@@ -27,7 +27,7 @@ import time
 from pathlib import Path
 from typing import Optional, Union, cast
 
-from repro.common.errors import FaultError, SweepdError
+from repro.common.errors import FaultError, PersistError, SweepdError
 from repro.experiments.jobcore import (
     RESULT_NAME,
     Request,
@@ -134,8 +134,13 @@ class SweepdWorker:
                 return
             # Land the result on disk before reporting it: if the report
             # (or this process) dies, the next lease holder salvages the
-            # file instead of re-simulating.
-            write_json_atomic(directory / RESULT_NAME, payload)
+            # file instead of re-simulating.  Best-effort: the payload is
+            # in hand, so a refused write only loses the salvage copy —
+            # the wire report below is what actually delivers the result.
+            try:
+                write_json_atomic(directory / RESULT_NAME, payload)
+            except PersistError:
+                pass
 
         reply = self.client.call({
             "type": "result",

@@ -94,6 +94,9 @@ class TestCompareGate:
         baseline_path = tmp_path / "BENCH_base.json"
         baseline = json.loads(baseline_path.read_text())
         baseline["results"]["noswap/milcx4"]["ops_per_sec"] *= 1000
+        # Hand-edited documents must drop the integrity stamp (the
+        # checksummed reader would otherwise — correctly — reject them).
+        baseline.pop("__persist__", None)
         inflated = tmp_path / "inflated.json"
         inflated.write_text(json.dumps(baseline))
         assert run_bench_cli(

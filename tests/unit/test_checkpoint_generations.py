@@ -1,0 +1,184 @@
+"""Generational checkpoint rotation and corrupt-``latest.ckpt`` fallback.
+
+The recovery contract (docs/FAULTS.md): ``save_checkpoint(...,
+keep_generations=N)`` preserves the previous ``latest.ckpt`` content as
+``gen-<n>.ckpt`` before replacing it, pruned to the newest N; a reader
+whose ``latest.ckpt`` fails validation falls back through those
+generations newest-first and loses a few thousand re-executed ops — not
+the run.
+"""
+
+import pytest
+
+from repro.sim.system import build_system
+from repro.snapshot import (
+    DEFAULT_KEEP_GENERATIONS,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.snapshot.checkpoint import (
+    LATEST_NAME,
+    generation_files,
+    load_checkpoint_with_fallback,
+    rotate_generations,
+    verify_checkpoint,
+)
+from repro.workloads import workload_by_name
+
+
+def _tiny_system():
+    return build_system(
+        "pageseer", workload_by_name("lbmx4"), scale=1024, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def staged(tmp_path_factory):
+    """One run checkpointed four times with keep_generations=2.
+
+    Returns ``(directory, steps)`` where ``steps[i]`` is the
+    ``steps_total`` recorded by the i-th save (steps[-1] == latest).
+    """
+    directory = tmp_path_factory.mktemp("gens")
+    system = _tiny_system()
+    steps = []
+    for _ in range(4):
+        system.run_ops(10)
+        save_checkpoint(system, directory / LATEST_NAME, keep_generations=2)
+        steps.append(system.steps_total)
+    return directory, steps
+
+
+class TestRotation:
+    def test_keeps_only_the_newest_generations(self, staged):
+        directory, _ = staged
+        names = [path.name for path in generation_files(directory)]
+        # Four saves preserve three previous contents; pruned to 2.
+        assert names == ["gen-00000002.ckpt", "gen-00000003.ckpt"]
+
+    def test_generations_hold_the_previous_contents(self, staged):
+        directory, steps = staged
+        gen2, gen3 = generation_files(directory)
+        assert load_checkpoint(gen2).steps_total == steps[1]
+        assert load_checkpoint(gen3).steps_total == steps[2]
+        assert load_checkpoint(directory / LATEST_NAME).steps_total == steps[3]
+
+    def test_rotate_without_existing_file_is_a_no_op(self, tmp_path):
+        assert rotate_generations(tmp_path / LATEST_NAME, keep=2) is None
+        assert generation_files(tmp_path) == []
+
+    def test_rotate_with_keep_zero_is_a_no_op(self, tmp_path):
+        path = tmp_path / LATEST_NAME
+        path.write_bytes(b"content")
+        assert rotate_generations(path, keep=0) is None
+        assert generation_files(tmp_path) == []
+
+    def test_numbering_continues_after_pruning(self, tmp_path):
+        path = tmp_path / LATEST_NAME
+        for n in range(1, 5):
+            path.write_bytes(b"v%d" % n)
+            rotate_generations(path, keep=1)
+        (only,) = generation_files(tmp_path)
+        assert only.name == "gen-00000004.ckpt"  # monotonic, never reused
+        assert only.read_bytes() == b"v4"
+
+    def test_generation_files_of_missing_directory(self, tmp_path):
+        assert generation_files(tmp_path / "absent") == []
+
+    def test_checkpointer_default_keeps_generations(self):
+        assert DEFAULT_KEEP_GENERATIONS >= 1
+
+
+class TestVerify:
+    def test_verdicts(self, staged, tmp_path):
+        directory, _ = staged
+        status, detail = verify_checkpoint(directory / LATEST_NAME)
+        assert status == "ok"
+        assert "step" in detail
+        assert verify_checkpoint(tmp_path / "absent.ckpt")[0] == "missing"
+
+    def test_truncation_is_corrupt(self, tmp_path):
+        system = _tiny_system()
+        system.run_ops(10)
+        path = save_checkpoint(system, tmp_path / LATEST_NAME)
+        path.write_bytes(path.read_bytes()[:-30])
+        status, detail = verify_checkpoint(path)
+        assert status == "corrupt"
+        assert "truncation" in detail
+
+
+class TestFallback:
+    def _corrupt(self, path):
+        raw = bytearray(path.read_bytes())
+        raw[-10] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def _staged_copy(self, staged, tmp_path):
+        directory, steps = staged
+        copy = tmp_path / "work"
+        copy.mkdir()
+        for path in directory.iterdir():
+            (copy / path.name).write_bytes(path.read_bytes())
+        return copy, steps
+
+    def test_healthy_latest_wins(self, staged, tmp_path):
+        directory, steps = self._staged_copy(staged, tmp_path)
+        system, path, skipped = load_checkpoint_with_fallback(directory)
+        assert path.name == LATEST_NAME
+        assert system.steps_total == steps[3]
+        assert skipped == []
+
+    def test_corrupt_latest_falls_back_to_newest_generation(self, staged,
+                                                            tmp_path):
+        directory, steps = self._staged_copy(staged, tmp_path)
+        self._corrupt(directory / LATEST_NAME)
+        system, path, skipped = load_checkpoint_with_fallback(directory)
+        assert path.name == "gen-00000003.ckpt"
+        assert system.steps_total == steps[2]
+        assert [p.name for p, _ in skipped] == [LATEST_NAME]
+
+    def test_falls_back_past_a_corrupt_generation_too(self, staged, tmp_path):
+        directory, steps = self._staged_copy(staged, tmp_path)
+        self._corrupt(directory / LATEST_NAME)
+        self._corrupt(directory / "gen-00000003.ckpt")
+        system, path, skipped = load_checkpoint_with_fallback(directory)
+        assert path.name == "gen-00000002.ckpt"
+        assert system.steps_total == steps[1]
+        assert len(skipped) == 2
+
+    def test_everything_corrupt_returns_none_with_evidence(self, staged,
+                                                           tmp_path):
+        directory, _ = self._staged_copy(staged, tmp_path)
+        for path in list(directory.iterdir()):
+            self._corrupt(path)
+        system, path, skipped = load_checkpoint_with_fallback(directory)
+        assert system is None and path is None
+        assert len(skipped) == 3
+
+    def test_empty_directory(self, tmp_path):
+        assert load_checkpoint_with_fallback(tmp_path) == (None, None, [])
+
+    def test_fallback_resumes_to_the_same_metrics(self, tmp_path):
+        """Losing latest.ckpt costs re-executed ops, never determinism.
+
+        A checkpointed run whose ``latest.ckpt`` rots falls back to a
+        generation and finishes with metrics bit-identical to the
+        uninterrupted run (the docs/CHECKPOINTS.md contract, extended to
+        the generation chain by docs/FAULTS.md).
+        """
+        from repro.experiments.runner import _METRIC_FIELDS
+        from repro.snapshot import Checkpointer
+
+        reference = _tiny_system().run(100, 50)
+        directory = tmp_path / "ckpts"
+        checkpointed = _tiny_system()
+        Checkpointer(directory, every_ops=30).arm(checkpointed)
+        checkpointed.run(100, 50)
+        assert generation_files(directory)  # rotation actually happened
+        self._corrupt(directory / LATEST_NAME)
+        resumed, path, skipped = load_checkpoint_with_fallback(directory)
+        assert path.name != LATEST_NAME
+        assert [p.name for p, _ in skipped] == [LATEST_NAME]
+        metrics = resumed.resume_run()
+        for name in _METRIC_FIELDS:
+            assert getattr(metrics, name) == getattr(reference, name), name

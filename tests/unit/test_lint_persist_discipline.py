@@ -1,0 +1,125 @@
+"""RL007 persist-discipline: raw state-file writes inside the
+persistence-owning packages must route through ``repro.persist``."""
+
+import pytest
+
+from tests.unit.lint_program.helpers import findings_for, lint_project, write_project
+
+
+def _findings(tmp_path, files):
+    write_project(tmp_path, files)
+    report, _ = lint_project(tmp_path, program=False)
+    return findings_for(report, "RL007")
+
+
+@pytest.mark.parametrize("statement,shape", [
+    ("open(path, 'w')", 'open(..., "w")'),
+    ("open(path, 'wb')", 'open(..., "wb")'),
+    ("open(path, 'a')", 'open(..., "a")'),
+    ("open(path, 'r+')", 'open(..., "r+")'),
+    ("open(path, mode='w')", 'open(..., "w")'),
+    ("json.dump(payload, handle)", "json.dump(...)"),
+    ("pickle.dump(payload, handle)", "pickle.dump(...)"),
+    ("path.write_text('x')", ".write_text(...)"),
+    ("path.write_bytes(b'x')", ".write_bytes(...)"),
+    ("path.open('w')", '.open("w")'),
+    ("path.open(mode='ab')", '.open("ab")'),
+])
+def test_raw_write_shapes_are_flagged(tmp_path, statement, shape):
+    findings = _findings(tmp_path, {
+        "snapshot/writer.py": (
+            "import json\n"
+            "import pickle\n"
+            "def save(path, payload, handle):\n"
+            f"    {statement}\n"
+        ),
+    })
+    assert len(findings) == 1
+    assert shape in findings[0].message
+    assert "repro.persist" in findings[0].message
+
+
+@pytest.mark.parametrize("statement", [
+    "open(path)",                 # default mode is read
+    "open(path, 'r')",
+    "open(path, 'rb')",
+    "path.open('r')",
+    "path.open()",
+    "path.read_text()",
+    "json.dumps(payload)",        # string dump: no file handle involved
+    "json.load(handle)",
+    "pickle.loads(handle)",
+    "open(path, mode)",           # non-literal mode: no evidence of writing
+])
+def test_read_shapes_are_not_flagged(tmp_path, statement):
+    findings = _findings(tmp_path, {
+        "sweepd/reader.py": (
+            "import json\n"
+            "import pickle\n"
+            "def load(path, payload, handle, mode):\n"
+            f"    return {statement}\n"
+        ),
+    })
+    assert findings == []
+
+
+@pytest.mark.parametrize("relpath", [
+    "snapshot/checkpoint.py",
+    "sweepd/manifest.py",
+    "experiments/runner.py",
+    "experiments/nested/deep.py",
+    "bench.py",
+])
+def test_scope_covers_every_persistence_package(tmp_path, relpath):
+    findings = _findings(tmp_path, {
+        relpath: "def save(path):\n    open(path, 'w')\n",
+    })
+    assert len(findings) == 1
+    assert findings[0].path == relpath
+
+
+@pytest.mark.parametrize("relpath", [
+    "sim/core.py",
+    "util/io_helpers.py",
+    "figures.py",
+])
+def test_out_of_scope_files_are_ignored(tmp_path, relpath):
+    findings = _findings(tmp_path, {
+        relpath: "def save(path):\n    open(path, 'w')\n",
+    })
+    assert findings == []
+
+
+def test_pragma_suppresses_a_justified_site(tmp_path):
+    write_project(tmp_path, {
+        "snapshot/rotate.py": (
+            "def rotate(path, target):\n"
+            "    target.write_bytes(path.read_bytes())"
+            "  # repro-lint: disable=RL007\n"
+        ),
+    })
+    report, _ = lint_project(tmp_path, program=False)
+    assert findings_for(report, "RL007") == []
+    assert report.suppressed >= 1
+
+
+def test_multiple_sites_each_get_a_finding(tmp_path):
+    findings = _findings(tmp_path, {
+        "experiments/dumper.py": (
+            "import json\n"
+            "def save(path, payload):\n"
+            "    with open(path, 'w') as handle:\n"
+            "        json.dump(payload, handle)\n"
+            "    path.write_text('done')\n"
+        ),
+    })
+    assert len(findings) == 3
+
+
+def test_repo_tip_is_clean():
+    """The repo's own persistence packages honour their discipline."""
+    from pathlib import Path
+
+    repo_src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    report, _ = lint_project(repo_src, program=False)
+    assert findings_for(report, "RL007") == []
